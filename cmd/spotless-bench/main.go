@@ -1,0 +1,61 @@
+// Command spotless-bench regenerates the tables and figures of the paper's
+// evaluation section (§6.3) on the discrete-event simulator.
+//
+// Usage:
+//
+//	spotless-bench -list
+//	spotless-bench -run fig7a            # one figure at paper scale
+//	spotless-bench -run all -quick       # every figure at CI scale (n ≤ 32)
+//	spotless-bench -run fig7a,fig13      # a selection
+//
+// Output is the aligned text tables also recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spotless/internal/bench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		quick = flag.Bool("quick", false, "CI-sized sweeps (n ≤ 32) instead of paper scale (n = 128)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range bench.Figures {
+			fmt.Printf("%-8s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	var selected []bench.Figure
+	if *run == "all" {
+		selected = bench.Figures
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			f := bench.FigureByID(strings.TrimSpace(id))
+			if f == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *f)
+		}
+	}
+
+	for _, f := range selected {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n\n", f.ID, f.Title)
+		for _, t := range f.Run(*quick) {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s completed in %s)\n\n", f.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,194 @@
+// Command spotless-replica runs one SpotLess replica over TCP — the
+// multi-process deployment path ("local processes" evaluation). Replicas
+// accept client Requests, assign them to instances by digest (§5), execute
+// committed batches against a YCSB table, append to the blockchain ledger,
+// and Inform clients.
+//
+// Example 4-replica cluster on one machine:
+//
+//	for i in 0 1 2 3; do
+//	  spotless-replica -id $i -n 4 -instances 4 \
+//	    -peers 0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 &
+//	done
+//	spotless-client -n 4 -peers ... -batches 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"spotless/internal/core"
+	"spotless/internal/crypto"
+	"spotless/internal/ledger"
+	"spotless/internal/runtime"
+	"spotless/internal/transport"
+	"spotless/internal/types"
+	"spotless/internal/ycsb"
+)
+
+// requestQueue assigns incoming client batches to instances by digest
+// (§5: instance i proposes transactions with digest d ≡ i mod m).
+type requestQueue struct {
+	mu     sync.Mutex
+	m      int
+	queues [][]*types.Batch
+}
+
+func newRequestQueue(m int) *requestQueue {
+	return &requestQueue{m: m, queues: make([][]*types.Batch, m)}
+}
+
+func (q *requestQueue) Add(b *types.Batch) {
+	if b == nil {
+		return
+	}
+	inst := int32(b.ID[0]) % int32(q.m)
+	q.mu.Lock()
+	q.queues[inst] = append(q.queues[inst], b)
+	q.mu.Unlock()
+}
+
+func (q *requestQueue) Next(instance int32, now time.Duration) *types.Batch {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if int(instance) >= q.m || len(q.queues[instance]) == 0 {
+		return nil
+	}
+	b := q.queues[instance][0]
+	q.queues[instance] = q.queues[instance][1:]
+	return b
+}
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "replica identifier (0..n-1)")
+		n         = flag.Int("n", 4, "number of replicas")
+		instances = flag.Int("instances", 0, "concurrent instances (default n)")
+		peersFlag = flag.String("peers", "", "comma-separated id=host:port for all replicas")
+		secret    = flag.String("secret", "spotless-demo", "cluster secret (deterministic PKI)")
+		records   = flag.Uint64("records", 100000, "YCSB table size")
+		timeout   = flag.Duration("timeout", 150*time.Millisecond, "initial view timeout")
+		stats     = flag.Duration("stats", 5*time.Second, "stats reporting interval")
+	)
+	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("spotless-replica: %v", err)
+	}
+	if len(peers) != *n {
+		log.Fatalf("spotless-replica: -peers lists %d replicas, -n is %d", len(peers), *n)
+	}
+	m := *instances
+	if m == 0 {
+		m = *n
+	}
+	self := types.NodeID(*id)
+	listen, ok := peers[self]
+	if !ok {
+		log.Fatalf("spotless-replica: own id %d missing from -peers", *id)
+	}
+
+	ids := make([]types.NodeID, 0, *n+1)
+	for i := 0; i < *n; i++ {
+		ids = append(ids, types.NodeID(i))
+	}
+	ids = append(ids, types.ClientIDBase)
+	ring := crypto.NewKeyring([]byte(*secret), ids)
+	prov, err := ring.Provider(self)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr := transport.New(transport.Config{ID: self, Listen: listen, Peers: peers, Crypto: prov})
+	queue := newRequestQueue(m)
+	store := ycsb.NewStore(*records, 64)
+	lg := ledger.New()
+
+	node := runtime.NewNode(runtime.NodeConfig{
+		ID: self, N: *n, F: (*n - 1) / 3,
+		Transport: tr, Crypto: prov, Source: queue,
+		Executor: runtime.NewReplicaExecutor(self, store, lg, tr, types.ClientIDBase),
+	})
+	// Client Requests arrive through the same transport; intercept them
+	// before protocol dispatch.
+	tr.Register(self, func(from types.NodeID, msg types.Message) {
+		if req, ok := msg.(*types.Request); ok {
+			queue.Add(req.Batch)
+			return
+		}
+		node.Inject(from, msg)
+	})
+
+	cfg := core.DefaultConfig(*n, m)
+	cfg.InitialRecordingTimeout = *timeout
+	cfg.InitialCertifyTimeout = *timeout
+	cfg.MinTimeout = *timeout / 8
+	node.SetProtocol(core.New(node, cfg))
+
+	if err := tr.Start(); err != nil {
+		log.Fatal(err)
+	}
+	node.Start()
+	log.Printf("spotless-replica %d up: n=%d m=%d listen=%s", *id, *n, m, listen)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*stats)
+	defer tick.Stop()
+	var lastApplied uint64
+	for {
+		select {
+		case <-tick.C:
+			applied := store.Applied()
+			rate := float64(applied-lastApplied) / stats.Seconds()
+			lastApplied = applied
+			log.Printf("executed=%d (%.0f txn/s) ledger-height=%d", applied, rate, lg.Height())
+		case <-stop:
+			node.Stop()
+			tr.Close()
+			if err := lg.Verify(); err != nil {
+				log.Printf("ledger verification FAILED: %v", err)
+				os.Exit(1)
+			}
+			fmt.Printf("replica %d: clean shutdown, ledger verified at height %d\n", *id, lg.Height())
+			return
+		}
+	}
+}
+
+func parsePeers(s string) (map[types.NodeID]string, error) {
+	peers := make(map[types.NodeID]string)
+	if s == "" {
+		return nil, fmt.Errorf("missing -peers")
+	}
+	for _, part := range splitComma(s) {
+		var id int
+		var addr string
+		if _, err := fmt.Sscanf(part, "%d=%s", &id, &addr); err != nil {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		peers[types.NodeID(id)] = addr
+	}
+	return peers, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package spotless is a from-scratch Go reproduction of "SpotLess:
+// Concurrent Rotational Consensus Made Practical through Rapid View
+// Synchronization" (Kang, Rahnama, Hellings, Sadoghi — ICDE 2024).
+//
+// SpotLess is a Byzantine fault-tolerant consensus protocol that combines a
+// chained rotational design (the primary changes every view; recovery needs
+// information about a single round only) with Rapid View Synchronization —
+// an always-on, low-cost view-synchronization and state-recovery path that
+// replaces the classic view-change protocol — and a concurrent consensus
+// architecture running m ≤ n chained instances in parallel.
+//
+// # Layout
+//
+//   - internal/core — the SpotLess protocol (§3–§5 of the paper)
+//   - internal/pbft, internal/rcc, internal/hotstuff, internal/narwhal —
+//     the four baselines of the evaluation (§6.2)
+//   - internal/simnet — deterministic discrete-event network/CPU simulator
+//     (the evaluation substrate; see DESIGN.md for the substitution notes)
+//   - internal/runtime, internal/transport — real-time in-process and TCP
+//     deployments with ed25519/HMAC cryptography
+//   - internal/ycsb, internal/ledger — the YCSB execution substrate and the
+//     hash-chained provenance ledger of Apache ResilientDB (§6.1)
+//   - internal/bench — one experiment per table and figure of §6.3
+//
+// # Entry points
+//
+// Cluster (this package) embeds a ready-to-use in-process deployment;
+// cmd/spotless-replica and cmd/spotless-client deploy over TCP;
+// cmd/spotless-bench regenerates every figure; the examples directory walks
+// through typical uses. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package spotless

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+func init() {
+	Figures = append(Figures, Figure{
+		ID:    "ablation",
+		Title: "Ablations: fast path (§6.1), message buffering (§6.1), QC verification (§6.2)",
+		Run:   Ablations,
+	})
+}
+
+// Ablations benchmarks the design choices DESIGN.md calls out:
+//
+//   - the geo fast path: the optimistic next-view proposal should cut WAN
+//     latency without hurting LAN throughput;
+//   - message buffering: removing it explodes per-packet costs;
+//   - HotStuff QC verification: the n−f signature checks are the protocol's
+//     dominant cost (the paper's explanation for its 3803% gap).
+func Ablations(quick bool) []Table {
+	n := 32
+	if quick {
+		n = 16
+	}
+	var out []Table
+
+	t1 := &Table{ID: "ablation-fastpath", Title: fmt.Sprintf("SpotLess geo fast path, n=%d, 4 regions", n),
+		Headers: []string{"variant", "ktxn/s", "avg latency ms"}}
+	for _, fp := range []bool{false, true} {
+		res := Run(Options{Protocol: SpotLess, N: n, RegionCount: 4, FastPath: fp,
+			Measure: 400 * time.Millisecond})
+		name := "slow path (wait for votes)"
+		if fp {
+			name = "fast path (optimistic propose)"
+		}
+		t1.Rows = append(t1.Rows, []string{name, ktps(res.Throughput), lat(res.AvgLatency)})
+	}
+	out = append(out, *t1)
+
+	t2 := &Table{ID: "ablation-buffering", Title: fmt.Sprintf("message buffering, SpotLess, n=%d", n),
+		Headers: []string{"variant", "ktxn/s", "avg latency ms"}}
+	for _, nb := range []bool{false, true} {
+		res := Run(Options{Protocol: SpotLess, N: n, NoBuffering: nb,
+			Measure: 300 * time.Millisecond})
+		name := "buffered (§6.1)"
+		if nb {
+			name = "unbuffered"
+		}
+		t2.Rows = append(t2.Rows, []string{name, ktps(res.Throughput), lat(res.AvgLatency)})
+	}
+	out = append(out, *t2)
+
+	t3 := &Table{ID: "ablation-qcverify", Title: fmt.Sprintf("HotStuff QC verification cost, n=%d", n),
+		Headers: []string{"variant", "ktxn/s", "avg latency ms"}}
+	for _, skip := range []bool{false, true} {
+		res := Run(Options{Protocol: HotStuff, N: n, SkipQCVerify: skip,
+			Measure: 400 * time.Millisecond})
+		name := "verify n−f signatures (§6.2)"
+		if skip {
+			name = "free verification (threshold-signature ideal)"
+		}
+		t3.Rows = append(t3.Rows, []string{name, ktps(res.Throughput), lat(res.AvgLatency)})
+	}
+	out = append(out, *t3)
+	return out
+}

@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProbeSmall sanity-checks the harness on a small cluster for every
+// protocol: each must complete transactions.
+func TestProbeSmall(t *testing.T) {
+	for _, p := range AllProtocols {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			res := Run(Options{Protocol: p, N: 4, BatchSize: 20, Outstanding: 8,
+				Warmup: 100 * time.Millisecond, Measure: 300 * time.Millisecond})
+			if res.Throughput == 0 {
+				t.Fatalf("%s: zero throughput", p)
+			}
+			t.Logf("%s: %.0f txn/s, lat=%s, msgs/batch=%.1f", p, res.Throughput, res.AvgLatency, res.MsgsPerBatch)
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Package core implements SpotLess (§3–§5 of the paper): the chained
+// rotational consensus instance with Rapid View Synchronization, and the
+// concurrent consensus architecture that runs m instances in parallel with a
+// deterministic total order across them.
+package core
+
+import (
+	"time"
+
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// Config parameterizes a SpotLess replica.
+type Config struct {
+	N         int // number of replicas (n > 3f)
+	F         int // failure bound
+	Instances int // m concurrent instances, 1 ≤ m ≤ n (§4.1)
+
+	// InitialRecordingTimeout is the starting value of tR (state ST1: wait
+	// for an acceptable proposal).
+	InitialRecordingTimeout time.Duration
+	// InitialCertifyTimeout is the starting value of tA (state ST3: wait
+	// for n−f matching claims).
+	InitialCertifyTimeout time.Duration
+	// Epsilon is the additive timeout increase applied after consecutive
+	// timeouts of the same timer in consecutive views (§3.5).
+	Epsilon time.Duration
+	// MinTimeout / MaxTimeout clamp the adaptive timers.
+	MinTimeout time.Duration
+	MaxTimeout time.Duration
+	// RetransmitInterval drives the periodic retransmission of §3.5 for
+	// replicas stuck waiting on replies.
+	RetransmitInterval time.Duration
+
+	// RetentionViews bounds per-view bookkeeping kept behind the committed
+	// frontier (older state is pruned; production deployments would anchor
+	// this to checkpoints).
+	RetentionViews int
+	// PendingWindow bounds how far ahead of the current view proposals are
+	// buffered (flooding guard).
+	PendingWindow int
+	// CatchupWindow caps how many skipped views receive explicit
+	// Sync(u, claim(∅), CP, Υ) catch-up messages in one jump.
+	CatchupWindow int
+
+	// FastPath enables the geo-scale optimization of §6.1: the primary of
+	// view v+1 broadcasts its proposal optimistically as soon as it accepts
+	// the view-v proposal, without waiting for the 2f+1 votes. Acceptance
+	// rule A1 still gates voting at the backups, so safety is unaffected;
+	// the optimistic proposal overlaps one WAN round trip.
+	FastPath bool
+
+	// Behavior configures Byzantine behaviour for evaluation (§6.3).
+	Behavior Behavior
+}
+
+// DefaultConfig returns a configuration for n replicas with m instances.
+func DefaultConfig(n, m int) Config {
+	return Config{
+		N:                       n,
+		F:                       (n - 1) / 3,
+		Instances:               m,
+		InitialRecordingTimeout: 40 * time.Millisecond,
+		InitialCertifyTimeout:   40 * time.Millisecond,
+		Epsilon:                 5 * time.Millisecond,
+		MinTimeout:              2 * time.Millisecond,
+		MaxTimeout:              4 * time.Second,
+		RetransmitInterval:      120 * time.Millisecond,
+		RetentionViews:          256,
+		PendingWindow:           64,
+		CatchupWindow:           32,
+	}
+}
+
+// AttackMode aliases the shared attack taxonomy of the evaluation (§6.3,
+// Figure 11); see internal/protocol.
+type AttackMode = protocol.AttackMode
+
+// Attack modes re-exported for API convenience.
+const (
+	AttackNone       = protocol.AttackNone
+	AttackDark       = protocol.AttackDark
+	AttackEquivocate = protocol.AttackEquivocate
+	AttackSubvert    = protocol.AttackSubvert
+)
+
+// Behavior aliases the shared Byzantine-behaviour configuration.
+type Behavior = protocol.Behavior
+
+// PrimaryOf returns the primary of instance i in view v:
+// id(P_{i,v}) = (i + v) mod n (§4.1, Figure 5).
+func PrimaryOf(instance int32, v types.View, n int) types.NodeID {
+	return types.NodeID((uint64(instance) + uint64(v)) % uint64(n))
+}

@@ -1,0 +1,835 @@
+package core
+
+import (
+	"time"
+
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// Replica-local per-view protocol states (§3.4, RVS).
+const (
+	stRecording  = iota // ST1: waiting for an acceptable proposal (timer tR)
+	stSyncing           // ST2: waiting for n−f Sync messages (no timer)
+	stCertifying        // ST3: waiting for n−f matching claims (timer tA)
+)
+
+// proposal is the replica-local bookkeeping for one proposal of one
+// instance, keyed by digest. A proposal may exist as a digest-only
+// placeholder (known == false) learned from claims or CP entries before the
+// full Propose message arrives via the Ask-recovery mechanism.
+type proposal struct {
+	digest       types.Digest
+	view         types.View
+	batch        *types.Batch
+	parentView   types.View
+	parentDigest types.Digest
+	parent       *proposal
+	msg          *types.Propose // original message, kept to serve Ask requests
+
+	known         bool // full content recorded (S1–S4 checked)
+	condPrepared  bool
+	condCommitted bool
+	committed     bool
+	delivered     bool
+
+	// syncVotes collects claim signatures from Sync messages claiming this
+	// proposal in its own view — the raw material of cert(P) (E1).
+	syncVotes map[types.NodeID]types.Signature
+	// cpVotes collects distinct senders whose CP sets contain this proposal
+	// (the f+1 conditional-prepare rule and the n−f extension rule E2).
+	cpVotes map[types.NodeID]struct{}
+}
+
+// viewState is the per-view message bookkeeping of one instance.
+type viewState struct {
+	syncs       map[types.NodeID]*types.Sync
+	claimCounts map[types.Digest]int
+	emptyCount  int
+	ownSync     *types.Sync // our single claim in this view (Υ retransmission)
+	accepted    *proposal   // the proposal we claimed, if any
+	pending     *types.Propose
+	echoed      bool
+	asked       bool
+}
+
+// Instance is one chained consensus instance of SpotLess (§3). All methods
+// run on the replica's single event loop.
+type Instance struct {
+	r  *Replica
+	id int32
+
+	view      types.View
+	state     int
+	viewStart time.Duration
+
+	genesis *proposal
+	props   map[types.Digest]*proposal
+	views   map[types.View]*viewState
+
+	lock        *proposal // Plock: highest conditionally committed (§3.3)
+	certHead    *proposal // highest proposal with n−f collected sync votes (E1)
+	cpHead      *proposal // highest proposal with n−f CP endorsements (E2)
+	lastCommit  *proposal // highest committed proposal
+	lastDeliver types.View
+
+	cpList []*proposal // conditionally prepared proposals (CP set source)
+
+	// Adaptive timers (§3.5).
+	tR, tA           time.Duration
+	lastTimeoutViewR types.View
+	lastTimeoutViewA types.View
+	certStart        time.Duration
+
+	lastProgressView types.View // for periodic retransmission
+	proposedView     types.View // highest view we already proposed (fast path)
+}
+
+func newInstance(r *Replica, id int32) *Instance {
+	g := &proposal{known: true, condPrepared: true, condCommitted: true, committed: true, delivered: true}
+	inst := &Instance{
+		r:          r,
+		id:         id,
+		genesis:    g,
+		props:      map[types.Digest]*proposal{g.digest: g},
+		views:      make(map[types.View]*viewState),
+		lock:       g,
+		certHead:   g,
+		cpHead:     g,
+		lastCommit: g,
+		tR:         r.cfg.InitialRecordingTimeout,
+		tA:         r.cfg.InitialCertifyTimeout,
+		// Sentinels: a first timeout at view 1 is not "consecutive".
+		lastTimeoutViewR: ^types.View(0) - 1,
+		lastTimeoutViewA: ^types.View(0) - 1,
+	}
+	return inst
+}
+
+func (in *Instance) vs(v types.View) *viewState {
+	s, ok := in.views[v]
+	if !ok {
+		s = &viewState{
+			syncs:       make(map[types.NodeID]*types.Sync),
+			claimCounts: make(map[types.Digest]int),
+		}
+		in.views[v] = s
+	}
+	return s
+}
+
+func (in *Instance) quorum() int { return protocol.Quorum(in.r.cfg.N, in.r.cfg.F) }
+func (in *Instance) weak() int   { return protocol.Weak(in.r.cfg.F) }
+
+func (in *Instance) primaryOf(v types.View) types.NodeID {
+	return PrimaryOf(in.id, v, in.r.cfg.N)
+}
+
+// getOrCreate returns the bookkeeping entry for a proposal digest, creating
+// a placeholder when first referenced by a claim or CP entry.
+func (in *Instance) getOrCreate(d types.Digest, v types.View) *proposal {
+	if d.IsZero() {
+		return in.genesis
+	}
+	p, ok := in.props[d]
+	if !ok {
+		p = &proposal{digest: d, view: v, syncVotes: make(map[types.NodeID]types.Signature), cpVotes: make(map[types.NodeID]struct{})}
+		in.props[d] = p
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// View lifecycle
+// ---------------------------------------------------------------------------
+
+func (in *Instance) start() {
+	// Periodic retransmission heartbeat (§3.5), re-armed on every expiry.
+	in.r.ctx.SetTimer(in.r.cfg.RetransmitInterval, protocol.TimerTag{Kind: protocol.TimerRetransmit, Instance: in.id})
+	in.enterView(1)
+}
+
+func (in *Instance) enterView(v types.View) {
+	in.view = v
+	in.state = stRecording
+	in.viewStart = in.r.ctx.Now()
+	in.r.ctx.SetTimer(in.tR, protocol.TimerTag{Kind: protocol.TimerRecording, Instance: in.id, View: v})
+	if in.primaryOf(v) == in.r.ctx.ID() {
+		in.propose(v)
+	}
+	s := in.vs(v)
+	if s.pending != nil {
+		p := s.pending
+		s.pending = nil
+		in.onPropose(p)
+	}
+	in.checkTransitions()
+	if v%64 == 0 {
+		in.prune()
+	}
+}
+
+// propose implements the primary role (Figure 3, lines 12–14): pick the
+// highest extendable proposal, wrap the next client batch, broadcast the
+// Propose together with the matching Sync (Remark 3.1).
+func (in *Instance) propose(v types.View) {
+	if in.proposedView >= v {
+		return // already proposed optimistically (fast path, §6.1)
+	}
+	in.proposedView = v
+	_, just := in.highestExtendable(v)
+	batch := in.r.ctx.NextBatch(in.id)
+	if batch == nil {
+		batch = in.r.noopBatch(in.id, v)
+	}
+	msg := &types.Propose{Instance: in.id, View: v, Batch: batch, Parent: just}
+	d := msg.Digest()
+	msg.Sig = in.r.ctx.Crypto().Sign(d[:])
+
+	switch in.r.cfg.Behavior.Mode {
+	case AttackDark:
+		// A2: withhold the proposal from the victim set.
+		for i := 0; i < in.r.cfg.N; i++ {
+			id := types.NodeID(i)
+			if id == in.r.ctx.ID() || in.r.cfg.Behavior.Victims[id] {
+				continue
+			}
+			in.r.ctx.Send(id, msg)
+		}
+	case AttackEquivocate:
+		// A3: conflicting proposals to disjoint halves.
+		alt := &types.Propose{Instance: in.id, View: v, Batch: in.r.noopBatch(in.id, v), Parent: just}
+		ad := alt.Digest()
+		alt.Sig = in.r.ctx.Crypto().Sign(ad[:])
+		for i := 0; i < in.r.cfg.N; i++ {
+			id := types.NodeID(i)
+			if id == in.r.ctx.ID() {
+				continue
+			}
+			if in.r.cfg.Behavior.Victims[id] {
+				in.r.ctx.Send(id, alt)
+			} else {
+				in.r.ctx.Send(id, msg)
+			}
+		}
+	default:
+		in.r.ctx.Broadcast(msg)
+	}
+	// Process our own proposal locally (records it and emits our Sync).
+	in.onPropose(msg)
+}
+
+// highestExtendable implements Figure 3 lines 5–11: backtrack to the highest
+// proposal that is extendable under E1 (certificate) or E2 (n−f CP
+// endorsements). The certificate is assembled from collected Sync
+// signatures; per §3.4 signatures are verified lazily by receivers that need
+// them, keeping the fast path MAC-priced.
+func (in *Instance) highestExtendable(v types.View) (*proposal, types.Justification) {
+	best := in.certHead
+	useCert := true
+	if in.cpHead != nil && in.cpHead.view > best.view {
+		best = in.cpHead
+		useCert = false
+	}
+	if best == in.genesis {
+		return best, types.Justification{Kind: types.JustGenesis}
+	}
+	just := types.Justification{ParentView: best.view, ParentDigest: best.digest}
+	if useCert && len(best.syncVotes) >= in.quorum() {
+		just.Kind = types.JustCert
+		just.Cert = make([]types.Signature, 0, in.quorum())
+		for _, sig := range best.syncVotes {
+			just.Cert = append(just.Cert, sig)
+			if len(just.Cert) == in.quorum() {
+				break
+			}
+		}
+	} else {
+		just.Kind = types.JustClaim
+	}
+	return best, just
+}
+
+// ---------------------------------------------------------------------------
+// Propose handling (backup role, Figure 3 lines 15–17; checks S1–S4, A1–A3)
+// ---------------------------------------------------------------------------
+
+func (in *Instance) onPropose(msg *types.Propose) {
+	v := msg.View
+	if msg.Batch == nil { // S2: malformed
+		return
+	}
+	if v > in.view+types.View(in.r.cfg.PendingWindow) {
+		return // flooding guard
+	}
+	d := msg.Digest()
+	// S1: the proposal must carry a valid primary signature (forwardable).
+	if msg.Sig.Signer != in.primaryOf(v) {
+		return
+	}
+	if err := in.r.ctx.Crypto().Verify(msg.Sig, d[:]); err != nil {
+		return
+	}
+	p := in.getOrCreate(d, v)
+	if !p.known {
+		p.known = true
+		p.view = v
+		p.batch = msg.Batch
+		p.parentView = msg.Parent.ParentView
+		p.parentDigest = msg.Parent.ParentDigest
+		p.msg = msg
+		if msg.Parent.Kind == types.JustGenesis {
+			p.parent = in.genesis
+		} else {
+			p.parent = in.getOrCreate(msg.Parent.ParentDigest, msg.Parent.ParentView)
+		}
+		in.linkKnown(p)
+	}
+	// S3: only proposals for the current view are voted on now; buffer ahead.
+	if v > in.view {
+		in.vs(v).pending = msg
+		return
+	}
+	if v < in.view {
+		return // recorded for Ask service only
+	}
+	in.tryAccept(p, msg)
+}
+
+// tryAccept applies S4 and the acceptance rules A1–A3 and, on success,
+// broadcasts our Sync claim for the proposal.
+func (in *Instance) tryAccept(p *proposal, msg *types.Propose) {
+	s := in.vs(p.view)
+	if s.ownSync != nil {
+		return // one claim per view
+	}
+	parent := p.parent
+	// S4 / A1: the parent must be conditionally prepared; a valid embedded
+	// certificate conditionally prepares it on the spot (§3.3).
+	if !parent.condPrepared {
+		if msg.Parent.Kind == types.JustCert && in.verifyCert(msg.Parent) {
+			parent.view = msg.Parent.ParentView
+			in.condPrepare(parent)
+		}
+	}
+	if !parent.condPrepared {
+		s.pending = msg // A1 may be satisfied later (CP votes, cert)
+		return
+	}
+	// A2 (safety rule) or A3 (liveness rule).
+	if !in.safeToExtend(parent) {
+		return
+	}
+	if in.r.cfg.Behavior.Mode == AttackSubvert && !in.r.isAccomplice(msg.Sig.Signer) {
+		return // A4: subvert non-faulty primaries by withholding votes
+	}
+	s.accepted = p
+	in.sendSync(p.view, types.Claim{View: p.view, Digest: p.digest}, false)
+	// Halve tR when the awaited proposal arrived within half the timeout.
+	if in.r.ctx.Now()-in.viewStart < in.tR/2 {
+		in.tR = clampTimeout(in.tR/2, in.r.cfg)
+	}
+	// Geo fast path (§6.1): as the next view's primary, propose extending P
+	// optimistically before its vote quorum completes. Backups still gate
+	// their votes on A1, so a failed parent only costs this one proposal.
+	if in.r.cfg.FastPath && p.view == in.view &&
+		in.primaryOf(p.view+1) == in.r.ctx.ID() && in.proposedView <= p.view {
+		in.proposeFast(p.view+1, p)
+	}
+	in.checkTransitions()
+}
+
+// proposeFast issues the optimistic fast-path proposal for view v extending
+// the just-accepted parent (claim-justified; receivers rely on their own
+// conditional-prepare state per rule A1).
+func (in *Instance) proposeFast(v types.View, parent *proposal) {
+	in.proposedView = v
+	batch := in.r.ctx.NextBatch(in.id)
+	if batch == nil {
+		batch = in.r.noopBatch(in.id, v)
+	}
+	just := types.Justification{Kind: types.JustClaim, ParentView: parent.view, ParentDigest: parent.digest}
+	msg := &types.Propose{Instance: in.id, View: v, Batch: batch, Parent: just}
+	d := msg.Digest()
+	msg.Sig = in.r.ctx.Crypto().Sign(d[:])
+	in.r.ctx.Broadcast(msg)
+	in.onPropose(msg) // buffers as pending until we enter view v
+}
+
+// safeToExtend checks A2 ∨ A3 for a prospective parent.
+func (in *Instance) safeToExtend(parent *proposal) bool {
+	if parent.view > in.lock.view { // A3: liveness rule
+		return true
+	}
+	// A2: safety rule — Plock ∈ {parent} ∪ precedes(parent).
+	for q := parent; q != nil; q = q.parent {
+		if q == in.lock {
+			return true
+		}
+		if q.view < in.lock.view {
+			break
+		}
+		if !q.known {
+			break
+		}
+	}
+	return false
+}
+
+// verifyCert checks n−f distinct valid signatures over the parent claim
+// (only invoked on the recovery path, §3.4).
+func (in *Instance) verifyCert(j types.Justification) bool {
+	if len(j.Cert) < in.quorum() {
+		return false
+	}
+	claim := types.ClaimBytes(in.id, types.Claim{View: j.ParentView, Digest: j.ParentDigest})
+	seen := make(map[types.NodeID]bool, len(j.Cert))
+	valid := 0
+	for _, sig := range j.Cert {
+		if seen[sig.Signer] {
+			continue
+		}
+		seen[sig.Signer] = true
+		if in.r.ctx.Crypto().Verify(sig, claim) == nil {
+			valid++
+			if valid >= in.quorum() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sendSync broadcasts our Sync for view v with the given claim and records
+// it locally (we count our own vote; Remark 3.1).
+func (in *Instance) sendSync(v types.View, claim types.Claim, retransmit bool) {
+	cp := in.buildCP()
+	sig := in.r.ctx.Crypto().Sign(types.ClaimBytes(in.id, claim))
+	msg := &types.Sync{Instance: in.id, View: v, Claim: claim, CP: cp, Retransmit: retransmit, Sig: sig}
+	s := in.vs(v)
+	s.ownSync = msg
+
+	if in.r.cfg.Behavior.Mode == AttackEquivocate && !claim.Empty {
+		// A3: conflicting concurring votes — empty claim to the victims.
+		altClaim := types.Claim{View: v, Empty: true}
+		alt := &types.Sync{Instance: in.id, View: v, Claim: altClaim, CP: cp,
+			Sig: in.r.ctx.Crypto().Sign(types.ClaimBytes(in.id, altClaim))}
+		for i := 0; i < in.r.cfg.N; i++ {
+			id := types.NodeID(i)
+			if id == in.r.ctx.ID() {
+				continue
+			}
+			if in.r.cfg.Behavior.Victims[id] {
+				in.r.ctx.Send(id, alt)
+			} else {
+				in.r.ctx.Send(id, msg)
+			}
+		}
+	} else {
+		in.r.ctx.Broadcast(msg)
+	}
+	if v >= in.view {
+		in.recordSync(in.r.ctx.ID(), msg)
+	}
+	if in.state == stRecording && v == in.view {
+		in.state = stSyncing
+	}
+}
+
+// buildCP assembles the CP set: views and digests of all conditionally
+// prepared proposals with view ≥ v_lock (§3.3).
+func (in *Instance) buildCP() []types.CPEntry {
+	out := make([]types.CPEntry, 0, 4)
+	keep := in.cpList[:0]
+	for _, p := range in.cpList {
+		if p.view < in.lock.view || !p.condPrepared {
+			continue
+		}
+		keep = append(keep, p)
+		out = append(out, types.CPEntry{View: p.view, Digest: p.digest})
+	}
+	in.cpList = keep
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Sync handling (Figure 3 lines 20–28, Figure 4)
+// ---------------------------------------------------------------------------
+
+func (in *Instance) onSync(from types.NodeID, msg *types.Sync) {
+	v := msg.View
+	if v > in.view+types.View(4*in.r.cfg.PendingWindow) {
+		return // flooding guard: implausibly far future
+	}
+	// Υ: retransmit our view-v Sync to a replica trying to catch up (§3.4).
+	if msg.Retransmit {
+		if s, ok := in.views[v]; ok && s.ownSync != nil && from != in.r.ctx.ID() {
+			in.r.ctx.Send(from, s.ownSync)
+		}
+	}
+	in.recordSync(from, msg)
+}
+
+// recordSync ingests one Sync message: dedups per (view, sender), updates
+// claim tallies, CP endorsements, and certificate material, then evaluates
+// all RVS transitions.
+func (in *Instance) recordSync(from types.NodeID, msg *types.Sync) {
+	v := msg.View
+	s := in.vs(v)
+	if _, dup := s.syncs[from]; !dup {
+		s.syncs[from] = msg
+		if msg.Claim.Empty {
+			s.emptyCount++
+		} else {
+			s.claimCounts[msg.Claim.Digest]++
+			p := in.getOrCreate(msg.Claim.Digest, msg.Claim.View)
+			if msg.Claim.View == p.view {
+				p.syncVotes[from] = msg.Sig
+				if len(p.syncVotes) >= in.quorum() && p.view > in.certHead.view {
+					in.certHead = p
+				}
+			}
+		}
+		// CP endorsements: f+1 distinct endorsers conditionally prepare the
+		// proposal (Figure 3, lines 22–23); n−f make it extendable (E2).
+		for _, e := range msg.CP {
+			p := in.getOrCreate(e.Digest, e.View)
+			p.cpVotes[from] = struct{}{}
+			if len(p.cpVotes) >= in.weak() && !p.condPrepared {
+				in.condPrepare(p)
+			}
+			if len(p.cpVotes) >= in.quorum() && p.view > in.cpHead.view {
+				in.cpHead = p
+			}
+		}
+		// Rapid view synchronization: f+1 replicas at view ≥ w > v let us
+		// jump to w (Figure 4, lines 12–15). One view of skew is normal
+		// pipelining (the quorum path absorbs it); jump only when genuinely
+		// behind, which keeps steady-state traffic at the n² of Figure 1.
+		if v > in.view+1 && len(s.syncs) >= in.weak() {
+			in.catchUpTo(v)
+			return
+		}
+	}
+	in.checkTransitions()
+}
+
+// catchUpTo jumps to view w after f+1 replicas proved views ≥ w exist,
+// broadcasting Sync(u, claim(∅), CP, Υ) for the skipped views so peers both
+// count us and retransmit what we missed.
+func (in *Instance) catchUpTo(w types.View) {
+	lo := in.view
+	if w-lo > types.View(in.r.cfg.CatchupWindow) {
+		lo = w - types.View(in.r.cfg.CatchupWindow)
+	}
+	for u := lo; u < w; u++ {
+		if in.vs(u).ownSync == nil {
+			in.sendSync(u, types.Claim{View: u, Empty: true}, true)
+		}
+	}
+	in.enterView(w)
+}
+
+// checkTransitions evaluates every state transition enabled by the current
+// view's tallies (Figure 4).
+func (in *Instance) checkTransitions() {
+	v := in.view
+	s := in.vs(v)
+	q := in.quorum()
+
+	// f+1 matching claims: echo the claim even without the proposal
+	// (restoration of liveness, §3.3) and fetch the payload via Ask.
+	if s.ownSync == nil && !s.echoed {
+		for d, c := range s.claimCounts {
+			if c >= in.weak() {
+				p := in.getOrCreate(d, v)
+				if in.acceptableByClaim(p) {
+					s.echoed = true
+					in.sendSync(v, types.Claim{View: v, Digest: d}, false)
+					if !p.known {
+						in.askFor(p, v)
+					}
+					break
+				}
+			}
+		}
+	}
+
+	// ST2 → ST3: n−f Sync messages of the current view.
+	if in.state == stSyncing && len(s.syncs) >= q {
+		in.state = stCertifying
+		in.certStart = in.r.ctx.Now()
+		in.r.ctx.SetTimer(in.tA, protocol.TimerTag{Kind: protocol.TimerCertifying, Instance: in.id, View: v})
+	}
+
+	// n−f matching claims: conditionally prepare and advance (lines 10–11).
+	for d, c := range s.claimCounts {
+		if c >= q {
+			p := in.getOrCreate(d, v)
+			if !p.condPrepared {
+				in.condPrepare(p)
+			}
+			if !p.known && !s.asked {
+				s.asked = true
+				in.askFor(p, v)
+			}
+			if in.state == stCertifying && in.r.ctx.Now()-in.certStart < in.tA/2 {
+				in.tA = clampTimeout(in.tA/2, in.r.cfg)
+			}
+			if in.view == v {
+				in.enterView(v + 1)
+			}
+			return
+		}
+	}
+	// n−f matching empty claims: the view failed for everyone; advance.
+	if s.emptyCount >= q && in.view == v {
+		in.enterView(v + 1)
+	}
+}
+
+// acceptableByClaim applies the acceptance rules to a claim-only proposal:
+// if we know it, the full rules; if not, we rely on f+1 honest endorsers
+// (§3.3 allows echoing a claim backed by f+1 Syncs).
+func (in *Instance) acceptableByClaim(p *proposal) bool {
+	if in.r.cfg.Behavior.Mode == AttackSubvert {
+		return false
+	}
+	if !p.known {
+		return true
+	}
+	return p.parent != nil && p.parent.condPrepared && in.safeToExtend(p.parent)
+}
+
+// askFor requests the full proposal behind a claim from up to f+1 replicas
+// that vouched for it.
+func (in *Instance) askFor(p *proposal, v types.View) {
+	ask := &types.Ask{Instance: in.id, View: v, Claim: types.Claim{View: p.view, Digest: p.digest}}
+	sent := 0
+	if s, ok := in.views[p.view]; ok {
+		for from, m := range s.syncs {
+			if !m.Claim.Empty && m.Claim.Digest == p.digest && from != in.r.ctx.ID() {
+				in.r.ctx.Send(from, ask)
+				sent++
+				if sent >= in.weak() {
+					return
+				}
+			}
+		}
+	}
+	for from := range p.cpVotes {
+		if from == in.r.ctx.ID() {
+			continue
+		}
+		in.r.ctx.Send(from, ask)
+		sent++
+		if sent >= in.weak() {
+			return
+		}
+	}
+}
+
+func (in *Instance) onAsk(from types.NodeID, msg *types.Ask) {
+	if p, ok := in.props[msg.Claim.Digest]; ok && p.known && p.msg != nil {
+		in.r.ctx.Send(from, p.msg)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Proposal state progression (Definition 3.3)
+// ---------------------------------------------------------------------------
+
+// condPrepare marks a proposal conditionally prepared and derives the
+// downstream states: its parent becomes conditionally committed (and
+// possibly the new lock), and a three-consecutive-view chain commits the
+// grandparent (§3.2).
+func (in *Instance) condPrepare(p *proposal) {
+	if p.condPrepared {
+		return
+	}
+	p.condPrepared = true
+	in.cpList = append(in.cpList, p)
+	if p.known {
+		in.deriveStates(p)
+	}
+	in.retryPending()
+}
+
+// linkKnown is called when a placeholder proposal gains its payload; it
+// resolves deferred state implications and unblocks pending accepts.
+func (in *Instance) linkKnown(p *proposal) {
+	if p.condPrepared {
+		in.deriveStates(p)
+	}
+	in.retryPending()
+	in.maybeDeliver()
+}
+
+// retryPending re-attempts acceptance of a buffered current-view proposal
+// whose A1 precondition may have become true.
+func (in *Instance) retryPending() {
+	s, ok := in.views[in.view]
+	if !ok || s.pending == nil || s.ownSync != nil {
+		return
+	}
+	msg := s.pending
+	s.pending = nil
+	in.tryAccept(in.getOrCreate(msg.Digest(), msg.View), msg)
+}
+
+func (in *Instance) deriveStates(p *proposal) {
+	parent := p.parent
+	if parent == nil {
+		return
+	}
+	if !parent.condPrepared {
+		// A1 guaranteed the primary's quorum saw it; adopt transitively
+		// (Lemma 3.4: n−2f non-faulty replicas conditionally prepared it).
+		in.condPrepare(parent)
+	}
+	if parent != in.genesis && !parent.condCommitted {
+		parent.condCommitted = true
+		if parent.view > in.lock.view {
+			in.lock = parent
+		}
+	}
+	// Commit rule: u = w+1 = v+2 (three consecutive views).
+	gp := parent.parent
+	if gp != nil && parent.known &&
+		p.view == parent.view+1 && parent.view == gp.view+1 {
+		in.commit(gp)
+	}
+	in.maybeDeliver()
+}
+
+// commit finalizes a proposal and its entire ancestor chain.
+func (in *Instance) commit(p *proposal) {
+	if p.committed {
+		return
+	}
+	// Collect the uncommitted ancestor chain (ascending views).
+	var chain []*proposal
+	for q := p; q != nil && !q.committed; q = q.parent {
+		chain = append(chain, q)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		chain[i].committed = true
+		if chain[i].view > in.lastCommit.view {
+			in.lastCommit = chain[i]
+		}
+	}
+	in.maybeDeliver()
+}
+
+// maybeDeliver hands committed proposals to the replica's total-order layer
+// in chain order, head-of-line blocking on proposals whose payload is still
+// being fetched (Ask).
+func (in *Instance) maybeDeliver() {
+	// Walk from the last delivered view upward along the committed chain.
+	for {
+		next := in.nextCommittedAfter(in.lastDeliver)
+		if next == nil || !next.known {
+			return
+		}
+		next.delivered = true
+		in.lastDeliver = next.view
+		in.r.onCommitted(in.id, next)
+	}
+}
+
+// nextCommittedAfter finds the lowest committed, undelivered proposal with
+// view > v by walking down from the committed head.
+func (in *Instance) nextCommittedAfter(v types.View) *proposal {
+	var candidate *proposal
+	for q := in.lastCommit; q != nil && q.view > v; q = q.parent {
+		if q.committed && !q.delivered {
+			candidate = q
+		}
+		if !q.known {
+			return nil // cannot certify chain continuity yet
+		}
+	}
+	return candidate
+}
+
+// ---------------------------------------------------------------------------
+// Timers (§3.5)
+// ---------------------------------------------------------------------------
+
+func (in *Instance) onTimer(tag protocol.TimerTag) {
+	switch tag.Kind {
+	case protocol.TimerRecording:
+		if tag.View != in.view || in.state != stRecording {
+			return
+		}
+		// Failure in view v: claim(∅) (Figure 3, lines 18–19).
+		if in.lastTimeoutViewR+1 == tag.View {
+			in.tR = clampTimeout(in.tR+in.r.cfg.Epsilon, in.r.cfg)
+		}
+		in.lastTimeoutViewR = tag.View
+		if in.vs(tag.View).ownSync == nil {
+			in.sendSync(tag.View, types.Claim{View: tag.View, Empty: true}, false)
+		}
+		in.state = stSyncing
+		in.checkTransitions()
+	case protocol.TimerCertifying:
+		if tag.View != in.view || in.state != stCertifying {
+			return
+		}
+		if in.lastTimeoutViewA+1 == tag.View {
+			in.tA = clampTimeout(in.tA+in.r.cfg.Epsilon, in.r.cfg)
+		}
+		in.lastTimeoutViewA = tag.View
+		in.enterView(tag.View + 1)
+	case protocol.TimerRetransmit:
+		// Periodic retransmission while stuck (§3.5): after two heartbeats
+		// with no view progress and our claim already out (Syncing or
+		// Certifying), rebroadcast our Sync with Υ so peers resend theirs.
+		// The recording path is covered by tR; a fresh view never needs it.
+		if in.view == in.lastProgressView && in.state != stRecording {
+			s := in.vs(in.view)
+			if s.ownSync != nil {
+				re := *s.ownSync
+				re.Retransmit = true
+				in.r.ctx.Broadcast(&re)
+			}
+		}
+		in.lastProgressView = in.view
+		in.r.ctx.SetTimer(in.r.cfg.RetransmitInterval, protocol.TimerTag{Kind: protocol.TimerRetransmit, Instance: in.id})
+	}
+}
+
+func clampTimeout(d time.Duration, cfg Config) time.Duration {
+	if d < cfg.MinTimeout {
+		return cfg.MinTimeout
+	}
+	if d > cfg.MaxTimeout {
+		return cfg.MaxTimeout
+	}
+	return d
+}
+
+// prune discards bookkeeping behind the committed frontier (retention
+// window), bounding memory in long runs.
+func (in *Instance) prune() {
+	if in.lastDeliver < types.View(in.r.cfg.RetentionViews) {
+		return
+	}
+	horizon := in.lastDeliver - types.View(in.r.cfg.RetentionViews)
+	for v := range in.views {
+		if v < horizon {
+			delete(in.views, v)
+		}
+	}
+	for d, p := range in.props {
+		if p.view < horizon && p.delivered {
+			p.batch = nil
+			p.msg = nil
+			p.syncVotes = nil
+			p.cpVotes = nil
+			if p.view+types.View(in.r.cfg.RetentionViews) < horizon {
+				delete(in.props, d)
+			}
+		}
+	}
+}

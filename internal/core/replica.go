@@ -1,0 +1,191 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// Replica is one SpotLess replica hosting m concurrent chained consensus
+// instances (§4.1). It implements protocol.Protocol and can therefore run on
+// the simulator, the in-process runtime, or the TCP transport.
+type Replica struct {
+	ctx   protocol.Context
+	cfg   Config
+	insts []*Instance
+
+	// Total-order layer (§4.1, Figure 6): committed proposals are ordered
+	// by (view, instance); execution of view v waits until every instance
+	// passed view v.
+	frontiers []types.View      // highest delivered committed view per instance
+	queues    [][]orderedCommit // committed, not yet globally ordered
+	seenBatch map[types.Digest]bool
+
+	// Stats exposed for tests and the harness.
+	Delivered uint64 // globally ordered non-noop batches
+	NoOps     uint64
+}
+
+type orderedCommit struct {
+	view  types.View
+	batch *types.Batch
+	dig   types.Digest
+}
+
+// New creates a SpotLess replica bound to its environment context.
+func New(ctx protocol.Context, cfg Config) *Replica {
+	if cfg.N == 0 {
+		cfg = DefaultConfig(ctx.N(), 1)
+	}
+	if cfg.Instances < 1 {
+		cfg.Instances = 1
+	}
+	r := &Replica{
+		ctx:       ctx,
+		cfg:       cfg,
+		frontiers: make([]types.View, cfg.Instances),
+		queues:    make([][]orderedCommit, cfg.Instances),
+		seenBatch: make(map[types.Digest]bool),
+	}
+	r.insts = make([]*Instance, cfg.Instances)
+	for i := range r.insts {
+		r.insts[i] = newInstance(r, int32(i))
+	}
+	return r
+}
+
+// Instance exposes instance state to tests.
+func (r *Replica) Instance(i int32) *Instance { return r.insts[i] }
+
+// CurrentView returns the view of instance i (testing/inspection).
+func (in *Instance) CurrentView() types.View { return in.view }
+
+// Lock returns the view of the instance's locked proposal (testing).
+func (in *Instance) LockView() types.View { return in.lock.view }
+
+// LastCommittedView returns the highest committed view of the instance.
+func (in *Instance) LastCommittedView() types.View { return in.lastCommit.view }
+
+// Start implements protocol.Protocol: all instances enter view 1.
+func (r *Replica) Start() {
+	for _, in := range r.insts {
+		in.start()
+	}
+}
+
+// HandleMessage implements protocol.Protocol, dispatching by instance.
+func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *types.Propose:
+		if in := r.instance(m.Instance); in != nil {
+			in.onPropose(m)
+		}
+	case *types.Sync:
+		if in := r.instance(m.Instance); in != nil {
+			in.onSync(from, m)
+		}
+	case *types.Ask:
+		if in := r.instance(m.Instance); in != nil {
+			in.onAsk(from, m)
+		}
+	}
+}
+
+// HandleTimer implements protocol.Protocol.
+func (r *Replica) HandleTimer(tag protocol.TimerTag) {
+	if in := r.instance(tag.Instance); in != nil {
+		in.onTimer(tag)
+	}
+}
+
+func (r *Replica) instance(i int32) *Instance {
+	if i < 0 || int(i) >= len(r.insts) {
+		return nil
+	}
+	return r.insts[i]
+}
+
+func (r *Replica) isAccomplice(id types.NodeID) bool {
+	return r.cfg.Behavior.Accomplices[id]
+}
+
+// noopBatch builds the no-op filler of §5 so idle instances do not block the
+// execution of busy ones.
+func (r *Replica) noopBatch(instance int32, v types.View) *types.Batch {
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(instance))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(v))
+	id := sha256.Sum256(buf[:])
+	return &types.Batch{ID: id, NoOp: true}
+}
+
+// onCommitted receives committed proposals from an instance in chain order
+// and applies the global (view, instance) total order of §4.1 before
+// delivering to the execution layer.
+func (r *Replica) onCommitted(inst int32, p *proposal) {
+	if p.view <= r.frontiers[inst] {
+		r.ctx.Logf("spotless: instance %d delivered non-monotonic view %d ≤ %d", inst, p.view, r.frontiers[inst])
+		return
+	}
+	r.queues[inst] = append(r.queues[inst], orderedCommit{view: p.view, batch: p.batch, dig: p.digest})
+	r.frontiers[inst] = p.view
+	r.drain()
+}
+
+// drain executes the total order: repeatedly deliver the smallest
+// (view, instance) committed proposal whose view every instance has passed.
+func (r *Replica) drain() {
+	for {
+		minF := r.frontiers[0]
+		for _, f := range r.frontiers[1:] {
+			if f < minF {
+				minF = f
+			}
+		}
+		best := -1
+		var bestView types.View
+		for i := range r.queues {
+			if len(r.queues[i]) == 0 {
+				continue
+			}
+			v := r.queues[i][0].view
+			if v > minF {
+				continue
+			}
+			if best == -1 || v < bestView {
+				best = i
+				bestView = v
+			}
+		}
+		if best == -1 {
+			return
+		}
+		oc := r.queues[best][0]
+		r.queues[best] = r.queues[best][1:]
+		r.deliver(int32(best), oc)
+	}
+}
+
+func (r *Replica) deliver(inst int32, oc orderedCommit) {
+	if oc.batch == nil || oc.batch.NoOp {
+		r.NoOps++
+		return
+	}
+	if r.seenBatch[oc.batch.ID] {
+		return // duplicate proposal of the same batch (Byzantine primary)
+	}
+	r.seenBatch[oc.batch.ID] = true
+	if len(r.seenBatch) > 1<<17 {
+		r.seenBatch = make(map[types.Digest]bool) // bounded dedup window
+	}
+	r.Delivered++
+	r.ctx.Deliver(types.Commit{Instance: inst, View: oc.view, Batch: oc.batch, Proposal: oc.dig})
+}
+
+// String describes the replica (debugging).
+func (r *Replica) String() string {
+	return fmt.Sprintf("spotless-replica{id=%d m=%d}", r.ctx.ID(), len(r.insts))
+}

@@ -1,0 +1,151 @@
+package crypto
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spotless/internal/types"
+)
+
+func testRing() *Keyring {
+	return NewKeyring([]byte("unit-test-secret"), []types.NodeID{0, 1, 2, 3, types.ClientIDBase})
+}
+
+// TestEd25519SignVerify: valid signatures verify; wrong signer, tampered
+// message, and unknown signer are rejected.
+func TestEd25519SignVerify(t *testing.T) {
+	ring := testRing()
+	p0, err := ring.Provider(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := ring.Provider(1)
+	msg := []byte("the quick brown fox")
+	sig := p0.Sign(msg)
+	if sig.Signer != 0 {
+		t.Fatalf("signer: got %d want 0", sig.Signer)
+	}
+	if err := p1.Verify(sig, msg); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if err := p1.Verify(sig, []byte("tampered")); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+	forged := sig
+	forged.Signer = 2
+	if err := p1.Verify(forged, msg); err == nil {
+		t.Fatal("reattributed signature accepted")
+	}
+	unknown := types.Signature{Signer: 99, Bytes: sig.Bytes}
+	if err := p1.Verify(unknown, msg); err == nil {
+		t.Fatal("unknown signer accepted")
+	}
+}
+
+// TestMACPairwise: MACs verify between the pair and fail for other parties
+// or altered content.
+func TestMACPairwise(t *testing.T) {
+	ring := testRing()
+	p0, _ := ring.Provider(0)
+	p1, _ := ring.Provider(1)
+	p2, _ := ring.Provider(2)
+	msg := []byte("hello")
+	mac := p0.MAC(1, msg)
+	if err := p1.VerifyMAC(0, msg, mac); err != nil {
+		t.Fatalf("pairwise MAC rejected: %v", err)
+	}
+	if err := p2.VerifyMAC(0, msg, mac); err == nil {
+		t.Fatal("third party verified a pairwise MAC")
+	}
+	if err := p1.VerifyMAC(0, []byte("hellO"), mac); err == nil {
+		t.Fatal("altered message accepted")
+	}
+}
+
+// TestProviderUnknownNode: requesting a provider for an unknown id fails.
+func TestProviderUnknownNode(t *testing.T) {
+	if _, err := testRing().Provider(42); err == nil {
+		t.Fatal("provider for unknown node succeeded")
+	}
+}
+
+// TestKeyringDeterminism: two rings from one secret interoperate (the
+// deterministic PKI substitution).
+func TestKeyringDeterminism(t *testing.T) {
+	a := NewKeyring([]byte("s"), []types.NodeID{0, 1})
+	b := NewKeyring([]byte("s"), []types.NodeID{0, 1})
+	pa, _ := a.Provider(0)
+	pb, _ := b.Provider(1)
+	msg := []byte("cross-ring")
+	if err := pb.Verify(pa.Sign(msg), msg); err != nil {
+		t.Fatalf("cross-ring verification failed: %v", err)
+	}
+	c := NewKeyring([]byte("different"), []types.NodeID{0, 1})
+	pc, _ := c.Provider(1)
+	if err := pc.Verify(pa.Sign(msg), msg); err == nil {
+		t.Fatal("signature verified across different cluster secrets")
+	}
+}
+
+// TestSimProviderProperty: simulated signatures verify iff signer and
+// message match (property-based).
+func TestSimProviderProperty(t *testing.T) {
+	prop := func(msg []byte, signer uint8, wrong uint8) bool {
+		p := NewSimProvider(types.NodeID(signer), CostModel{}, nil)
+		v := NewSimProvider(types.NodeID(wrong), CostModel{}, nil)
+		sig := p.Sign(msg)
+		if v.Verify(sig, msg) != nil {
+			return false
+		}
+		if signer != wrong {
+			re := sig
+			re.Signer = types.NodeID(wrong)
+			if v.Verify(re, msg) == nil && len(msg) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chargeRecorder verifies cost accounting.
+type chargeRecorder struct{ total time.Duration }
+
+func (c *chargeRecorder) ChargeCPU(d time.Duration) { c.total += d }
+
+// TestSimProviderCharges: every operation charges the modelled CPU cost.
+func TestSimProviderCharges(t *testing.T) {
+	rec := &chargeRecorder{}
+	costs := CostModel{Sign: 10 * time.Microsecond, Verify: 20 * time.Microsecond, MAC: time.Microsecond}
+	p := NewSimProvider(1, costs, rec)
+	msg := []byte("m")
+	sig := p.Sign(msg)
+	if rec.total != 10*time.Microsecond {
+		t.Fatalf("sign charge: %v", rec.total)
+	}
+	_ = p.Verify(sig, msg)
+	if rec.total != 30*time.Microsecond {
+		t.Fatalf("verify charge: %v", rec.total)
+	}
+	mac := p.MAC(2, msg)
+	_ = p.VerifyMAC(2, msg, mac)
+	if rec.total != 32*time.Microsecond {
+		t.Fatalf("mac charges: %v", rec.total)
+	}
+}
+
+// TestDigest: SHA-256 of known input.
+func TestDigest(t *testing.T) {
+	d1 := Digest([]byte("abc"))
+	d2 := Digest([]byte("abc"))
+	if d1 != d2 {
+		t.Fatal("digest not deterministic")
+	}
+	if d1 == Digest([]byte("abd")) {
+		t.Fatal("distinct inputs collided")
+	}
+}

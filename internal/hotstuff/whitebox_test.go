@@ -1,0 +1,212 @@
+package hotstuff
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+type fakeCtx struct {
+	id      types.NodeID
+	n, f    int
+	now     time.Duration
+	sent    []sentMsg
+	commits []types.Commit
+	batches []*types.Batch
+	prov    crypto.Provider
+}
+
+type sentMsg struct {
+	to  types.NodeID
+	msg types.Message
+}
+
+func newFakeCtx(id types.NodeID, n int) *fakeCtx {
+	return &fakeCtx{id: id, n: n, f: (n - 1) / 3,
+		prov: crypto.NewSimProvider(id, crypto.CostModel{}, nil)}
+}
+
+func (c *fakeCtx) ID() types.NodeID   { return c.id }
+func (c *fakeCtx) N() int             { return c.n }
+func (c *fakeCtx) F() int             { return c.f }
+func (c *fakeCtx) Now() time.Duration { return c.now }
+func (c *fakeCtx) Send(to types.NodeID, m types.Message) {
+	c.sent = append(c.sent, sentMsg{to, m})
+}
+func (c *fakeCtx) Broadcast(m types.Message)                 { c.sent = append(c.sent, sentMsg{-1, m}) }
+func (c *fakeCtx) SetTimer(time.Duration, protocol.TimerTag) {}
+func (c *fakeCtx) Crypto() crypto.Provider                   { return c.prov }
+func (c *fakeCtx) Deliver(cm types.Commit)                   { c.commits = append(c.commits, cm) }
+func (c *fakeCtx) Logf(string, ...any)                       {}
+func (c *fakeCtx) NextBatch(int32) *types.Batch {
+	if len(c.batches) == 0 {
+		return nil
+	}
+	b := c.batches[0]
+	c.batches = c.batches[1:]
+	return b
+}
+
+func prov(id types.NodeID) crypto.Provider {
+	return crypto.NewSimProvider(id, crypto.CostModel{}, nil)
+}
+
+func mkBatch(tag byte) *types.Batch {
+	txns := []types.Transaction{{Client: types.ClientIDBase, Seq: uint64(tag), Op: types.OpWrite, Key: uint64(tag)}}
+	return &types.Batch{ID: types.ComputeBatchID(txns), Txns: txns}
+}
+
+// qcFor builds a quorum certificate with n−f valid signatures.
+func qcFor(view types.View, block types.Digest, n, f int) types.QC {
+	qc := types.QC{View: view, Block: block}
+	for i := 0; i < n-f; i++ {
+		qc.Sigs = append(qc.Sigs, prov(types.NodeID(i)).Sign(block[:]))
+	}
+	return qc
+}
+
+// proposalChain builds the blocks for views start..start+k−1 where each
+// block carries a QC for its predecessor.
+func feedChain(r *Replica, n, f int, count int) []types.Digest {
+	var digests []types.Digest
+	justify := types.QC{Genesis: true}
+	parent := types.Digest{}
+	for v := types.View(1); v <= types.View(count); v++ {
+		batch := mkBatch(byte(v))
+		d := types.ProposalDigest(0, v, batch.ID, justify.View, parent)
+		msg := &types.HSProposal{View: v, Block: d, Parent: parent, Batch: batch, Justify: justify}
+		r.HandleMessage(r.leader(v), msg)
+		digests = append(digests, d)
+		justify = qcFor(v, d, n, f)
+		parent = d
+	}
+	return digests
+}
+
+// TestHotStuffThreeChainCommit: block k commits when blocks k+1 and k+2 of
+// consecutive views justify it.
+func TestHotStuffThreeChainCommit(t *testing.T) {
+	ctx := newFakeCtx(3, 4) // replica 3 never leads views 1..4
+	r := New(ctx, DefaultConfig(4))
+	r.Start()
+	feedChain(r, 4, 1, 4)
+	// Views 1..4 processed: blocks of views 1 and 2 must be committed.
+	if len(ctx.commits) != 2 {
+		t.Fatalf("commits: %d, want 2", len(ctx.commits))
+	}
+	if ctx.commits[0].View != 1 || ctx.commits[1].View != 2 {
+		t.Fatalf("commit order: %+v", ctx.commits)
+	}
+}
+
+// TestHotStuffVoteRouting: backups vote to the next view's leader.
+func TestHotStuffVoteRouting(t *testing.T) {
+	ctx := newFakeCtx(3, 4)
+	r := New(ctx, DefaultConfig(4))
+	r.Start()
+	feedChain(r, 4, 1, 2)
+	votes := 0
+	for _, s := range ctx.sent {
+		if v, ok := s.msg.(*types.HSVote); ok {
+			votes++
+			if s.to != r.leader(v.View+1) {
+				t.Fatalf("vote for view %d sent to %d, want %d", v.View, s.to, r.leader(v.View+1))
+			}
+		}
+	}
+	// The view-2 vote routes to replica 3 itself (leader of view 3) and is
+	// consumed internally, so exactly one vote crosses the network.
+	if votes != 1 {
+		t.Fatalf("votes sent: %d, want 1", votes)
+	}
+}
+
+// TestHotStuffRejectsBadQC: a proposal whose QC lacks valid signatures is
+// ignored.
+func TestHotStuffRejectsBadQC(t *testing.T) {
+	ctx := newFakeCtx(3, 4)
+	r := New(ctx, DefaultConfig(4))
+	r.Start()
+	batch := mkBatch(1)
+	d1 := types.ProposalDigest(0, 1, batch.ID, 0, types.Digest{})
+	r.HandleMessage(1, &types.HSProposal{View: 1, Block: d1, Batch: batch, Justify: types.QC{Genesis: true}})
+	// Forged QC: one signature repeated.
+	sig := prov(1).Sign(d1[:])
+	bad := types.QC{View: 1, Block: d1, Sigs: []types.Signature{sig, sig, sig}}
+	batch2 := mkBatch(2)
+	d2 := types.ProposalDigest(0, 2, batch2.ID, 1, d1)
+	r.HandleMessage(2, &types.HSProposal{View: 2, Block: d2, Parent: d1, Batch: batch2, Justify: bad})
+	votedFor2 := false
+	for _, s := range ctx.sent {
+		if v, ok := s.msg.(*types.HSVote); ok && v.View == 2 {
+			votedFor2 = true
+		}
+	}
+	if votedFor2 {
+		t.Fatal("replica voted on a proposal with an invalid QC")
+	}
+}
+
+// TestHotStuffLeaderFormsQCAtQuorum: the next leader proposes once n−f
+// votes for the previous view arrive.
+func TestHotStuffLeaderFormsQCAtQuorum(t *testing.T) {
+	ctx := newFakeCtx(2, 4) // leader of view 2
+	ctx.batches = []*types.Batch{mkBatch(7)}
+	r := New(ctx, DefaultConfig(4))
+	r.Start()
+	batch := mkBatch(1)
+	d1 := types.ProposalDigest(0, 1, batch.ID, 0, types.Digest{})
+	r.HandleMessage(1, &types.HSProposal{View: 1, Block: d1, Batch: batch, Justify: types.QC{Genesis: true}})
+	// Two external votes + own vote = n−f = 3.
+	for _, from := range []types.NodeID{0, 3} {
+		r.HandleMessage(from, &types.HSVote{View: 1, Block: d1, Sig: prov(from).Sign(d1[:])})
+	}
+	proposed := false
+	for _, s := range ctx.sent {
+		if p, ok := s.msg.(*types.HSProposal); ok && p.View == 2 {
+			proposed = true
+			if p.Justify.View != 1 || p.Justify.Block != d1 || len(p.Justify.Sigs) < 3 {
+				t.Fatalf("bad justify: %+v", p.Justify)
+			}
+		}
+	}
+	if !proposed {
+		t.Fatal("leader did not propose after vote quorum")
+	}
+}
+
+// TestHotStuffPacemakerTimeoutAdvances: a timeout advances the view and
+// routes a NewView with the high QC.
+func TestHotStuffPacemakerTimeoutAdvances(t *testing.T) {
+	ctx := newFakeCtx(3, 4)
+	r := New(ctx, DefaultConfig(4))
+	r.Start()
+	r.HandleTimer(protocol.TimerTag{Kind: protocol.TimerPacemaker, View: 1})
+	if r.View() != 2 {
+		t.Fatalf("view after timeout: %d", r.View())
+	}
+	sentNV := false
+	for _, s := range ctx.sent {
+		if nv, ok := s.msg.(*types.HSNewView); ok && nv.View == 2 {
+			sentNV = true
+		}
+	}
+	if !sentNV {
+		t.Fatal("no NewView after pacemaker timeout")
+	}
+}
+
+// TestHotStuffNewViewAdoption: a NewView for a higher view pulls a lagging
+// replica forward (the view-synchronization fix).
+func TestHotStuffNewViewAdoption(t *testing.T) {
+	ctx := newFakeCtx(3, 4)
+	r := New(ctx, DefaultConfig(4))
+	r.Start()
+	r.HandleMessage(1, &types.HSNewView{View: 7, Justify: types.QC{Genesis: true}})
+	if r.View() != 7 {
+		t.Fatalf("view after NewView adoption: %d", r.View())
+	}
+}

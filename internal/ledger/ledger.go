@@ -1,0 +1,110 @@
+// Package ledger implements the immutable blockchain ledger of Apache
+// ResilientDB (§6.1): an append-only, hash-chained record of every executed
+// batch together with the consensus proof reference, providing strong data
+// provenance.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"spotless/internal/types"
+)
+
+// Block is one ledger entry.
+type Block struct {
+	Height   uint64
+	Prev     types.Digest // hash of the previous block
+	Instance int32
+	View     types.View
+	BatchID  types.Digest
+	Proposal types.Digest // digest of the committing proposal (the proof ref)
+	Results  types.Digest // execution-result digest
+	Hash     types.Digest
+}
+
+func (b *Block) computeHash() types.Digest {
+	var buf [8 + 32 + 4 + 8 + 32 + 32 + 32]byte
+	binary.LittleEndian.PutUint64(buf[0:], b.Height)
+	copy(buf[8:], b.Prev[:])
+	binary.LittleEndian.PutUint32(buf[40:], uint32(b.Instance))
+	binary.LittleEndian.PutUint64(buf[44:], uint64(b.View))
+	copy(buf[52:], b.BatchID[:])
+	copy(buf[84:], b.Proposal[:])
+	copy(buf[116:], b.Results[:])
+	return sha256.Sum256(buf[:])
+}
+
+// Ledger is an append-only hash chain.
+type Ledger struct {
+	mu     sync.RWMutex
+	blocks []Block
+}
+
+// New creates an empty ledger.
+func New() *Ledger { return &Ledger{} }
+
+// Append adds a block for an executed batch and returns it.
+func (l *Ledger) Append(c types.Commit, results types.Digest) Block {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := Block{
+		Height:   uint64(len(l.blocks)),
+		Instance: c.Instance,
+		View:     c.View,
+		Proposal: c.Proposal,
+		Results:  results,
+	}
+	if c.Batch != nil {
+		b.BatchID = c.Batch.ID
+	}
+	if len(l.blocks) > 0 {
+		b.Prev = l.blocks[len(l.blocks)-1].Hash
+	}
+	b.Hash = b.computeHash()
+	l.blocks = append(l.blocks, b)
+	return b
+}
+
+// Height returns the number of blocks.
+func (l *Ledger) Height() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.blocks))
+}
+
+// Block returns the block at the given height.
+func (l *Ledger) Block(h uint64) (Block, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if h >= uint64(len(l.blocks)) {
+		return Block{}, false
+	}
+	return l.blocks[h], true
+}
+
+// Errors returned by Verify.
+var (
+	ErrBrokenChain = errors.New("ledger: previous-hash mismatch")
+	ErrBadHash     = errors.New("ledger: block hash mismatch")
+)
+
+// Verify re-hashes the chain and checks every link.
+func (l *Ledger) Verify() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var prev types.Digest
+	for i := range l.blocks {
+		b := &l.blocks[i]
+		if b.Prev != prev {
+			return ErrBrokenChain
+		}
+		if b.computeHash() != b.Hash {
+			return ErrBadHash
+		}
+		prev = b.Hash
+	}
+	return nil
+}

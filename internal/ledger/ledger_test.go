@@ -1,0 +1,87 @@
+package ledger
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spotless/internal/types"
+)
+
+func commitFor(i byte) types.Commit {
+	return types.Commit{
+		Instance: int32(i % 4),
+		View:     types.View(i),
+		Batch:    &types.Batch{ID: types.Digest{i}},
+		Proposal: types.Digest{i, i},
+	}
+}
+
+// TestAppendAndVerify: a chain of appends verifies and reports heights.
+func TestAppendAndVerify(t *testing.T) {
+	l := New()
+	for i := byte(0); i < 10; i++ {
+		b := l.Append(commitFor(i), types.Digest{0xee, i})
+		if b.Height != uint64(i) {
+			t.Fatalf("height: got %d want %d", b.Height, i)
+		}
+	}
+	if l.Height() != 10 {
+		t.Fatalf("ledger height %d", l.Height())
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	blk, ok := l.Block(5)
+	if !ok || blk.View != 5 {
+		t.Fatalf("block 5: %+v ok=%v", blk, ok)
+	}
+	if _, ok := l.Block(99); ok {
+		t.Fatal("out-of-range block returned")
+	}
+}
+
+// TestChainLinkage: each block's Prev equals the predecessor's Hash.
+func TestChainLinkage(t *testing.T) {
+	l := New()
+	for i := byte(0); i < 5; i++ {
+		l.Append(commitFor(i), types.Digest{})
+	}
+	for h := uint64(1); h < 5; h++ {
+		cur, _ := l.Block(h)
+		prev, _ := l.Block(h - 1)
+		if cur.Prev != prev.Hash {
+			t.Fatalf("broken linkage at height %d", h)
+		}
+	}
+}
+
+// TestTamperDetection: modifying any block breaks verification.
+func TestTamperDetection(t *testing.T) {
+	l := New()
+	for i := byte(0); i < 6; i++ {
+		l.Append(commitFor(i), types.Digest{})
+	}
+	l.blocks[3].View = 999 // tamper
+	if err := l.Verify(); err == nil {
+		t.Fatal("tampered ledger verified")
+	}
+	l.blocks[3].Hash = l.blocks[3].computeHash() // fix hash, break link
+	if err := l.Verify(); err == nil {
+		t.Fatal("re-hashed tampered block still verified (link must break)")
+	}
+}
+
+// TestLedgerProperty: any sequence of commits produces a verifiable chain
+// whose height equals the number of appends (testing/quick).
+func TestLedgerProperty(t *testing.T) {
+	prop := func(views []uint16) bool {
+		l := New()
+		for _, v := range views {
+			l.Append(types.Commit{View: types.View(v), Batch: &types.Batch{ID: types.Digest{byte(v)}}}, types.Digest{})
+		}
+		return l.Height() == uint64(len(views)) && l.Verify() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package narwhal_test
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/loadgen"
+	"spotless/internal/narwhal"
+	"spotless/internal/simnet"
+	"spotless/internal/types"
+)
+
+// TestNarwhalNormalCase: batches are disseminated, certified, ordered, and
+// delivered exactly once.
+func TestNarwhalNormalCase(t *testing.T) {
+	n := 4
+	scfg := simnet.DefaultConfig(n)
+	scfg.BaseHandlerCost = time.Microsecond
+	sim := simnet.New(scfg)
+	src := loadgen.NewSource(n, 8, loadgen.DefaultWorkload(10))
+	sim.SetBatchSource(src)
+	col := loadgen.NewCollector(sim.Context(simnet.ClientNode), src, (n-1)/3, 0)
+	sim.SetProtocol(simnet.ClientNode, col)
+	var reps []*narwhal.Replica
+	for i := 0; i < n; i++ {
+		r := narwhal.New(sim.Context(types.NodeID(i)), narwhal.DefaultConfig(n))
+		reps = append(reps, r)
+		sim.SetProtocol(types.NodeID(i), r)
+	}
+	sim.Start()
+	sim.Run(3 * time.Second)
+	if col.TxnsDone == 0 {
+		t.Fatalf("no transactions completed")
+	}
+	for i, r := range reps {
+		if r.Delivered == 0 {
+			t.Errorf("replica %d delivered nothing", i)
+		}
+	}
+}

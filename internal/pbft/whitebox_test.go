@@ -1,0 +1,196 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// fakeCtx drives one Pbft replica deterministically.
+type fakeCtx struct {
+	id      types.NodeID
+	n, f    int
+	now     time.Duration
+	sent    []types.Message
+	commits []types.Commit
+	batches []*types.Batch
+}
+
+func (c *fakeCtx) ID() types.NodeID   { return c.id }
+func (c *fakeCtx) N() int             { return c.n }
+func (c *fakeCtx) F() int             { return c.f }
+func (c *fakeCtx) Now() time.Duration { return c.now }
+func (c *fakeCtx) Send(to types.NodeID, m types.Message) {
+	c.sent = append(c.sent, m)
+}
+func (c *fakeCtx) Broadcast(m types.Message)                 { c.sent = append(c.sent, m) }
+func (c *fakeCtx) SetTimer(time.Duration, protocol.TimerTag) {}
+func (c *fakeCtx) Crypto() crypto.Provider {
+	return crypto.NewSimProvider(c.id, crypto.CostModel{}, nil)
+}
+func (c *fakeCtx) Deliver(cm types.Commit) { c.commits = append(c.commits, cm) }
+func (c *fakeCtx) Logf(string, ...any)     {}
+func (c *fakeCtx) NextBatch(int32) *types.Batch {
+	if len(c.batches) == 0 {
+		return nil
+	}
+	b := c.batches[0]
+	c.batches = c.batches[1:]
+	return b
+}
+
+func mkBatch(tag byte) *types.Batch {
+	txns := []types.Transaction{{Client: types.ClientIDBase, Seq: uint64(tag), Op: types.OpWrite, Key: uint64(tag)}}
+	return &types.Batch{ID: types.ComputeBatchID(txns), Txns: txns}
+}
+
+// newBackup builds replica 1 of a 4-replica Pbft group (primary is 0).
+func newBackup() (*Replica, *fakeCtx) {
+	ctx := &fakeCtx{id: 1, n: 4, f: 1}
+	r := New(ctx, DefaultConfig(4))
+	r.Start()
+	return r, ctx
+}
+
+// drive commits slot seq at a backup: preprepare from the primary plus
+// prepares and commits from the two other replicas (own messages counted
+// internally).
+func drive(r *Replica, seq uint64, b *types.Batch) {
+	r.HandleMessage(0, &types.PrePrepare{Seq: seq, Batch: b})
+	for _, from := range []types.NodeID{0, 2} {
+		r.HandleMessage(from, &types.Prepare{Seq: seq, Digest: b.ID})
+	}
+	for _, from := range []types.NodeID{0, 2} {
+		r.HandleMessage(from, &types.PbftCommit{Seq: seq, Digest: b.ID})
+	}
+}
+
+// TestPbftThreePhaseCommit: a slot delivers after preprepare, 2f+1
+// prepares, and 2f+1 commits.
+func TestPbftThreePhaseCommit(t *testing.T) {
+	r, ctx := newBackup()
+	b := mkBatch(1)
+	drive(r, 0, b)
+	if len(ctx.commits) != 1 || ctx.commits[0].Batch.ID != b.ID {
+		t.Fatalf("commits: %+v", ctx.commits)
+	}
+	if r.LowWater() != 1 {
+		t.Fatalf("low water: %d", r.LowWater())
+	}
+}
+
+// TestPbftInOrderDelivery: out-of-order committed slots deliver in sequence
+// order only.
+func TestPbftInOrderDelivery(t *testing.T) {
+	r, ctx := newBackup()
+	b0, b1 := mkBatch(1), mkBatch(2)
+	drive(r, 1, b1) // slot 1 commits first
+	if len(ctx.commits) != 0 {
+		t.Fatal("slot 1 delivered before slot 0")
+	}
+	drive(r, 0, b0)
+	if len(ctx.commits) != 2 {
+		t.Fatalf("commits after gap fill: %d", len(ctx.commits))
+	}
+	if ctx.commits[0].Batch.ID != b0.ID || ctx.commits[1].Batch.ID != b1.ID {
+		t.Fatal("delivery order violated")
+	}
+}
+
+// TestPbftRejectsForeignPreprepare: preprepares not from the current
+// primary are ignored.
+func TestPbftRejectsForeignPreprepare(t *testing.T) {
+	r, ctx := newBackup()
+	b := mkBatch(3)
+	r.HandleMessage(2, &types.PrePrepare{Seq: 0, Batch: b}) // not the primary
+	for _, from := range []types.NodeID{0, 2, 3} {
+		r.HandleMessage(from, &types.Prepare{Seq: 0, Digest: b.ID})
+		r.HandleMessage(from, &types.PbftCommit{Seq: 0, Digest: b.ID})
+	}
+	if len(ctx.commits) != 0 {
+		t.Fatal("slot committed from a foreign preprepare")
+	}
+}
+
+// TestPbftDuplicateVotesIgnored: repeated prepares from one replica count
+// once.
+func TestPbftDuplicateVotesIgnored(t *testing.T) {
+	r, ctx := newBackup()
+	b := mkBatch(4)
+	r.HandleMessage(0, &types.PrePrepare{Seq: 0, Batch: b})
+	for i := 0; i < 5; i++ {
+		r.HandleMessage(2, &types.Prepare{Seq: 0, Digest: b.ID})
+	}
+	for i := 0; i < 5; i++ {
+		r.HandleMessage(2, &types.PbftCommit{Seq: 0, Digest: b.ID})
+	}
+	if len(ctx.commits) != 0 {
+		t.Fatal("duplicate votes reached quorum")
+	}
+}
+
+// TestPbftViewChangeQuorum: 2f+1 ViewChange messages rotate the primary and
+// the new primary announces the new view.
+func TestPbftViewChangeQuorum(t *testing.T) {
+	ctx := &fakeCtx{id: 1, n: 4, f: 1, batches: []*types.Batch{mkBatch(9)}}
+	r := New(ctx, DefaultConfig(4))
+	r.Start()
+	// Replica 1 is the primary of pview 1: on quorum it must announce.
+	for _, from := range []types.NodeID{0, 2, 3} {
+		r.HandleMessage(from, &types.ViewChange{NewPView: 1, LastSeq: 0})
+	}
+	var announced bool
+	for _, m := range ctx.sent {
+		if np, ok := m.(*types.NewPView); ok && np.PView == 1 {
+			announced = true
+		}
+	}
+	if !announced {
+		t.Fatal("new primary did not announce the view change")
+	}
+	if !r.isPrimary() {
+		t.Fatal("replica 1 should be primary of pview 1")
+	}
+}
+
+// TestPbftSuspendStopsWork: a suspended instance ignores traffic (RCC
+// penalty) and resumes afterward.
+func TestPbftSuspendStopsWork(t *testing.T) {
+	r, ctx := newBackup()
+	r.Suspend(true)
+	drive(r, 0, mkBatch(5))
+	if len(ctx.commits) != 0 {
+		t.Fatal("suspended instance committed")
+	}
+	r.Suspend(false)
+	drive(r, 0, mkBatch(6))
+	if len(ctx.commits) != 1 {
+		t.Fatal("resumed instance did not commit")
+	}
+}
+
+// TestPbftWindowBound: the primary keeps at most Window slots in flight.
+func TestPbftWindowBound(t *testing.T) {
+	batches := make([]*types.Batch, 32)
+	for i := range batches {
+		batches[i] = mkBatch(byte(i))
+	}
+	ctx := &fakeCtx{id: 0, n: 4, f: 1, batches: batches}
+	cfg := DefaultConfig(4)
+	cfg.Window = 4
+	r := New(ctx, cfg)
+	r.Start()
+	pps := 0
+	for _, m := range ctx.sent {
+		if _, ok := m.(*types.PrePrepare); ok {
+			pps++
+		}
+	}
+	if pps != 4 {
+		t.Fatalf("primary proposed %d slots, window is 4", pps)
+	}
+	_ = r
+}

@@ -1,0 +1,32 @@
+package protocol
+
+import "spotless/internal/types"
+
+// AttackMode selects the Byzantine behaviours of the evaluation (§6.3,
+// Figure 11). A1 (non-responsiveness) is injected by the substrate (a downed
+// node), not by protocol logic.
+type AttackMode uint8
+
+const (
+	// AttackNone is honest behaviour.
+	AttackNone AttackMode = iota
+	// AttackDark (A2): as primary, keep f non-faulty replicas in the dark
+	// by not sending them proposals.
+	AttackDark
+	// AttackEquivocate (A3): send conflicting proposals/votes: one message
+	// to f non-faulty replicas and a different one to the rest.
+	AttackEquivocate
+	// AttackSubvert (A4): as backup, refuse to participate in consensus on
+	// proposals from non-faulty primaries.
+	AttackSubvert
+)
+
+// Behavior configures a (faulty) replica's deviation from its protocol.
+type Behavior struct {
+	Mode AttackMode
+	// Victims is the set of non-faulty replicas targeted by A2/A3.
+	Victims map[types.NodeID]bool
+	// Accomplices is the set of faulty replicas; A4 attackers still endorse
+	// their proposals.
+	Accomplices map[types.NodeID]bool
+}

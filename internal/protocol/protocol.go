@@ -1,0 +1,85 @@
+// Package protocol defines the environment abstraction every consensus
+// protocol in this repository is written against. One protocol
+// implementation runs unchanged on three substrates:
+//
+//   - internal/simnet   — deterministic discrete-event simulation (benchmarks)
+//   - internal/runtime  — in-process goroutine runtime with real crypto
+//   - internal/transport— TCP transport for multi-process deployments
+//
+// Protocols are single-threaded event-driven state machines: the substrate
+// serializes all calls into a protocol instance, so protocol code never
+// locks.
+package protocol
+
+import (
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/types"
+)
+
+// TimerTag identifies a timer set by a protocol. Substrates deliver expired
+// timers back verbatim; protocols ignore tags that are no longer relevant
+// (stale-timer discipline), so timers never need cancelling.
+type TimerTag struct {
+	Kind     int
+	Instance int32
+	View     types.View
+	Seq      uint64
+}
+
+// Timer kinds shared across protocols (each protocol may define more).
+const (
+	TimerRecording  = iota + 1 // SpotLess tR (state ST1)
+	TimerCertifying            // SpotLess tA (state ST3)
+	TimerRetransmit            // periodic retransmission (§3.5)
+	TimerPbft                  // Pbft/RCC request timer
+	TimerPacemaker             // HotStuff pacemaker
+	TimerPropose               // re-check batch availability when idle
+)
+
+// Context is the substrate-provided environment of one replica.
+type Context interface {
+	// ID returns this replica's identifier.
+	ID() types.NodeID
+	// N returns the number of replicas; F the assumed failure bound (n > 3f).
+	N() int
+	F() int
+	// Now returns the substrate clock (virtual in simulation, monotonic
+	// elapsed time otherwise).
+	Now() time.Duration
+	// Send transmits a message to one replica (or to a client for Informs).
+	Send(to types.NodeID, msg types.Message)
+	// Broadcast transmits a message to every replica except the sender.
+	// Per Remark 3.1, self-delivery is eliminated; protocols account for
+	// their own contribution locally.
+	Broadcast(msg types.Message)
+	// SetTimer schedules tag to fire after d. Timers are one-shot.
+	SetTimer(d time.Duration, tag TimerTag)
+	// Crypto returns this replica's cryptographic provider.
+	Crypto() crypto.Provider
+	// Deliver hands a decided batch to the execution layer. Protocols call
+	// it in total order (§4.1).
+	Deliver(c types.Commit)
+	// NextBatch pulls the next client batch assigned to the given instance,
+	// or nil if none is pending (§5: digest-based instance assignment).
+	NextBatch(instance int32) *types.Batch
+	// Logf emits a debug log line.
+	Logf(format string, args ...any)
+}
+
+// Protocol is a consensus protocol instance hosted on one replica.
+type Protocol interface {
+	// Start is invoked once before any events.
+	Start()
+	// HandleMessage processes one message from another node.
+	HandleMessage(from types.NodeID, msg types.Message)
+	// HandleTimer processes one expired timer.
+	HandleTimer(tag TimerTag)
+}
+
+// Quorum returns the n−f quorum size.
+func Quorum(n, f int) int { return n - f }
+
+// Weak returns the f+1 weak-quorum size (at least one non-faulty member).
+func Weak(f int) int { return f + 1 }

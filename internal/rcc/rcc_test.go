@@ -1,0 +1,60 @@
+package rcc_test
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/loadgen"
+	"spotless/internal/rcc"
+	"spotless/internal/simnet"
+	"spotless/internal/types"
+)
+
+func newCluster(t testing.TB, n, m int) (*simnet.Simulation, []*rcc.Replica, *loadgen.Collector) {
+	t.Helper()
+	scfg := simnet.DefaultConfig(n)
+	scfg.BaseHandlerCost = time.Microsecond
+	sim := simnet.New(scfg)
+	src := loadgen.NewSource(m, 4, loadgen.DefaultWorkload(10))
+	sim.SetBatchSource(src)
+	col := loadgen.NewCollector(sim.Context(simnet.ClientNode), src, (n-1)/3, 0)
+	sim.SetProtocol(simnet.ClientNode, col)
+	var reps []*rcc.Replica
+	for i := 0; i < n; i++ {
+		r := rcc.New(sim.Context(types.NodeID(i)), rcc.DefaultConfig(n, m))
+		reps = append(reps, r)
+		sim.SetProtocol(types.NodeID(i), r)
+	}
+	sim.Start()
+	return sim, reps, col
+}
+
+// TestRCCNormalCase: all m instances decide and the round order executes.
+func TestRCCNormalCase(t *testing.T) {
+	sim, reps, col := newCluster(t, 4, 4)
+	sim.Run(400 * time.Millisecond)
+	if col.TxnsDone == 0 {
+		t.Fatalf("no transactions completed")
+	}
+	for i, r := range reps {
+		if r.Delivered == 0 {
+			t.Errorf("replica %d delivered nothing", i)
+		}
+	}
+}
+
+// TestRCCInstanceSuspension: a failed primary's instance is suspended after
+// complaints and the remaining instances keep the system live.
+func TestRCCInstanceSuspension(t *testing.T) {
+	sim, _, col := newCluster(t, 4, 4)
+	sim.Run(300 * time.Millisecond)
+	before := col.TxnsDone
+	if before == 0 {
+		t.Fatalf("no progress before failure")
+	}
+	sim.SetDown(1, true) // primary of instance 1
+	sim.Run(3 * time.Second)
+	if col.TxnsDone <= before {
+		t.Fatalf("no progress after instance-primary failure: before=%d after=%d", before, col.TxnsDone)
+	}
+}

@@ -1,0 +1,218 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spotless/internal/core"
+	"spotless/internal/crypto"
+	"spotless/internal/ledger"
+	"spotless/internal/types"
+	"spotless/internal/ycsb"
+)
+
+// ReplicaExecutor wires the execution layer of one replica: sequential YCSB
+// execution, ledger append, and the Inform reply to the client (§5, §6.1).
+type ReplicaExecutor struct {
+	id     types.NodeID
+	store  *ycsb.Store
+	ledger *ledger.Ledger
+	trans  Transport
+	client types.NodeID
+}
+
+// NewReplicaExecutor creates an executor for a replica.
+func NewReplicaExecutor(id types.NodeID, store *ycsb.Store, lg *ledger.Ledger, trans Transport, client types.NodeID) *ReplicaExecutor {
+	return &ReplicaExecutor{id: id, store: store, ledger: lg, trans: trans, client: client}
+}
+
+// Execute implements Executor.
+func (e *ReplicaExecutor) Execute(c types.Commit) {
+	results := e.store.Apply(c.Batch)
+	e.ledger.Append(c, results)
+	if c.Batch != nil && !c.Batch.NoOp && e.trans != nil {
+		e.trans.Send(e.id, e.client, &types.Inform{Replica: e.id, BatchID: c.Batch.ID, Results: results})
+	}
+}
+
+// Ledger exposes the replica's ledger.
+func (e *ReplicaExecutor) Ledger() *ledger.Ledger { return e.ledger }
+
+// Store exposes the replica's table.
+func (e *ReplicaExecutor) Store() *ycsb.Store { return e.store }
+
+// SafeSource makes any BatchSource safe for concurrent nodes.
+type SafeSource struct {
+	mu  sync.Mutex
+	src BatchSource
+}
+
+// NewSafeSource wraps src with a mutex.
+func NewSafeSource(src BatchSource) *SafeSource { return &SafeSource{src: src} }
+
+// Next implements BatchSource.
+func (s *SafeSource) Next(instance int32, now time.Duration) *types.Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Next(instance, now)
+}
+
+// Client is the aggregate client of an in-process cluster: it submits
+// batches through the shared source and completes them on f+1 matching
+// Informs (§5).
+type Client struct {
+	mu        sync.Mutex
+	f         int
+	informs   map[types.Digest]map[types.NodeID]types.Digest
+	completed map[types.Digest]bool
+	onDone    func(id types.Digest)
+
+	Completed uint64
+}
+
+// NewClient creates the collector; onDone (optional) fires per completed
+// batch.
+func NewClient(f int, onDone func(types.Digest)) *Client {
+	return &Client{
+		f:         f,
+		informs:   make(map[types.Digest]map[types.NodeID]types.Digest),
+		completed: make(map[types.Digest]bool),
+		onDone:    onDone,
+	}
+}
+
+// Receive ingests an Inform (wired as the client's transport receiver).
+func (c *Client) Receive(from types.NodeID, msg types.Message) {
+	inf, ok := msg.(*types.Inform)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	if c.completed[inf.BatchID] {
+		c.mu.Unlock()
+		return
+	}
+	set := c.informs[inf.BatchID]
+	if set == nil {
+		set = make(map[types.NodeID]types.Digest)
+		c.informs[inf.BatchID] = set
+	}
+	set[inf.Replica] = inf.Results
+	// f+1 identical results complete the request.
+	count := 0
+	for _, r := range set {
+		if r == inf.Results {
+			count++
+		}
+	}
+	done := count >= c.f+1
+	if done {
+		c.completed[inf.BatchID] = true
+		delete(c.informs, inf.BatchID)
+		c.Completed++
+	}
+	onDone := c.onDone
+	c.mu.Unlock()
+	if done && onDone != nil {
+		onDone(inf.BatchID)
+	}
+}
+
+// CompletedCount returns the number of completed batches.
+func (c *Client) CompletedCount() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Completed
+}
+
+// Cluster is an in-process SpotLess deployment with real cryptography,
+// YCSB execution, and ledgers — the quickstart substrate.
+type Cluster struct {
+	N, F, M   int
+	Transport *LocalTransport
+	Nodes     []*Node
+	Replicas  []*core.Replica
+	Execs     []*ReplicaExecutor
+	Client    *Client
+	ClientID  types.NodeID
+}
+
+// ClusterConfig parameterizes NewCluster.
+type ClusterConfig struct {
+	N, Instances int
+	Source       BatchSource // shared (wrapped in SafeSource)
+	Records      uint64      // YCSB table size (default 10k for fast startup)
+	Secret       []byte
+	Tune         func(i int, cfg *core.Config)
+	OnDone       func(types.Digest)
+}
+
+// NewCluster builds and starts an n-replica SpotLess cluster in-process.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N < 4 {
+		return nil, fmt.Errorf("runtime: need n ≥ 4, got %d", cfg.N)
+	}
+	if cfg.Instances < 1 {
+		cfg.Instances = 1
+	}
+	if cfg.Records == 0 {
+		cfg.Records = 10000
+	}
+	if cfg.Secret == nil {
+		cfg.Secret = []byte("spotless-cluster-secret")
+	}
+	n, f := cfg.N, (cfg.N-1)/3
+	clientID := types.ClientIDBase
+	ids := make([]types.NodeID, 0, n+1)
+	for i := 0; i < n; i++ {
+		ids = append(ids, types.NodeID(i))
+	}
+	ids = append(ids, clientID)
+	ring := crypto.NewKeyring(cfg.Secret, ids)
+
+	trans := NewLocalTransport()
+	cl := &Cluster{N: n, F: f, M: cfg.Instances, Transport: trans, ClientID: clientID}
+	cl.Client = NewClient(f, cfg.OnDone)
+	trans.Register(clientID, cl.Client.Receive)
+
+	var src BatchSource
+	if cfg.Source != nil {
+		src = NewSafeSource(cfg.Source)
+	}
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		prov, err := ring.Provider(id)
+		if err != nil {
+			return nil, err
+		}
+		exec := NewReplicaExecutor(id, ycsb.NewStore(cfg.Records, 64), ledger.New(), trans, clientID)
+		node := NewNode(NodeConfig{
+			ID: id, N: n, F: f,
+			Transport: trans, Crypto: prov, Source: src, Executor: exec,
+		})
+		ccfg := core.DefaultConfig(n, cfg.Instances)
+		ccfg.InitialRecordingTimeout = 100 * time.Millisecond
+		ccfg.InitialCertifyTimeout = 100 * time.Millisecond
+		ccfg.MinTimeout = 10 * time.Millisecond
+		if cfg.Tune != nil {
+			cfg.Tune(i, &ccfg)
+		}
+		rep := core.New(node, ccfg)
+		node.SetProtocol(rep)
+		cl.Nodes = append(cl.Nodes, node)
+		cl.Replicas = append(cl.Replicas, rep)
+		cl.Execs = append(cl.Execs, exec)
+	}
+	for _, nd := range cl.Nodes {
+		nd.Start()
+	}
+	return cl, nil
+}
+
+// Stop shuts down all replicas.
+func (c *Cluster) Stop() {
+	for _, nd := range c.Nodes {
+		nd.Stop()
+	}
+}

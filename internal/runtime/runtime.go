@@ -1,0 +1,267 @@
+// Package runtime hosts the event-driven protocols of this repository on a
+// real-time substrate: every replica runs a single-goroutine event loop fed
+// by a transport (in-process channels or TCP) and wall-clock timers, with
+// real cryptography (ed25519 + HMAC), real YCSB execution, and the
+// blockchain ledger. It is the deployable counterpart of internal/simnet.
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// Transport moves messages between nodes.
+type Transport interface {
+	// Send delivers msg from one node to another (best effort).
+	Send(from, to types.NodeID, msg types.Message)
+	// Register attaches a local node's receive function.
+	Register(id types.NodeID, recv func(from types.NodeID, msg types.Message))
+}
+
+// BatchSource supplies client batches to proposing primaries; it must be
+// safe for concurrent use.
+type BatchSource interface {
+	Next(instance int32, now time.Duration) *types.Batch
+}
+
+// Executor consumes globally ordered commits (execution + ledger + replies).
+type Executor interface {
+	Execute(c types.Commit)
+}
+
+type event struct {
+	kind byte // 0 message, 1 timer, 2 func
+	from types.NodeID
+	msg  types.Message
+	tag  protocol.TimerTag
+	fn   func()
+}
+
+// Node is one protocol host.
+type Node struct {
+	id     types.NodeID
+	n, f   int
+	trans  Transport
+	crypto crypto.Provider
+	src    BatchSource
+	exec   Executor
+
+	proto protocol.Protocol
+	inbox chan event
+	start time.Time
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	dropped atomic.Uint64 // inbox overflow (backpressure signal)
+	Debug   func(format string, args ...any)
+}
+
+// NodeConfig parameterizes a runtime node.
+type NodeConfig struct {
+	ID        types.NodeID
+	N, F      int
+	Transport Transport
+	Crypto    crypto.Provider
+	Source    BatchSource
+	Executor  Executor
+	// InboxDepth bounds the event queue (default 1 << 16).
+	InboxDepth int
+}
+
+// NewNode creates a node; attach the protocol with SetProtocol, then Start.
+func NewNode(cfg NodeConfig) *Node {
+	depth := cfg.InboxDepth
+	if depth == 0 {
+		depth = 1 << 16
+	}
+	n := &Node{
+		id:     cfg.ID,
+		n:      cfg.N,
+		f:      cfg.F,
+		trans:  cfg.Transport,
+		crypto: cfg.Crypto,
+		src:    cfg.Source,
+		exec:   cfg.Executor,
+		inbox:  make(chan event, depth),
+		done:   make(chan struct{}),
+	}
+	cfg.Transport.Register(cfg.ID, n.receive)
+	return n
+}
+
+// SetProtocol attaches the hosted protocol (before Start).
+func (n *Node) SetProtocol(p protocol.Protocol) { n.proto = p }
+
+// Start launches the event loop and invokes Protocol.Start.
+func (n *Node) Start() {
+	n.start = time.Now()
+	n.wg.Add(1)
+	go n.loop()
+	n.post(event{kind: 2, fn: n.proto.Start})
+}
+
+// Stop terminates the event loop.
+func (n *Node) Stop() {
+	close(n.done)
+	n.wg.Wait()
+}
+
+// Dropped reports inbox overflow events.
+func (n *Node) Dropped() uint64 { return n.dropped.Load() }
+
+func (n *Node) receive(from types.NodeID, msg types.Message) {
+	n.post(event{kind: 0, from: from, msg: msg})
+}
+
+// Inject feeds a message into the node's event loop; deployments that
+// intercept the transport receiver (e.g. to strip client Requests) forward
+// the remaining traffic through it.
+func (n *Node) Inject(from types.NodeID, msg types.Message) {
+	n.receive(from, msg)
+}
+
+func (n *Node) post(ev event) {
+	select {
+	case n.inbox <- ev:
+	case <-n.done:
+	default:
+		// Shed load rather than deadlock the transport; BFT protocols
+		// tolerate loss (the paper's asynchronous communication model).
+		n.dropped.Add(1)
+	}
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case ev := <-n.inbox:
+			switch ev.kind {
+			case 0:
+				n.proto.HandleMessage(ev.from, ev.msg)
+			case 1:
+				n.proto.HandleTimer(ev.tag)
+			case 2:
+				ev.fn()
+			}
+		}
+	}
+}
+
+// --- protocol.Context ---
+
+var _ protocol.Context = (*Node)(nil)
+
+// ID implements protocol.Context.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// N implements protocol.Context.
+func (n *Node) N() int { return n.n }
+
+// F implements protocol.Context.
+func (n *Node) F() int { return n.f }
+
+// Now implements protocol.Context (monotonic elapsed time).
+func (n *Node) Now() time.Duration { return time.Since(n.start) }
+
+// Send implements protocol.Context.
+func (n *Node) Send(to types.NodeID, msg types.Message) {
+	if to == n.id {
+		n.post(event{kind: 0, from: n.id, msg: msg})
+		return
+	}
+	n.trans.Send(n.id, to, msg)
+}
+
+// Broadcast implements protocol.Context.
+func (n *Node) Broadcast(msg types.Message) {
+	for i := 0; i < n.n; i++ {
+		if types.NodeID(i) == n.id {
+			continue
+		}
+		n.trans.Send(n.id, types.NodeID(i), msg)
+	}
+}
+
+// SetTimer implements protocol.Context.
+func (n *Node) SetTimer(d time.Duration, tag protocol.TimerTag) {
+	time.AfterFunc(d, func() { n.post(event{kind: 1, tag: tag}) })
+}
+
+// Crypto implements protocol.Context.
+func (n *Node) Crypto() crypto.Provider { return n.crypto }
+
+// Deliver implements protocol.Context.
+func (n *Node) Deliver(c types.Commit) {
+	if n.exec != nil {
+		n.exec.Execute(c)
+	}
+}
+
+// NextBatch implements protocol.Context.
+func (n *Node) NextBatch(instance int32) *types.Batch {
+	if n.src == nil {
+		return nil
+	}
+	return n.src.Next(instance, n.Now())
+}
+
+// Logf implements protocol.Context.
+func (n *Node) Logf(format string, args ...any) {
+	if n.Debug != nil {
+		n.Debug(format, args...)
+	}
+}
+
+// --- in-process transport ---
+
+// LocalTransport connects nodes within one process (channels, no
+// serialization). It models the "local processes" deployment of the
+// reproduction plan and underpins the examples and integration tests.
+type LocalTransport struct {
+	mu    sync.RWMutex
+	recvs map[types.NodeID]func(from types.NodeID, msg types.Message)
+	// Drop simulates link failure for (from, to) pairs (testing).
+	drop map[[2]types.NodeID]bool
+}
+
+// NewLocalTransport creates an empty in-process transport.
+func NewLocalTransport() *LocalTransport {
+	return &LocalTransport{
+		recvs: make(map[types.NodeID]func(types.NodeID, types.Message)),
+		drop:  make(map[[2]types.NodeID]bool),
+	}
+}
+
+// Register implements Transport.
+func (t *LocalTransport) Register(id types.NodeID, recv func(from types.NodeID, msg types.Message)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recvs[id] = recv
+}
+
+// Send implements Transport.
+func (t *LocalTransport) Send(from, to types.NodeID, msg types.Message) {
+	t.mu.RLock()
+	recv := t.recvs[to]
+	blocked := t.drop[[2]types.NodeID{from, to}]
+	t.mu.RUnlock()
+	if recv == nil || blocked {
+		return
+	}
+	recv(from, msg)
+}
+
+// SetDrop blocks or unblocks the directed link from → to.
+func (t *LocalTransport) SetDrop(from, to types.NodeID, drop bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.drop[[2]types.NodeID{from, to}] = drop
+}

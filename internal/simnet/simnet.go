@@ -1,0 +1,599 @@
+// Package simnet is a deterministic discrete-event simulator for BFT
+// protocol evaluation. It substitutes the paper's 128-machine Oracle-Cloud
+// testbed (see DESIGN.md §2) while preserving every resource that shapes the
+// evaluation:
+//
+//   - per-replica egress bandwidth with FIFO serialization,
+//   - per-region-pair propagation delay (geo-scale experiments),
+//   - ResilientDB-style message buffering (§6.1) to batch small messages,
+//   - a C-core CPU model: a handler's latency is its full service time
+//     while the node's aggregate capacity is cores × time (an approximation
+//     of ResilientDB's multi-threaded pipeline),
+//   - a single-threaded sequential execution resource (340 ktxn/s, §6.1),
+//   - calibrated CPU costs for MACs, signatures, and message handling.
+//
+// Protocols exchange their real messages; only the clock and resource costs
+// are virtual, so message-complexity effects (Figure 1) emerge rather than
+// being assumed.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	N     int   // number of replicas
+	Seed  int64 // RNG seed (deterministic runs)
+	Cores int   // CPU cores per replica (paper: 16)
+
+	BandwidthMbps       float64 // egress bandwidth per replica
+	ClientBandwidthMbps float64 // egress bandwidth of the aggregate client node
+
+	Regions       []int       // region of each replica (nil: all in region 0)
+	RegionDelayMs [][]float64 // one-way inter-region propagation (ms)
+	LocalDelay    time.Duration
+	Jitter        time.Duration
+
+	ExecRate        float64       // sequential execution rate, txn/s (paper: 340k)
+	PerTxnCPU       time.Duration // per-transaction bookkeeping on the core pool
+	BaseHandlerCost time.Duration // per-message non-crypto processing cost
+
+	BufferBytes int           // flush threshold of the message buffer
+	BufferDelay time.Duration // max buffering delay
+
+	LossRate float64 // per-packet loss probability (testing)
+
+	Costs crypto.CostModel
+
+	Debug bool
+}
+
+// DefaultConfig returns parameters calibrated against §6.1 for n replicas.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:                   n,
+		Seed:                1,
+		Cores:               16,
+		BandwidthMbps:       2400,
+		ClientBandwidthMbps: 400000,
+		LocalDelay:          250 * time.Microsecond,
+		Jitter:              50 * time.Microsecond,
+		ExecRate:            340000,
+		PerTxnCPU:           2 * time.Microsecond,
+		BaseHandlerCost:     15 * time.Microsecond,
+		BufferBytes:         16 << 10,
+		BufferDelay:         150 * time.Microsecond,
+		Costs: crypto.CostModel{
+			Sign:      60 * time.Microsecond,
+			Verify:    130 * time.Microsecond, // secp256k1-class (§6.2)
+			MAC:       700 * time.Nanosecond,
+			HashPerKB: 500 * time.Nanosecond,
+		},
+	}
+}
+
+// ClientNode is the identifier of the aggregate client node hosted by the
+// simulation (metrics collection and Inform routing).
+const ClientNode = types.ClientIDBase
+
+// Stats aggregates counters over a simulation run.
+type Stats struct {
+	MessagesSent   uint64 // protocol messages (not packets)
+	PacketsSent    uint64 // buffered packets on the wire
+	BytesSent      uint64
+	EventsRun      uint64
+	TimersFired    uint64
+	MessagesByKind map[string]uint64
+}
+
+// event kinds
+const (
+	evDeliver = iota
+	evTimer
+	evFlush
+	evFn
+)
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	kind uint8
+	node int32 // target node index
+	from types.NodeID
+	msgs []types.Message
+	tag  protocol.TimerTag
+	dest int32
+	gen  uint64
+	fn   func()
+}
+
+// outBuffer batches messages destined to one receiver (§6.1 buffering).
+type outBuffer struct {
+	msgs      []types.Message
+	bytes     int
+	gen       uint64
+	scheduled bool
+}
+
+type simNode struct {
+	idx      int32
+	id       types.NodeID
+	proto    protocol.Protocol
+	ctx      *nodeCtx
+	crypto   crypto.Provider
+	region   int
+	cores    int
+	bwBps    float64 // bytes/sec
+	execCost time.Duration
+
+	cpuBusyUntil time.Duration
+	egressFreeAt time.Duration
+	execFreeAt   time.Duration
+
+	buffers []outBuffer // indexed by destination node index
+	down    bool
+}
+
+// Simulation is a deterministic discrete-event run.
+type Simulation struct {
+	cfg   Config
+	now   time.Duration
+	seq   uint64
+	heap  []event
+	nodes []*simNode // n replicas + 1 client node
+	rng   *rand.Rand
+	src   BatchSource
+	stats Stats
+
+	blocked map[[2]int32]bool // partitioned directed links
+
+	// deliverHook observes every Deliver upcall (testing: total-order
+	// consistency assertions across replicas).
+	deliverHook func(node types.NodeID, c types.Commit)
+
+	// handler scratch state
+	cur          *simNode
+	handlerStart time.Duration
+	charge       time.Duration
+	pendingSends []pendingSend
+	pendingTimer []pendingTimer
+	pendingDeliv []types.Commit
+}
+
+type pendingSend struct {
+	to  types.NodeID
+	msg types.Message
+}
+
+type pendingTimer struct {
+	d   time.Duration
+	tag protocol.TimerTag
+}
+
+// BatchSource supplies client batches to proposing primaries (§5). The
+// harness implements closed-loop load control with it.
+type BatchSource interface {
+	Next(instance int32, now time.Duration) *types.Batch
+}
+
+// New creates a simulation with the given config. Protocols are attached
+// with SetProtocol before Run.
+func New(cfg Config) *Simulation {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.ExecRate <= 0 {
+		cfg.ExecRate = 340000
+	}
+	s := &Simulation{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		blocked: make(map[[2]int32]bool),
+	}
+	s.stats.MessagesByKind = make(map[string]uint64)
+	total := cfg.N + 1 // replicas + client node
+	s.nodes = make([]*simNode, total)
+	for i := 0; i < total; i++ {
+		n := &simNode{
+			idx:      int32(i),
+			id:       types.NodeID(i),
+			cores:    cfg.Cores,
+			bwBps:    cfg.BandwidthMbps * 1e6 / 8,
+			execCost: time.Duration(float64(time.Second) / cfg.ExecRate),
+			buffers:  make([]outBuffer, total),
+		}
+		if i < cfg.N && cfg.Regions != nil {
+			n.region = cfg.Regions[i]
+		}
+		if i == cfg.N { // client node
+			n.id = ClientNode
+			n.cores = 1 << 10
+			n.bwBps = cfg.ClientBandwidthMbps * 1e6 / 8
+			n.execCost = 0
+		}
+		n.ctx = &nodeCtx{s: s, n: n}
+		n.crypto = crypto.NewSimProvider(n.id, cfg.Costs, n.ctx)
+		s.nodes[i] = n
+	}
+	return s
+}
+
+// SetProtocol attaches the protocol instance hosted by replica i (or the
+// client node when id == ClientNode).
+func (s *Simulation) SetProtocol(id types.NodeID, p protocol.Protocol) {
+	s.node(id).proto = p
+}
+
+// SetBatchSource wires the client-load source used by NextBatch.
+func (s *Simulation) SetBatchSource(src BatchSource) { s.src = src }
+
+// Context returns the protocol.Context of a node, used by harnesses to
+// construct protocol instances.
+func (s *Simulation) Context(id types.NodeID) protocol.Context { return s.node(id).ctx }
+
+func (s *Simulation) node(id types.NodeID) *simNode {
+	if id == ClientNode {
+		return s.nodes[s.cfg.N]
+	}
+	return s.nodes[int(id)]
+}
+
+// Now returns the virtual clock.
+func (s *Simulation) Now() time.Duration { return s.now }
+
+// Stats returns a copy of the run counters.
+func (s *Simulation) Stats() Stats { return s.stats }
+
+// SetDown marks a replica non-responsive (attack A1) from the current
+// virtual time onward: it drops all input and produces no output.
+func (s *Simulation) SetDown(id types.NodeID, down bool) { s.node(id).down = down }
+
+// BlockLink drops all traffic from a to b (network partition injection).
+func (s *Simulation) BlockLink(a, b types.NodeID, blocked bool) {
+	key := [2]int32{s.node(a).idx, s.node(b).idx}
+	if blocked {
+		s.blocked[key] = true
+	} else {
+		delete(s.blocked, key)
+	}
+}
+
+// SetDeliverHook registers an observer for every execution-layer delivery.
+func (s *Simulation) SetDeliverHook(fn func(node types.NodeID, c types.Commit)) {
+	s.deliverHook = fn
+}
+
+// Schedule runs fn at virtual time at (harness hooks: failure injection,
+// periodic sampling).
+func (s *Simulation) Schedule(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.push(event{at: at, kind: evFn, fn: fn})
+}
+
+// Start invokes Protocol.Start on every attached protocol at time zero.
+func (s *Simulation) Start() {
+	for _, n := range s.nodes {
+		if n.proto == nil {
+			continue
+		}
+		node := n
+		s.push(event{at: 0, kind: evFn, fn: func() {
+			s.runHandler(node, func() { node.proto.Start() })
+		}})
+	}
+}
+
+// Run processes events until the virtual clock reaches until (exclusive) or
+// the event queue drains.
+func (s *Simulation) Run(until time.Duration) {
+	for len(s.heap) > 0 {
+		ev := s.heap[0]
+		if ev.at >= until {
+			s.now = until
+			return
+		}
+		s.pop()
+		s.now = ev.at
+		s.stats.EventsRun++
+		s.dispatch(ev)
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+func (s *Simulation) dispatch(ev event) {
+	switch ev.kind {
+	case evFn:
+		ev.fn()
+	case evTimer:
+		n := s.nodes[ev.node]
+		if n.down || n.proto == nil {
+			return
+		}
+		s.stats.TimersFired++
+		tag := ev.tag
+		s.runHandler(n, func() { n.proto.HandleTimer(tag) })
+	case evDeliver:
+		n := s.nodes[ev.node]
+		if n.down || n.proto == nil {
+			return
+		}
+		from := ev.from
+		for _, m := range ev.msgs {
+			msg := m
+			s.runHandler(n, func() { n.proto.HandleMessage(from, msg) })
+			if n.down { // a handler may down the node (tests)
+				break
+			}
+		}
+	case evFlush:
+		n := s.nodes[ev.node]
+		buf := &n.buffers[ev.dest]
+		buf.scheduled = false
+		if buf.gen == ev.gen && len(buf.msgs) > 0 {
+			s.flush(n, ev.dest, s.now)
+		}
+	}
+}
+
+// runHandler executes one protocol event handler under the CPU model and
+// applies its buffered effects at the handler's finish time.
+func (s *Simulation) runHandler(n *simNode, fn func()) {
+	start := s.now
+	if n.cpuBusyUntil > start {
+		start = n.cpuBusyUntil
+	}
+	s.cur = n
+	s.handlerStart = start
+	s.charge = s.cfg.BaseHandlerCost
+	s.pendingSends = s.pendingSends[:0]
+	s.pendingTimer = s.pendingTimer[:0]
+	s.pendingDeliv = s.pendingDeliv[:0]
+
+	fn()
+
+	finish := start + s.charge // latency: full service time
+	n.cpuBusyUntil = start + s.charge/time.Duration(n.cores)
+	s.cur = nil
+
+	for _, d := range s.pendingDeliv {
+		s.execute(n, d, finish)
+	}
+	for _, t := range s.pendingTimer {
+		s.push(event{at: finish + t.d, kind: evTimer, node: n.idx, tag: t.tag})
+	}
+	for _, snd := range s.pendingSends {
+		s.enqueueSend(n, snd.to, snd.msg, finish)
+	}
+}
+
+// execute models sequential execution of a committed batch and the Inform
+// reply to the client (§5, §6.1).
+func (s *Simulation) execute(n *simNode, c types.Commit, at time.Duration) {
+	if s.deliverHook != nil {
+		s.deliverHook(n.id, c)
+	}
+	txns := 0
+	if c.Batch != nil && !c.Batch.NoOp {
+		txns = len(c.Batch.Txns)
+	}
+	startExec := at
+	if n.execFreeAt > startExec {
+		startExec = n.execFreeAt
+	}
+	done := startExec + time.Duration(txns)*n.execCost
+	n.execFreeAt = done
+	if txns == 0 {
+		return // no-ops are not executed nor reported (§5)
+	}
+	inform := &types.Inform{Replica: n.id, BatchID: c.Batch.ID}
+	// Charge the per-transaction bookkeeping to the core pool.
+	n.cpuBusyUntil += time.Duration(txns) * s.cfg.PerTxnCPU / time.Duration(n.cores)
+	s.enqueueSendSized(n, ClientNode, inform, types.InformWireSize(txns), done)
+}
+
+// enqueueSend buffers msg for destination with its modelled wire size.
+func (s *Simulation) enqueueSend(n *simNode, to types.NodeID, msg types.Message, at time.Duration) {
+	s.enqueueSendSized(n, to, msg, msg.WireSize(), at)
+}
+
+func (s *Simulation) enqueueSendSized(n *simNode, to types.NodeID, msg types.Message, size int, at time.Duration) {
+	dest := s.node(to)
+	s.stats.MessagesSent++
+	s.stats.BytesSent += uint64(size)
+	if s.cfg.Debug {
+		s.stats.MessagesByKind[fmt.Sprintf("%T", msg)]++
+	}
+	if dest.idx == n.idx { // self-send: direct delivery, no network
+		s.push(event{at: at, kind: evDeliver, node: n.idx, from: n.id, msgs: []types.Message{msg}})
+		return
+	}
+	buf := &n.buffers[dest.idx]
+	buf.msgs = append(buf.msgs, msg)
+	buf.bytes += size
+	if buf.bytes >= s.cfg.BufferBytes {
+		s.flush(n, dest.idx, at)
+		return
+	}
+	if !buf.scheduled {
+		buf.scheduled = true
+		s.push(event{at: at + s.cfg.BufferDelay, kind: evFlush, node: n.idx, dest: dest.idx, gen: buf.gen})
+	}
+}
+
+// flush serializes one buffered packet onto the sender's egress link.
+func (s *Simulation) flush(n *simNode, destIdx int32, at time.Duration) {
+	buf := &n.buffers[destIdx]
+	msgs := buf.msgs
+	size := buf.bytes
+	buf.msgs = nil
+	buf.bytes = 0
+	buf.gen++
+	buf.scheduled = false
+	if n.down {
+		return
+	}
+	if s.blocked[[2]int32{n.idx, destIdx}] {
+		return
+	}
+	if s.cfg.LossRate > 0 && s.rng.Float64() < s.cfg.LossRate {
+		return
+	}
+	txStart := at
+	if n.egressFreeAt > txStart {
+		txStart = n.egressFreeAt
+	}
+	txEnd := txStart + time.Duration(float64(size)/n.bwBps*float64(time.Second))
+	n.egressFreeAt = txEnd
+	arrival := txEnd + s.propDelay(n, s.nodes[destIdx])
+	if s.cfg.Jitter > 0 {
+		arrival += time.Duration(s.rng.Int63n(int64(s.cfg.Jitter)))
+	}
+	s.stats.PacketsSent++
+	s.push(event{at: arrival, kind: evDeliver, node: destIdx, from: n.id, msgs: msgs})
+}
+
+func (s *Simulation) propDelay(a, b *simNode) time.Duration {
+	if a.region == b.region || s.cfg.RegionDelayMs == nil {
+		return s.cfg.LocalDelay
+	}
+	ms := s.cfg.RegionDelayMs[a.region][b.region]
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// --- event heap (manual binary heap, stable via seq) ---
+
+func (s *Simulation) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	s.heap = append(s.heap, ev)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(s.heap[i], s.heap[p]) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+func (s *Simulation) pop() {
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < last && less(s.heap[l], s.heap[sm]) {
+			sm = l
+		}
+		if r < last && less(s.heap[r], s.heap[sm]) {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		s.heap[i], s.heap[sm] = s.heap[sm], s.heap[i]
+		i = sm
+	}
+}
+
+func less(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// --- per-node protocol.Context ---
+
+type nodeCtx struct {
+	s *Simulation
+	n *simNode
+}
+
+var _ protocol.Context = (*nodeCtx)(nil)
+var _ crypto.Charger = (*nodeCtx)(nil)
+
+func (c *nodeCtx) ID() types.NodeID { return c.n.id }
+func (c *nodeCtx) N() int           { return c.s.cfg.N }
+func (c *nodeCtx) F() int           { return (c.s.cfg.N - 1) / 3 }
+
+func (c *nodeCtx) Now() time.Duration {
+	if c.s.cur == c.n {
+		return c.s.handlerStart
+	}
+	return c.s.now
+}
+
+func (c *nodeCtx) ChargeCPU(d time.Duration) {
+	if c.s.cur == c.n {
+		c.s.charge += d
+	} else {
+		c.n.cpuBusyUntil += d / time.Duration(c.n.cores)
+	}
+}
+
+// inHandler reports whether the context's node is currently executing a
+// protocol handler; effects outside handlers (harness hooks) apply at once.
+func (c *nodeCtx) inHandler() bool { return c.s.cur == c.n }
+
+func (c *nodeCtx) Send(to types.NodeID, msg types.Message) {
+	if c.inHandler() {
+		c.s.pendingSends = append(c.s.pendingSends, pendingSend{to: to, msg: msg})
+		return
+	}
+	c.s.enqueueSend(c.n, to, msg, c.s.now)
+}
+
+func (c *nodeCtx) Broadcast(msg types.Message) {
+	for i := 0; i < c.s.cfg.N; i++ {
+		if int32(i) == c.n.idx {
+			continue
+		}
+		c.Send(types.NodeID(i), msg)
+	}
+}
+
+func (c *nodeCtx) SetTimer(d time.Duration, tag protocol.TimerTag) {
+	if c.inHandler() {
+		c.s.pendingTimer = append(c.s.pendingTimer, pendingTimer{d: d, tag: tag})
+		return
+	}
+	c.s.push(event{at: c.s.now + d, kind: evTimer, node: c.n.idx, tag: tag})
+}
+
+func (c *nodeCtx) Crypto() crypto.Provider { return c.n.crypto }
+
+func (c *nodeCtx) Deliver(commit types.Commit) {
+	if c.inHandler() {
+		c.s.pendingDeliv = append(c.s.pendingDeliv, commit)
+		return
+	}
+	c.s.execute(c.n, commit, c.s.now)
+}
+
+func (c *nodeCtx) NextBatch(instance int32) *types.Batch {
+	if c.s.src == nil {
+		return nil
+	}
+	return c.s.src.Next(instance, c.Now())
+}
+
+func (c *nodeCtx) Logf(format string, args ...any) {
+	if c.s.cfg.Debug {
+		fmt.Printf("[%8.3fms n%d] %s\n", float64(c.Now())/float64(time.Millisecond), c.n.id, fmt.Sprintf(format, args...))
+	}
+}

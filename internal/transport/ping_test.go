@@ -1,0 +1,68 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/transport"
+	"spotless/internal/types"
+)
+
+// TestPingPong verifies bidirectional frame flow between two endpoints.
+func TestPingPong(t *testing.T) {
+	ring := crypto.NewKeyring([]byte("ping"), []types.NodeID{0, 1})
+	p0, _ := ring.Provider(0)
+	p1, _ := ring.Provider(1)
+
+	a := transport.New(transport.Config{ID: 0, Listen: "127.0.0.1:0", Crypto: p0})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := transport.New(transport.Config{ID: 1, Listen: "127.0.0.1:0", Crypto: p1})
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	addrs := map[types.NodeID]string{0: a.Addr(), 1: b.Addr()}
+	if err := a.DialPeers(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DialPeers(addrs); err != nil {
+		t.Fatal(err)
+	}
+
+	gotA := make(chan types.Message, 1)
+	gotB := make(chan types.Message, 1)
+	a.Register(0, func(from types.NodeID, m types.Message) { gotA <- m })
+	b.Register(1, func(from types.NodeID, m types.Message) { gotB <- m })
+
+	deadline := time.After(10 * time.Second)
+	// Retry until the dial completes.
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		a.Send(0, 1, &types.Ask{Instance: 7})
+		select {
+		case m := <-gotB:
+			if m.(*types.Ask).Instance != 7 {
+				t.Fatalf("wrong message: %+v", m)
+			}
+			b.Send(1, 0, &types.Ask{Instance: 9})
+			select {
+			case m2 := <-gotA:
+				if m2.(*types.Ask).Instance != 9 {
+					t.Fatalf("wrong reply: %+v", m2)
+				}
+				return
+			case <-deadline:
+				t.Fatal("no reply received")
+			}
+		case <-tick.C:
+		case <-deadline:
+			t.Fatal("no message received")
+		}
+	}
+}

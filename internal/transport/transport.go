@@ -1,0 +1,399 @@
+// Package transport is the TCP wire layer for multi-process deployments:
+// gob-encoded, length-delimited frames authenticated with pairwise HMACs
+// (the MAC channel of §2), per-peer send queues with ResilientDB-style
+// write coalescing, and automatic reconnection. Every connection opens with
+// a Hello identifying its owner; connections are bidirectional, so clients
+// receive Informs over the connections they dialed.
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/types"
+)
+
+func init() {
+	gob.Register(&types.Propose{})
+	gob.Register(&types.Sync{})
+	gob.Register(&types.Ask{})
+	gob.Register(&types.PrePrepare{})
+	gob.Register(&types.Prepare{})
+	gob.Register(&types.PbftCommit{})
+	gob.Register(&types.ViewChange{})
+	gob.Register(&types.NewPView{})
+	gob.Register(&types.Complaint{})
+	gob.Register(&types.HSProposal{})
+	gob.Register(&types.HSVote{})
+	gob.Register(&types.HSNewView{})
+	gob.Register(&types.NarwhalBatch{})
+	gob.Register(&types.NarwhalAck{})
+	gob.Register(&types.NarwhalCert{})
+	gob.Register(&types.Request{})
+	gob.Register(&types.Inform{})
+}
+
+// envelope wraps a message so gob can encode the interface value.
+type envelope struct {
+	Msg types.Message
+}
+
+// frame is the wire unit: the gob-encoded envelope plus its HMAC.
+type frame struct {
+	From    types.NodeID
+	Payload []byte
+	MAC     []byte
+}
+
+// hello opens every connection.
+type hello struct {
+	ID types.NodeID
+}
+
+// Encode serializes a message to its wire payload.
+func Encode(msg types.Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{Msg: msg}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a wire payload.
+func Decode(payload []byte) (types.Message, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.Msg, nil
+}
+
+// Config parameterizes a TCP transport endpoint.
+type Config struct {
+	ID     types.NodeID
+	Listen string                  // listen address ("" for pure clients)
+	Peers  map[types.NodeID]string // addresses this endpoint dials
+	Crypto crypto.Provider         // MAC provider (pairwise keys)
+	// DialRetry is the reconnect backoff (default 250 ms).
+	DialRetry time.Duration
+	// QueueDepth bounds each peer's send queue (default 8192).
+	QueueDepth int
+}
+
+// TCP is a runtime.Transport over TCP sockets.
+type TCP struct {
+	cfg  Config
+	mu   sync.RWMutex
+	recv func(from types.NodeID, msg types.Message)
+
+	dialed   map[types.NodeID]*peer // peers we dial (from cfg.Peers)
+	accepted map[types.NodeID]*peer // inbound-only peers (clients)
+
+	ln   net.Listener
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  []net.Conn // every accepted connection (closed on shutdown)
+}
+
+type peer struct {
+	id    types.NodeID
+	addr  string
+	queue chan frame
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (p *peer) setConn(c net.Conn) {
+	p.mu.Lock()
+	if p.conn != nil && p.conn != c {
+		p.conn.Close()
+	}
+	p.conn = c
+	p.mu.Unlock()
+}
+
+// New creates a transport endpoint; call Start to listen and dial.
+func New(cfg Config) *TCP {
+	if cfg.DialRetry == 0 {
+		cfg.DialRetry = 250 * time.Millisecond
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8192
+	}
+	return &TCP{
+		cfg:      cfg,
+		dialed:   make(map[types.NodeID]*peer),
+		accepted: make(map[types.NodeID]*peer),
+		done:     make(chan struct{}),
+	}
+}
+
+// Register implements runtime.Transport.
+func (t *TCP) Register(id types.NodeID, recv func(from types.NodeID, msg types.Message)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recv = recv
+}
+
+// Start listens (if configured) and dials all peers.
+func (t *TCP) Start() error {
+	if t.cfg.Listen != "" {
+		ln, err := net.Listen("tcp", t.cfg.Listen)
+		if err != nil {
+			return fmt.Errorf("transport: listen %s: %w", t.cfg.Listen, err)
+		}
+		t.ln = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	for id, addr := range t.cfg.Peers {
+		if id == t.cfg.ID {
+			continue
+		}
+		p := &peer{id: id, addr: addr, queue: make(chan frame, t.cfg.QueueDepth)}
+		t.dialed[id] = p
+		t.wg.Add(1)
+		go t.dialLoop(p)
+	}
+	return nil
+}
+
+// DialPeers dials additional peers after Start — used when the address map
+// is only known once every listener is bound (ephemeral ports).
+func (t *TCP) DialPeers(peers map[types.NodeID]string) error {
+	for id, addr := range peers {
+		if id == t.cfg.ID {
+			continue
+		}
+		t.mu.Lock()
+		if _, ok := t.dialed[id]; ok {
+			t.mu.Unlock()
+			continue
+		}
+		p := &peer{id: id, addr: addr, queue: make(chan frame, t.cfg.QueueDepth)}
+		t.dialed[id] = p
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.dialLoop(p)
+	}
+	return nil
+}
+
+// Addr returns the bound listen address (for ephemeral ports in tests).
+func (t *TCP) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Close shuts the transport down.
+func (t *TCP) Close() {
+	t.once.Do(func() {
+		close(t.done)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		t.mu.Lock()
+		for _, p := range t.dialed {
+			p.setConn(nil)
+		}
+		for _, p := range t.accepted {
+			p.setConn(nil)
+		}
+		t.mu.Unlock()
+		t.connMu.Lock()
+		for _, c := range t.conns {
+			c.Close()
+		}
+		t.connMu.Unlock()
+	})
+	t.wg.Wait()
+}
+
+// Send implements runtime.Transport.
+func (t *TCP) Send(from, to types.NodeID, msg types.Message) {
+	t.mu.RLock()
+	p := t.dialed[to]
+	if p == nil {
+		p = t.accepted[to]
+	}
+	t.mu.RUnlock()
+	if p == nil {
+		return // destination unknown (e.g. client not connected yet)
+	}
+	payload, err := Encode(msg)
+	if err != nil {
+		return
+	}
+	f := frame{From: from, Payload: payload, MAC: t.cfg.Crypto.MAC(to, payload)}
+	select {
+	case p.queue <- f:
+	default:
+		// Queue overflow: shed, per the asynchronous network model (§2).
+	}
+}
+
+// dialLoop maintains an outbound connection to one peer: it writes queued
+// frames and reads replies over the same socket.
+func (t *TCP) dialLoop(p *peer) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		conn, err := net.Dial("tcp", p.addr)
+		if err != nil {
+			select {
+			case <-time.After(t.cfg.DialRetry):
+				continue
+			case <-t.done:
+				return
+			}
+		}
+		p.setConn(conn)
+		w := bufio.NewWriterSize(conn, 128<<10)
+		enc := gob.NewEncoder(w)
+		if err := enc.Encode(hello{ID: t.cfg.ID}); err != nil || w.Flush() != nil {
+			conn.Close()
+			continue
+		}
+		// Read replies concurrently (the replica answers clients over the
+		// client's own connection).
+		t.wg.Add(1)
+		go func(c net.Conn) {
+			defer t.wg.Done()
+			t.readFrames(c, p.id)
+		}(conn)
+		t.writeFrames(conn, w, enc, p)
+		conn.Close()
+	}
+}
+
+// writeFrames drains the peer queue until the connection breaks.
+func (t *TCP) writeFrames(conn net.Conn, w *bufio.Writer, enc *gob.Encoder, p *peer) {
+	for {
+		select {
+		case <-t.done:
+			return
+		case f := <-p.queue:
+			if err := enc.Encode(&f); err != nil {
+				return
+			}
+			// Coalesce writes while the queue has backlog (§6.1 buffering).
+			if len(p.queue) == 0 || w.Buffered() > 96<<10 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			select {
+			case <-t.done:
+				return
+			default:
+				continue
+			}
+		}
+		t.connMu.Lock()
+		t.conns = append(t.conns, conn)
+		t.connMu.Unlock()
+		t.wg.Add(1)
+		go func(c net.Conn) {
+			defer t.wg.Done()
+			t.serveInbound(c)
+		}(conn)
+	}
+}
+
+// serveInbound handles one accepted connection: learn the owner, spawn a
+// writer for replies, and read frames.
+func (t *TCP) serveInbound(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 128<<10)
+	dec := gob.NewDecoder(r)
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return
+	}
+	t.mu.Lock()
+	p := t.accepted[h.ID]
+	if _, isDialed := t.dialed[h.ID]; !isDialed {
+		if p == nil {
+			p = &peer{id: h.ID, queue: make(chan frame, t.cfg.QueueDepth)}
+			t.accepted[h.ID] = p
+		}
+		p.setConn(conn)
+		w := bufio.NewWriterSize(conn, 128<<10)
+		enc := gob.NewEncoder(w)
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.writeFrames(conn, w, enc, p)
+		}()
+	}
+	t.mu.Unlock()
+	t.readDecoded(dec, h.ID)
+}
+
+// readFrames decodes frames from an established connection.
+func (t *TCP) readFrames(conn net.Conn, owner types.NodeID) {
+	r := bufio.NewReaderSize(conn, 128<<10)
+	dec := gob.NewDecoder(r)
+	t.readDecoded(dec, owner)
+}
+
+func (t *TCP) readDecoded(dec *gob.Decoder, owner types.NodeID) {
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if !errors.Is(err, io.EOF) {
+				select {
+				case <-t.done:
+				default:
+				}
+			}
+			return
+		}
+		if f.From != owner {
+			continue // connections speak only for their owner
+		}
+		if err := t.cfg.Crypto.VerifyMAC(f.From, f.Payload, f.MAC); err != nil {
+			continue
+		}
+		msg, err := Decode(f.Payload)
+		if err != nil {
+			continue
+		}
+		t.mu.RLock()
+		recv := t.recv
+		t.mu.RUnlock()
+		if recv != nil {
+			recv(f.From, msg)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// ---------------------------------------------------------------------------
+// SpotLess messages (§3.1–§3.4)
+// ---------------------------------------------------------------------------
+
+// Claim asserts which proposal (if any) a replica received in a view
+// (claim(P) or claim(∅), §3.1).
+type Claim struct {
+	View   View
+	Digest Digest // digest of the claimed proposal
+	Empty  bool   // claim(∅): no valid proposal received in View
+}
+
+// CPEntry is one element of the CP set carried by Sync messages: the view
+// and digest of a conditionally prepared proposal with view ≥ v_lock (§3.3).
+type CPEntry struct {
+	View   View
+	Digest Digest
+}
+
+// Justification names the parent a proposal extends and proves it is
+// extendable: either a certificate of n−f signed Sync claims (rule E1) or a
+// bare claim reference whose backing is the receiver's own Sync record
+// (rule E2).
+type Justification struct {
+	Kind         JustKind
+	ParentView   View
+	ParentDigest Digest
+	// Cert carries n−f signatures over the parent's Sync claim when
+	// Kind == JustCert. Empty for JustClaim and JustGenesis.
+	Cert []Signature
+}
+
+// JustKind discriminates proposal justifications.
+type JustKind uint8
+
+const (
+	// JustGenesis marks proposals extending the genesis proposal.
+	JustGenesis JustKind = iota
+	// JustCert: the primary holds cert(P′) — n−f signed Sync claims (E1).
+	JustCert
+	// JustClaim: the primary saw n−f Syncs with P′ in their CP sets (E2).
+	JustClaim
+)
+
+// Propose is the primary's proposal for a view of one SpotLess instance
+// (message P := Propose(v, τ, cert(P′)) of §3.1).
+type Propose struct {
+	Instance int32
+	View     View
+	Batch    *Batch
+	Parent   Justification
+	Sig      Signature // primary signature over ProposalDigest
+}
+
+// ProposalDigest identifies a proposal: hash over (instance, view, batch id,
+// parent view, parent digest).
+func ProposalDigest(instance int32, view View, batchID Digest, parentView View, parentDigest Digest) Digest {
+	var buf [4 + 8 + 32 + 8 + 32]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(instance))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(view))
+	copy(buf[12:], batchID[:])
+	binary.LittleEndian.PutUint64(buf[44:], uint64(parentView))
+	copy(buf[52:], parentDigest[:])
+	return sha256.Sum256(buf[:])
+}
+
+// Digest returns the proposal's identifying digest.
+func (p *Propose) Digest() Digest {
+	return ProposalDigest(p.Instance, p.View, p.Batch.ID, p.Parent.ParentView, p.Parent.ParentDigest)
+}
+
+// WireSize models the serialized proposal size: control overhead + batch
+// payload + any embedded certificate signatures.
+func (p *Propose) WireSize() int {
+	return ControlMsgSize + BatchWireSize(p.Batch) + len(p.Parent.Cert)*SignatureSize
+}
+
+// ClaimBytes is the byte string a replica signs when issuing a Sync claim;
+// certificates aggregate these signatures.
+func ClaimBytes(instance int32, c Claim) []byte {
+	var buf [4 + 8 + 32 + 1]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(instance))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(c.View))
+	copy(buf[12:], c.Digest[:])
+	if c.Empty {
+		buf[44] = 1
+	}
+	return buf[:]
+}
+
+// Sync is the all-to-all vote/synchronization message of §3.1 and §3.4:
+// ms_R := Sync(v, claim(P), CP) with the optional Υ retransmission flag.
+type Sync struct {
+	Instance   int32
+	View       View
+	Claim      Claim
+	CP         []CPEntry
+	Retransmit bool      // Υ: ask receivers to retransmit their view-v Syncs
+	Sig        Signature // signature over ClaimBytes (MACs are transport-level)
+}
+
+// WireSize models the Sync size; the 432 B figure of §6.1 covers the claim,
+// a small CP set, MAC and signature.
+func (s *Sync) WireSize() int { return ControlMsgSize + len(s.CP)*8 }
+
+// Ask requests the full proposal behind a claim from replicas that recorded
+// it (the Ask-recovery mechanism of §3.3).
+type Ask struct {
+	Instance int32
+	View     View
+	Claim    Claim
+}
+
+// WireSize implements Message.
+func (a *Ask) WireSize() int { return ControlMsgSize }
+
+// ---------------------------------------------------------------------------
+// Pbft / RCC messages (§6.2 baselines)
+// ---------------------------------------------------------------------------
+
+// PrePrepare is the Pbft primary's proposal for a sequence slot. RCC reuses
+// it per instance.
+type PrePrepare struct {
+	Instance int32
+	PView    View // Pbft view (primary epoch), not a SpotLess view
+	Seq      uint64
+	Batch    *Batch
+}
+
+// WireSize implements Message.
+func (m *PrePrepare) WireSize() int { return ControlMsgSize + BatchWireSize(m.Batch) }
+
+// Prepare is the Pbft backup echo (MAC-authenticated).
+type Prepare struct {
+	Instance int32
+	PView    View
+	Seq      uint64
+	Digest   Digest
+}
+
+// WireSize implements Message.
+func (m *Prepare) WireSize() int { return ControlMsgSize }
+
+// PbftCommit is the Pbft commit vote (named to avoid clashing with Commit).
+type PbftCommit struct {
+	Instance int32
+	PView    View
+	Seq      uint64
+	Digest   Digest
+}
+
+// WireSize implements Message.
+func (m *PbftCommit) WireSize() int { return ControlMsgSize }
+
+// ViewChange triggers a Pbft primary change after a timeout; the simplified
+// baseline carries only the highest committed sequence.
+type ViewChange struct {
+	Instance int32
+	NewPView View
+	LastSeq  uint64
+}
+
+// WireSize implements Message.
+func (m *ViewChange) WireSize() int { return ControlMsgSize }
+
+// NewPView installs a new Pbft view once 2f+1 ViewChange messages arrived.
+type NewPView struct {
+	Instance int32
+	PView    View
+	StartSeq uint64
+}
+
+// WireSize implements Message.
+func (m *NewPView) WireSize() int { return ControlMsgSize }
+
+// Complaint is RCC's per-instance failure complaint; 2f+1 complaints suspend
+// the instance for an exponentially growing number of rounds.
+type Complaint struct {
+	Instance int32
+	Round    uint64
+}
+
+// WireSize implements Message.
+func (m *Complaint) WireSize() int { return ControlMsgSize }
+
+// ---------------------------------------------------------------------------
+// HotStuff / Narwhal-HS messages (§6.2 baselines)
+// ---------------------------------------------------------------------------
+
+// QC is a quorum certificate: the paper's HotStuff implementation represents
+// threshold signatures as lists of n−f individual signatures (§6.2), which
+// is what we model (and what drives its verification cost).
+type QC struct {
+	View    View
+	Block   Digest
+	Sigs    []Signature
+	Genesis bool
+}
+
+// HSProposal is the chained-HotStuff leader proposal for a view. Narwhal-HS
+// blocks carry digest references to separately disseminated batches instead
+// of inline payloads.
+type HSProposal struct {
+	View    View
+	Block   Digest
+	Parent  Digest
+	Batch   *Batch
+	Refs    []Digest // Narwhal-HS: certified-batch references
+	Justify QC
+}
+
+// WireSize implements Message.
+func (m *HSProposal) WireSize() int {
+	return ControlMsgSize + BatchWireSize(m.Batch) + len(m.Refs)*32 +
+		len(m.Justify.Sigs)*SignatureSize
+}
+
+// HSVote is a replica's signed vote sent to the next leader.
+type HSVote struct {
+	View  View
+	Block Digest
+	Sig   Signature
+}
+
+// WireSize implements Message.
+func (m *HSVote) WireSize() int { return ControlMsgSize + SignatureSize }
+
+// HSNewView carries the highest QC to the next leader on timeout.
+type HSNewView struct {
+	View    View
+	Justify QC
+}
+
+// WireSize implements Message.
+func (m *HSNewView) WireSize() int {
+	return ControlMsgSize + len(m.Justify.Sigs)*SignatureSize
+}
+
+// NarwhalBatch is the Narwhal worker broadcast: the actual batch content
+// disseminated by its originating replica before ordering.
+type NarwhalBatch struct {
+	Origin NodeID
+	Batch  *Batch
+}
+
+// WireSize implements Message.
+func (m *NarwhalBatch) WireSize() int { return ControlMsgSize + BatchWireSize(m.Batch) }
+
+// NarwhalAck is a signed availability acknowledgement for a broadcast batch.
+type NarwhalAck struct {
+	Origin  NodeID
+	BatchID Digest
+	Sig     Signature
+}
+
+// WireSize implements Message.
+func (m *NarwhalAck) WireSize() int { return ControlMsgSize + SignatureSize }
+
+// NarwhalCert is the availability certificate for one batch: 2f+1 signed
+// acknowledgements every replica verifies (the CPU bottleneck of §6.4).
+type NarwhalCert struct {
+	BatchID Digest
+	Sigs    []Signature
+}
+
+// WireSize implements Message.
+func (m *NarwhalCert) WireSize() int { return ControlMsgSize + len(m.Sigs)*SignatureSize }
+
+// ---------------------------------------------------------------------------
+// Client traffic
+// ---------------------------------------------------------------------------
+
+// Request carries a batch of client transactions to a replica.
+type Request struct {
+	Batch *Batch
+}
+
+// WireSize implements Message.
+func (m *Request) WireSize() int { return ControlMsgSize + BatchWireSize(m.Batch) }
+
+// Inform is the post-execution reply to the client (§5); clients await f+1
+// identical Informs.
+type Inform struct {
+	Replica NodeID
+	BatchID Digest
+	Results Digest // digest of execution results (identical across correct replicas)
+}
+
+// WireSize models the 1748 B reply for a 100-txn batch (§6.1).
+func (m *Inform) WireSize() int { return ControlMsgSize } // per-batch share; harness scales by ReplyPerTxn
+
+// InformWireSize returns the modelled reply size for a batch of β txns.
+func InformWireSize(batchSize int) int { return ControlMsgSize + ReplyPerTxn*batchSize }

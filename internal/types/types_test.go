@@ -1,0 +1,127 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTransactionDigestDeterminism: equal transactions hash equal; any
+// field change alters the digest.
+func TestTransactionDigestDeterminism(t *testing.T) {
+	base := Transaction{Client: 1, Seq: 2, Op: OpWrite, Key: 3, Value: []byte("abc")}
+	same := base
+	if base.Digest() != same.Digest() {
+		t.Fatal("identical transactions produced different digests")
+	}
+	for name, mut := range map[string]Transaction{
+		"client": {Client: 2, Seq: 2, Op: OpWrite, Key: 3, Value: []byte("abc")},
+		"seq":    {Client: 1, Seq: 3, Op: OpWrite, Key: 3, Value: []byte("abc")},
+		"op":     {Client: 1, Seq: 2, Op: OpRead, Key: 3, Value: []byte("abc")},
+		"key":    {Client: 1, Seq: 2, Op: OpWrite, Key: 4, Value: []byte("abc")},
+	} {
+		if mut.Digest() == base.Digest() {
+			t.Errorf("mutating %s did not change the digest", name)
+		}
+	}
+}
+
+// TestBatchIDProperty: batch ids are stable under recomputation and
+// sensitive to transaction order (property-based).
+func TestBatchIDProperty(t *testing.T) {
+	prop := func(keys []uint64) bool {
+		if len(keys) < 2 {
+			return true
+		}
+		txns := make([]Transaction, len(keys))
+		for i, k := range keys {
+			txns[i] = Transaction{Client: ClientIDBase, Seq: uint64(i), Op: OpWrite, Key: k}
+		}
+		id1 := ComputeBatchID(txns)
+		id2 := ComputeBatchID(txns)
+		if id1 != id2 {
+			return false
+		}
+		// Swapping two distinct transactions changes the id.
+		txns[0], txns[1] = txns[1], txns[0]
+		id3 := ComputeBatchID(txns)
+		if txns[0].Digest() != txns[1].Digest() && id3 == id1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProposalDigestBindsAllFields: the proposal digest commits to
+// instance, view, batch, and parent.
+func TestProposalDigestBindsAllFields(t *testing.T) {
+	var b1, b2 Digest
+	b2[0] = 1
+	base := ProposalDigest(1, 2, b1, 1, b2)
+	if ProposalDigest(2, 2, b1, 1, b2) == base {
+		t.Error("instance not bound")
+	}
+	if ProposalDigest(1, 3, b1, 1, b2) == base {
+		t.Error("view not bound")
+	}
+	if ProposalDigest(1, 2, b2, 1, b2) == base {
+		t.Error("batch not bound")
+	}
+	if ProposalDigest(1, 2, b1, 2, b2) == base {
+		t.Error("parent view not bound")
+	}
+	if ProposalDigest(1, 2, b1, 1, b1) == base {
+		t.Error("parent digest not bound")
+	}
+}
+
+// TestWireSizesMatchPaper: the modelled sizes reproduce §6.1's constants:
+// proposals ≈ 5400 B at 100 txn/batch, control messages 432 B, replies
+// ≈ 1748 B for 100 txns.
+func TestWireSizesMatchPaper(t *testing.T) {
+	txns := make([]Transaction, 100)
+	for i := range txns {
+		txns[i] = Transaction{Op: OpWrite, Value: make([]byte, 35)}
+	}
+	batch := &Batch{ID: ComputeBatchID(txns), Txns: txns}
+	p := &Propose{Batch: batch}
+	if got := p.WireSize(); got < 5200 || got > 5600 {
+		t.Errorf("proposal size %d, want ≈5400 (§6.1)", got)
+	}
+	s := &Sync{}
+	if got := s.WireSize(); got != ControlMsgSize {
+		t.Errorf("sync size %d, want %d", got, ControlMsgSize)
+	}
+	if got := InformWireSize(100); got < 1600 || got > 1900 {
+		t.Errorf("reply size %d, want ≈1748 (§6.1)", got)
+	}
+}
+
+// TestClientIDs: replica ids are below ClientIDBase; client detection works.
+func TestClientIDs(t *testing.T) {
+	if NodeID(127).IsClient() {
+		t.Error("replica id classified as client")
+	}
+	if !ClientIDBase.IsClient() {
+		t.Error("client base not classified as client")
+	}
+}
+
+// TestMessageSizesPositive: every message type models a positive wire size.
+func TestMessageSizesPositive(t *testing.T) {
+	batch := &Batch{Txns: []Transaction{{Value: []byte("x")}}}
+	msgs := []Message{
+		&Propose{Batch: batch}, &Sync{}, &Ask{},
+		&PrePrepare{Batch: batch}, &Prepare{}, &PbftCommit{}, &ViewChange{}, &NewPView{}, &Complaint{},
+		&HSProposal{Batch: batch}, &HSVote{}, &HSNewView{},
+		&NarwhalBatch{Batch: batch}, &NarwhalAck{}, &NarwhalCert{},
+		&Request{Batch: batch}, &Inform{},
+	}
+	for _, m := range msgs {
+		if m.WireSize() <= 0 {
+			t.Errorf("%T has non-positive wire size", m)
+		}
+	}
+}

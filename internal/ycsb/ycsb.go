@@ -1,0 +1,157 @@
+// Package ycsb provides the workload substrate of the evaluation (§6): a
+// YCSB-style record table (500k active records, 90% write transactions) with
+// a Zipfian key chooser, and a deterministic execution engine producing
+// result digests that correct replicas can compare.
+package ycsb
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sync"
+
+	"spotless/internal/types"
+)
+
+// DefaultRecords matches the paper's table size (§6).
+const DefaultRecords = 500000
+
+// Store is the replicated YCSB table. It is safe for concurrent readers
+// with one writer (the execution loop), matching ResilientDB's sequential
+// execution model.
+type Store struct {
+	mu      sync.RWMutex
+	records map[uint64][]byte
+	applied uint64 // transactions executed
+}
+
+// NewStore initializes a table with n records holding deterministic
+// payloads, as the paper initializes each replica with an identical copy.
+func NewStore(n uint64, recordSize int) *Store {
+	s := &Store{records: make(map[uint64][]byte, n)}
+	payload := make([]byte, recordSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := uint64(0); i < n; i++ {
+		s.records[i] = payload
+	}
+	return s
+}
+
+// Read returns the value of a record (nil if absent).
+func (s *Store) Read(key uint64) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.records[key]
+}
+
+// Applied returns the number of executed transactions.
+func (s *Store) Applied() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// Apply executes a batch sequentially and returns the digest of the
+// results, which all correct replicas reproduce identically (the client
+// compares f+1 Informs, §5).
+func (s *Store) Apply(b *types.Batch) types.Digest {
+	if b == nil || b.NoOp {
+		return types.Digest{}
+	}
+	h := sha256.New()
+	var kb [8]byte
+	s.mu.Lock()
+	for i := range b.Txns {
+		t := &b.Txns[i]
+		switch t.Op {
+		case types.OpWrite:
+			s.records[t.Key] = t.Value
+			binary.LittleEndian.PutUint64(kb[:], t.Key)
+			h.Write(kb[:])
+		case types.OpRead:
+			v := s.records[t.Key]
+			h.Write(v)
+		}
+		s.applied++
+	}
+	s.mu.Unlock()
+	var out types.Digest
+	h.Sum(out[:0])
+	return out
+}
+
+// Zipf generates keys with the YCSB Zipfian distribution (constant 0.99 by
+// default), the access pattern of the Blockbench macro benchmark (§6).
+type Zipf struct {
+	rng *rand.Rand
+	z   *rand.Zipf
+	n   uint64
+}
+
+// NewZipf creates a Zipfian chooser over [0, n) with exponent s > 1.
+func NewZipf(seed int64, n uint64, s float64) *Zipf {
+	if s <= 1 {
+		s = 1.01
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{rng: rng, z: rand.NewZipf(rng, s, 1, n-1), n: n}
+}
+
+// Next returns the next key.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// Theta converts the YCSB zipfian-constant θ into the exponent s used by
+// math/rand (s = 1/(1-θ) approximates the YCSB skew for θ < 1).
+func Theta(theta float64) float64 {
+	if theta >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - theta)
+}
+
+// Workload ties the pieces together: a transaction generator with the
+// paper's operation mix.
+type Workload struct {
+	WriteRatio float64
+	ValueSize  int
+	keys       *Zipf
+	rng        *rand.Rand
+	client     types.NodeID
+	seq        uint64
+}
+
+// NewWorkload creates the §6 workload: 90% writes over n records.
+func NewWorkload(seed int64, client types.NodeID, records uint64, valueSize int) *Workload {
+	return &Workload{
+		WriteRatio: 0.9,
+		ValueSize:  valueSize,
+		keys:       NewZipf(seed, records, Theta(0.99)),
+		rng:        rand.New(rand.NewSource(seed ^ 0x5f5f)),
+		client:     client,
+	}
+}
+
+// NextTxn generates one transaction.
+func (w *Workload) NextTxn() types.Transaction {
+	w.seq++
+	t := types.Transaction{Client: w.client, Seq: w.seq, Key: w.keys.Next()}
+	if w.rng.Float64() < w.WriteRatio {
+		t.Op = types.OpWrite
+		t.Value = make([]byte, w.ValueSize)
+	} else {
+		t.Op = types.OpRead
+	}
+	return t
+}
+
+// NextBatch generates a batch of size txns.
+func (w *Workload) NextBatch(size int) *types.Batch {
+	txns := make([]types.Transaction, size)
+	for i := range txns {
+		txns[i] = w.NextTxn()
+	}
+	return &types.Batch{ID: types.ComputeBatchID(txns), Txns: txns}
+}

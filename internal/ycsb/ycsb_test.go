@@ -1,0 +1,134 @@
+package ycsb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spotless/internal/types"
+)
+
+// TestStoreApplyDeterministic: applying the same batch to two identically
+// initialized stores yields the same result digest and state.
+func TestStoreApplyDeterministic(t *testing.T) {
+	wl := NewWorkload(11, types.ClientIDBase, 1000, 16)
+	batch := wl.NextBatch(50)
+	s1 := NewStore(1000, 16)
+	s2 := NewStore(1000, 16)
+	d1 := s1.Apply(batch)
+	d2 := s2.Apply(batch)
+	if d1 != d2 {
+		t.Fatal("result digests diverged on identical stores")
+	}
+	if s1.Applied() != 50 || s2.Applied() != 50 {
+		t.Fatalf("applied counts: %d, %d", s1.Applied(), s2.Applied())
+	}
+}
+
+// TestStoreWriteThenRead: writes are visible to subsequent reads.
+func TestStoreWriteThenRead(t *testing.T) {
+	s := NewStore(10, 8)
+	b := &types.Batch{Txns: []types.Transaction{
+		{Op: types.OpWrite, Key: 3, Value: []byte("xyz")},
+	}}
+	b.ID = types.ComputeBatchID(b.Txns)
+	s.Apply(b)
+	if got := string(s.Read(3)); got != "xyz" {
+		t.Fatalf("read after write: %q", got)
+	}
+}
+
+// TestStoreNoOpSkipped: no-op batches change nothing.
+func TestStoreNoOpSkipped(t *testing.T) {
+	s := NewStore(10, 8)
+	before := s.Applied()
+	s.Apply(&types.Batch{NoOp: true})
+	s.Apply(nil)
+	if s.Applied() != before {
+		t.Fatal("no-op batch was executed")
+	}
+}
+
+// TestOrderSensitivity: execution order changes the final state digest
+// (why a total order is required at all).
+func TestOrderSensitivity(t *testing.T) {
+	mk := func(v string) *types.Batch {
+		b := &types.Batch{Txns: []types.Transaction{{Op: types.OpWrite, Key: 1, Value: []byte(v)}}}
+		b.ID = types.ComputeBatchID(b.Txns)
+		return b
+	}
+	a, b := mk("aaa"), mk("bbb")
+	s1 := NewStore(10, 8)
+	s1.Apply(a)
+	s1.Apply(b)
+	s2 := NewStore(10, 8)
+	s2.Apply(b)
+	s2.Apply(a)
+	if string(s1.Read(1)) == string(s2.Read(1)) {
+		t.Fatal("different orders converged — test is vacuous")
+	}
+}
+
+// TestZipfSkew: the Zipfian chooser is actually skewed — the most popular
+// 10% of keys draw well over 10% of accesses.
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(5, 1000, Theta(0.99))
+	counts := make(map[uint64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	hot := 0
+	for k, c := range counts {
+		if k < 100 {
+			hot += c
+		}
+	}
+	if float64(hot)/draws < 0.5 {
+		t.Fatalf("top-10%% keys drew only %.1f%% of accesses — not Zipfian", 100*float64(hot)/draws)
+	}
+}
+
+// TestZipfBounds: keys stay within [0, n) (property-based).
+func TestZipfBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		z := NewZipf(seed, 100, Theta(0.99))
+		for i := 0; i < 100; i++ {
+			if z.Next() >= 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkloadMix: the operation mix tracks the configured write ratio.
+func TestWorkloadMix(t *testing.T) {
+	wl := NewWorkload(9, types.ClientIDBase, 1000, 16)
+	writes := 0
+	const total = 5000
+	for i := 0; i < total; i++ {
+		if wl.NextTxn().Op == types.OpWrite {
+			writes++
+		}
+	}
+	ratio := float64(writes) / total
+	if ratio < 0.85 || ratio > 0.95 {
+		t.Fatalf("write ratio %.3f, want ≈0.90 (§6)", ratio)
+	}
+}
+
+// TestWorkloadSeqMonotonic: client sequence numbers increase strictly.
+func TestWorkloadSeqMonotonic(t *testing.T) {
+	wl := NewWorkload(1, types.ClientIDBase, 100, 8)
+	last := uint64(0)
+	for i := 0; i < 100; i++ {
+		txn := wl.NextTxn()
+		if txn.Seq <= last {
+			t.Fatalf("sequence not monotonic: %d after %d", txn.Seq, last)
+		}
+		last = txn.Seq
+	}
+}

@@ -1,0 +1,16 @@
+package spotless_test
+
+import (
+	"os"
+	"testing"
+
+	"spotless/internal/bench"
+)
+
+// TestMain trims the benchmark measurement windows so the full figure
+// regeneration stays minutes-scale under `go test -bench=.`; the
+// paper-scale windows remain the default for cmd/spotless-bench.
+func TestMain(m *testing.M) {
+	bench.SetQuickTrim(true)
+	os.Exit(m.Run())
+}

@@ -1,0 +1,110 @@
+package spotless
+
+import (
+	"time"
+
+	"spotless/internal/core"
+	"spotless/internal/runtime"
+	"spotless/internal/types"
+)
+
+// Re-exported fundamental types: the minimal vocabulary needed to submit
+// transactions and consume results through the public API.
+type (
+	// NodeID identifies a replica or client.
+	NodeID = types.NodeID
+	// Digest identifies batches, proposals, and ledger entries.
+	Digest = types.Digest
+	// Transaction is a single client request.
+	Transaction = types.Transaction
+	// Batch groups transactions into one consensus payload.
+	Batch = types.Batch
+	// Commit is a globally ordered decision handed to execution.
+	Commit = types.Commit
+)
+
+// Operation kinds for transactions.
+const (
+	OpRead  = types.OpRead
+	OpWrite = types.OpWrite
+)
+
+// ClientIDBase is the first client identifier (replica ids are below it).
+const ClientIDBase = types.ClientIDBase
+
+// Config parameterizes an in-process SpotLess cluster.
+type Config struct {
+	// N is the number of replicas (n ≥ 4; tolerates f = ⌊(n−1)/3⌋ faults).
+	N int
+	// Instances is the number of concurrent chained instances m (§4);
+	// 0 means one instance.
+	Instances int
+	// Source supplies client batches to proposing primaries; see
+	// runtime.BatchSource.
+	Source runtime.BatchSource
+	// OnBatchCommitted fires once f+1 replicas executed a batch and sent
+	// matching Informs (§5).
+	OnBatchCommitted func(Digest)
+	// ViewTimeout overrides the initial tR/tA timers (0: default).
+	ViewTimeout time.Duration
+}
+
+// Cluster is a running in-process SpotLess deployment with real
+// cryptography, YCSB execution, and per-replica provenance ledgers.
+type Cluster struct {
+	inner *runtime.Cluster
+}
+
+// NewCluster starts an n-replica SpotLess cluster in-process.
+func NewCluster(cfg Config) (*Cluster, error) {
+	rcfg := runtime.ClusterConfig{
+		N:         cfg.N,
+		Instances: cfg.Instances,
+		Source:    cfg.Source,
+		OnDone:    cfg.OnBatchCommitted,
+	}
+	if cfg.ViewTimeout > 0 {
+		rcfg.Tune = func(i int, c *core.Config) {
+			c.InitialRecordingTimeout = cfg.ViewTimeout
+			c.InitialCertifyTimeout = cfg.ViewTimeout
+			c.MinTimeout = cfg.ViewTimeout / 8
+		}
+	}
+	inner, err := runtime.NewCluster(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// N returns the cluster size; F the tolerated failures; M the instances.
+func (c *Cluster) N() int { return c.inner.N }
+
+// F returns the tolerated number of Byzantine replicas.
+func (c *Cluster) F() int { return c.inner.F }
+
+// M returns the number of concurrent consensus instances.
+func (c *Cluster) M() int { return c.inner.M }
+
+// Read returns the value of a key at the given replica's state machine.
+func (c *Cluster) Read(replica int, key uint64) []byte {
+	return c.inner.Execs[replica].Store().Read(key)
+}
+
+// LedgerHeight returns the replica's blockchain-ledger height.
+func (c *Cluster) LedgerHeight(replica int) uint64 {
+	return c.inner.Execs[replica].Ledger().Height()
+}
+
+// VerifyLedger re-validates the replica's hash chain.
+func (c *Cluster) VerifyLedger(replica int) error {
+	return c.inner.Execs[replica].Ledger().Verify()
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() { c.inner.Stop() }
+
+// NewBatch assembles a batch from transactions, computing its digest.
+func NewBatch(txns []Transaction) *Batch {
+	return &Batch{ID: types.ComputeBatchID(txns), Txns: txns}
+}

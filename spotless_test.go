@@ -1,0 +1,83 @@
+package spotless_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"spotless"
+)
+
+// apiSource feeds batches through the public API.
+type apiSource struct {
+	mu      sync.Mutex
+	pending []*spotless.Batch
+}
+
+func (s *apiSource) Next(instance int32, now time.Duration) *spotless.Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return nil
+	}
+	b := s.pending[0]
+	s.pending = s.pending[1:]
+	return b
+}
+
+func (s *apiSource) add(b *spotless.Batch) {
+	s.mu.Lock()
+	s.pending = append(s.pending, b)
+	s.mu.Unlock()
+}
+
+// TestPublicAPICluster exercises the package-level facade end to end:
+// submit a write batch, await the f+1 confirmation, read it back, verify
+// the ledger.
+func TestPublicAPICluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time integration test")
+	}
+	src := &apiSource{}
+	done := make(chan spotless.Digest, 8)
+	cl, err := spotless.NewCluster(spotless.Config{
+		N: 4, Instances: 1, Source: src,
+		OnBatchCommitted: func(d spotless.Digest) { done <- d },
+		ViewTimeout:      100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	if cl.N() != 4 || cl.F() != 1 || cl.M() != 1 {
+		t.Fatalf("cluster shape: n=%d f=%d m=%d", cl.N(), cl.F(), cl.M())
+	}
+
+	batch := spotless.NewBatch([]spotless.Transaction{
+		{Client: spotless.ClientIDBase, Seq: 1, Op: spotless.OpWrite, Key: 7, Value: []byte("value-7")},
+	})
+	src.add(batch)
+	select {
+	case d := <-done:
+		if d != batch.ID {
+			t.Fatalf("committed %s, submitted %s", d.Short(), batch.ID.Short())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("batch did not commit")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for r := 0; r < cl.N(); r++ {
+		for string(cl.Read(r, 7)) != "value-7" {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d never observed the write", r)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err := cl.VerifyLedger(r); err != nil {
+			t.Fatalf("replica %d ledger: %v", r, err)
+		}
+		if cl.LedgerHeight(r) == 0 {
+			t.Fatalf("replica %d has an empty ledger", r)
+		}
+	}
+}
