@@ -115,6 +115,10 @@ func main() {
 		ID: self, N: *n, F: (*n - 1) / 3,
 		Transport: tr, Crypto: prov, Source: queue,
 		Executor: runtime.NewReplicaExecutor(self, store, lg, tr, types.ClientIDBase),
+		// The transport screens inbound signatures on its reader
+		// goroutines + the shared pool (SetIngress below); the node must
+		// not verify a second time.
+		PreVerified: true,
 	})
 	// Client Requests arrive through the same transport; intercept them
 	// before protocol dispatch.
@@ -130,7 +134,11 @@ func main() {
 	cfg.InitialRecordingTimeout = *timeout
 	cfg.InitialCertifyTimeout = *timeout
 	cfg.MinTimeout = *timeout / 8
-	node.SetProtocol(core.New(node, cfg))
+	rep := core.New(node, cfg)
+	node.SetProtocol(rep)
+	// Verification pipeline: MAC checks on the transport readers, declared
+	// signature checks on the node's worker pool, before the event loop.
+	tr.SetIngress(rep, node.Verifier())
 
 	if err := tr.Start(); err != nil {
 		log.Fatal(err)

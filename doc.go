@@ -11,16 +11,48 @@
 //
 // # Layout
 //
-//   - internal/core — the SpotLess protocol (§3–§5 of the paper)
-//   - internal/pbft, internal/rcc, internal/hotstuff, internal/narwhal —
-//     the four baselines of the evaluation (§6.2)
-//   - internal/simnet — deterministic discrete-event network/CPU simulator
-//     (the evaluation substrate; see DESIGN.md for the substitution notes)
-//   - internal/runtime, internal/transport — real-time in-process and TCP
-//     deployments with ed25519/HMAC cryptography
-//   - internal/ycsb, internal/ledger — the YCSB execution substrate and the
-//     hash-chained provenance ledger of Apache ResilientDB (§6.1)
-//   - internal/bench — one experiment per table and figure of §6.3
+// The stack is layered: shared vocabulary and cryptography at the bottom,
+// the substrate-neutral protocol environment in the middle, three
+// interchangeable substrates above it, and the five consensus protocols on
+// top.
+//
+//		types ──► crypto                      vocabulary; providers + Verifier
+//		   │         │                        (worker-pool / simulated multi-core)
+//		   ▼         ▼
+//		      protocol                        Context, Protocol, TimerTag,
+//		   │                                  VerifyJob / IngressVerifier /
+//		   ▼                                  VerifyConsumer
+//		{ simnet │ runtime │ transport }      the three substrates
+//		   │
+//		   ▼
+//		{ core │ hotstuff │ pbft │ rcc │ narwhal }   the five protocols
+//
+//	  - internal/core — the SpotLess protocol (§3–§5 of the paper)
+//	  - internal/pbft, internal/rcc, internal/hotstuff, internal/narwhal —
+//	    the four baselines of the evaluation (§6.2)
+//	  - internal/simnet — deterministic discrete-event network/CPU simulator
+//	    (the evaluation substrate; see DESIGN.md for the substitution notes)
+//	  - internal/runtime, internal/transport — real-time in-process and TCP
+//	    deployments with ed25519/HMAC cryptography
+//	  - internal/ycsb, internal/ledger — the YCSB execution substrate and the
+//	    hash-chained provenance ledger of Apache ResilientDB (§6.1)
+//	  - internal/bench — one experiment per table and figure of §6.3
+//
+// # Verification pipeline
+//
+// Protocol state machines are single-threaded and never verify signatures
+// inline. Instead each protocol declares its signature work up front
+// (protocol.IngressVerifier): the substrate runs the declared checks off
+// the event loop — internal/runtime on a bounded worker pool
+// (crypto.PoolVerifier) before posting to the node loop, internal/transport
+// with MACs on the connection reader goroutines and signature batches on
+// the shared pool, and internal/simnet as modelled parallel CPU work
+// charged across CostModel.Cores virtual cores — and drops messages that
+// fail, so state machines consume only pre-verified messages. State-
+// dependent checks that cannot be declared at ingress (SpotLess's lazily
+// verified embedded certificates, §3.4) go through Context.VerifyAsync,
+// whose completion is delivered back to the event loop under the
+// stale-timer-style discipline documented in internal/protocol.
 //
 // # Entry points
 //

@@ -1,0 +1,3 @@
+module spotless
+
+go 1.22

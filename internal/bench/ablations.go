@@ -3,12 +3,14 @@ package bench
 import (
 	"fmt"
 	"time"
+
+	"spotless/internal/simnet"
 )
 
 func init() {
 	Figures = append(Figures, Figure{
 		ID:    "ablation",
-		Title: "Ablations: fast path (§6.1), message buffering (§6.1), QC verification (§6.2)",
+		Title: "Ablations: fast path (§6.1), message buffering (§6.1), QC verification (§6.2), verification pipeline",
 		Run:   Ablations,
 	})
 }
@@ -65,5 +67,26 @@ func Ablations(quick bool) []Table {
 		t3.Rows = append(t3.Rows, []string{name, ktps(res.Throughput), lat(res.AvgLatency)})
 	}
 	out = append(out, *t3)
+
+	// Verification pipeline: the DS-bound baselines verify n−f-signature
+	// certificates on every ingress path; fanning each certificate across
+	// the node's cores (instead of serializing it on the event loop) is
+	// the before/after this PR's refactor targets. VerifyCores=1 is the
+	// serial pre-pipeline model.
+	t4 := &Table{ID: "ablation-verify-pipeline",
+		Title:   fmt.Sprintf("parallel verification pipeline (DS-bound protocols), n=%d", n),
+		Headers: []string{"protocol", "verify cores", "ktxn/s", "avg latency ms"}}
+	for _, p := range []Protocol{HotStuff, NarwhalHS} {
+		for _, vc := range []int{1, 0} {
+			res := Run(Options{Protocol: p, N: n, VerifyCores: vc,
+				Measure: 400 * time.Millisecond})
+			width := "1 (serial)"
+			if vc != 1 {
+				width = fmt.Sprintf("%d (pipelined)", simnet.DefaultConfig(n).Cores)
+			}
+			t4.Rows = append(t4.Rows, []string{string(p), width, ktps(res.Throughput), lat(res.AvgLatency)})
+		}
+	}
+	out = append(out, *t4)
 	return out
 }

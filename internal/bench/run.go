@@ -52,6 +52,13 @@ type Options struct {
 	BandwidthMbps float64
 	RegionCount   int // ≥2 distributes replicas over WAN regions (Fig 14c,d)
 
+	// VerifyCores bounds the verification pipeline's virtual core pool
+	// (crypto.CostModel.Cores). 0 inherits the node core count; 1
+	// serializes every signature check on the protocol event loop as the
+	// pre-pipeline model did (absolute figures still differ slightly from
+	// the seed: deliveries now charge a MAC and batches verify fully).
+	VerifyCores int
+
 	// Failure / attack injection.
 	Failures int             // number of faulty replicas
 	FailAt   time.Duration   // when they fail (0: from the start)
@@ -162,6 +169,9 @@ func Run(o Options) Result {
 	scfg.Debug = o.Debug
 	if o.Cores > 0 {
 		scfg.Cores = o.Cores
+	}
+	if o.VerifyCores > 0 {
+		scfg.Costs.Cores = o.VerifyCores
 	}
 	if o.BandwidthMbps > 0 {
 		scfg.BandwidthMbps = o.BandwidthMbps

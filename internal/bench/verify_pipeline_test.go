@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestVerifyPipelineDeterminism: the verification pipeline preserves the
+// simulator's determinism — a fixed seed with serial verification
+// (VerifyCores=1, the pre-pipeline model) reproduces bit-identical results,
+// and so does the pipelined configuration.
+func TestVerifyPipelineDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		proto Protocol
+		cores int
+	}{
+		{"hotstuff-serial", HotStuff, 1},
+		{"hotstuff-pipelined", HotStuff, 16},
+		{"spotless-serial", SpotLess, 1},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() Result {
+				return Run(Options{Protocol: tc.proto, N: 4, Seed: 7, VerifyCores: tc.cores,
+					BatchSize: 20, Outstanding: 8,
+					Warmup: 100 * time.Millisecond, Measure: 200 * time.Millisecond})
+			}
+			a, b := run(), run()
+			if a.Throughput != b.Throughput || a.Batches != b.Batches ||
+				a.AvgLatency != b.AvgLatency || a.P99Latency != b.P99Latency {
+				t.Fatalf("nondeterministic results:\n  a=%+v txn/s %v batches %v\n  b=%+v txn/s %v batches %v",
+					a.Throughput, a.AvgLatency, a.Batches, b.Throughput, b.AvgLatency, b.Batches)
+			}
+		})
+	}
+}
+
+// TestVerifyPipelineSpeedup: fanning certificate verification across the
+// core pool must lift throughput of a DS-bound configuration (the paper's
+// HotStuff port verifies n−f signatures per view on its critical path,
+// §6.2). Skipped in -short mode: it simulates a 32-replica cluster.
+func TestVerifyPipelineSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DS-bound scale run")
+	}
+	n := 32
+	serial := Run(Options{Protocol: HotStuff, N: n, VerifyCores: 1,
+		Measure: 400 * time.Millisecond})
+	pooled := Run(Options{Protocol: HotStuff, N: n, VerifyCores: 16,
+		Measure: 400 * time.Millisecond})
+	t.Logf("HotStuff n=%d: serial %.0f txn/s, pooled %.0f txn/s", n, serial.Throughput, pooled.Throughput)
+	if pooled.Throughput < serial.Throughput*1.2 {
+		t.Fatalf("verification pipeline gave no DS-bound win: serial=%.0f pooled=%.0f txn/s",
+			serial.Throughput, pooled.Throughput)
+	}
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"time"
 
+	"spotless/internal/crypto"
 	"spotless/internal/protocol"
 	"spotless/internal/types"
 )
@@ -32,6 +35,14 @@ type proposal struct {
 	condCommitted bool
 	committed     bool
 	delivered     bool
+
+	// Async certificate verification (the recovery path of §3.4): at most
+	// one cert job is in flight per proposal, and a rejected certificate
+	// is remembered by fingerprint so the same junk is not re-verified —
+	// while a *different* cert for the same parent (say, from the next
+	// honest primary) still gets its chance.
+	certInFlight   bool
+	certRejectedFP uint64
 
 	// syncVotes collects claim signatures from Sync messages claiming this
 	// proposal in its own view — the raw material of cert(P) (E1).
@@ -83,6 +94,32 @@ type Instance struct {
 
 	lastProgressView types.View // for periodic retransmission
 	proposedView     types.View // highest view we already proposed (fast path)
+
+	// Outstanding VerifyAsync certificate jobs, keyed by the correlation
+	// sequence carried in TimerTag.Seq (stale-completion discipline:
+	// completions for unknown sequences are ignored).
+	verifySeq uint64
+	certJobs  map[uint64]certJob
+}
+
+// certJob is the state an async certificate verification resolves against.
+type certJob struct {
+	parent *proposal
+	view   types.View // parent view per the justification
+	fp     uint64     // fingerprint of the cert under verification
+}
+
+// certFingerprint identifies one embedded certificate (signers + signature
+// bytes), so rejections can be remembered per cert rather than per parent.
+func certFingerprint(cert []types.Signature) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, sig := range cert {
+		binary.LittleEndian.PutUint32(b[:], uint32(sig.Signer))
+		h.Write(b[:])
+		h.Write(sig.Bytes)
+	}
+	return h.Sum64()
 }
 
 func newInstance(r *Replica, id int32) *Instance {
@@ -97,6 +134,7 @@ func newInstance(r *Replica, id int32) *Instance {
 		certHead:   g,
 		cpHead:     g,
 		lastCommit: g,
+		certJobs:   make(map[uint64]certJob),
 		tR:         r.cfg.InitialRecordingTimeout,
 		tA:         r.cfg.InitialCertifyTimeout,
 		// Sentinels: a first timeout at view 1 is not "consecutive".
@@ -263,11 +301,11 @@ func (in *Instance) onPropose(msg *types.Propose) {
 		return // flooding guard
 	}
 	d := msg.Digest()
-	// S1: the proposal must carry a valid primary signature (forwardable).
+	// S1: the proposal must carry the primary's signature. Its validity was
+	// established by the verification pipeline before the message entered
+	// the event loop (Replica.IngressJob); only the cheap identity check
+	// remains here.
 	if msg.Sig.Signer != in.primaryOf(v) {
-		return
-	}
-	if err := in.r.ctx.Crypto().Verify(msg.Sig, d[:]); err != nil {
 		return
 	}
 	p := in.getOrCreate(d, v)
@@ -305,15 +343,15 @@ func (in *Instance) tryAccept(p *proposal, msg *types.Propose) {
 	}
 	parent := p.parent
 	// S4 / A1: the parent must be conditionally prepared; a valid embedded
-	// certificate conditionally prepares it on the spot (§3.3).
-	if !parent.condPrepared {
-		if msg.Parent.Kind == types.JustCert && in.verifyCert(msg.Parent) {
-			parent.view = msg.Parent.ParentView
-			in.condPrepare(parent)
-		}
-	}
+	// certificate conditionally prepares it (§3.3). Certificate signatures
+	// are checked off the event loop as one fanned-out batch job: the
+	// proposal is buffered and acceptance resumes when the completion
+	// arrives (onVerified → condPrepare → retryPending).
 	if !parent.condPrepared {
 		s.pending = msg // A1 may be satisfied later (CP votes, cert)
+		if msg.Parent.Kind == types.JustCert {
+			in.requestCertVerify(parent, msg.Parent)
+		}
 		return
 	}
 	// A2 (safety rule) or A3 (liveness rule).
@@ -376,28 +414,61 @@ func (in *Instance) safeToExtend(parent *proposal) bool {
 	return false
 }
 
-// verifyCert checks n−f distinct valid signatures over the parent claim
-// (only invoked on the recovery path, §3.4).
-func (in *Instance) verifyCert(j types.Justification) bool {
-	if len(j.Cert) < in.quorum() {
-		return false
+// requestCertVerify schedules verification of an embedded certificate —
+// n−f signatures over the parent claim — as one asynchronous batch job
+// (only the recovery path needs it, §3.4). At most one job per parent is in
+// flight, and a parent whose certificate was rejected is not re-verified:
+// Byzantine primaries cannot starve the pipeline, and the CP-vote path
+// still conditionally prepares the parent when f+1 honest endorsements
+// arrive.
+func (in *Instance) requestCertVerify(parent *proposal, j types.Justification) {
+	if parent.certInFlight || len(j.Cert) < in.quorum() ||
+		crypto.DistinctSigners(j.Cert) < in.quorum() {
+		return
 	}
+	fp := certFingerprint(j.Cert)
+	if fp != 0 && fp == parent.certRejectedFP {
+		return // this exact cert already failed; don't re-verify it
+	}
+	parent.certInFlight = true
+	in.verifySeq++
+	in.certJobs[in.verifySeq] = certJob{parent: parent, view: j.ParentView, fp: fp}
 	claim := types.ClaimBytes(in.id, types.Claim{View: j.ParentView, Digest: j.ParentDigest})
-	seen := make(map[types.NodeID]bool, len(j.Cert))
-	valid := 0
-	for _, sig := range j.Cert {
-		if seen[sig.Signer] {
-			continue
-		}
-		seen[sig.Signer] = true
-		if in.r.ctx.Crypto().Verify(sig, claim) == nil {
-			valid++
-			if valid >= in.quorum() {
-				return true
-			}
-		}
+	checks := make([]crypto.Check, len(j.Cert))
+	for i, sig := range j.Cert {
+		checks[i] = crypto.Check{Sig: sig, Msg: claim}
 	}
-	return false
+	in.r.ctx.VerifyAsync(protocol.VerifyJob{
+		Tag:    protocol.TimerTag{Kind: protocol.TimerVerify, Instance: in.id, Seq: in.verifySeq},
+		Checks: checks,
+		Quorum: in.quorum(),
+	})
+}
+
+// onVerified consumes an async certificate-verification completion.
+// Stale-completion discipline: sequences not in certJobs (pruned, or
+// already resolved through another path) are ignored.
+func (in *Instance) onVerified(tag protocol.TimerTag, ok bool) {
+	job, present := in.certJobs[tag.Seq]
+	if !present {
+		return
+	}
+	delete(in.certJobs, tag.Seq)
+	job.parent.certInFlight = false
+	if !ok {
+		job.parent.certRejectedFP = job.fp
+		// A different proposal (with a different, possibly valid cert) may
+		// have been buffered while this job was in flight — retry it now
+		// rather than waiting for retransmission.
+		in.retryPending()
+		return
+	}
+	if !job.parent.condPrepared {
+		job.parent.view = job.view
+		in.condPrepare(job.parent) // retries the buffered proposal
+	} else {
+		in.retryPending()
+	}
 }
 
 // sendSync broadcasts our Sync for view v with the given claim and records
@@ -483,7 +554,10 @@ func (in *Instance) recordSync(from types.NodeID, msg *types.Sync) {
 		} else {
 			s.claimCounts[msg.Claim.Digest]++
 			p := in.getOrCreate(msg.Claim.Digest, msg.Claim.View)
-			if msg.Claim.View == p.view {
+			// Only sender-bound signatures become certificate material:
+			// a relayed third-party signature would later assemble into
+			// a cert short of distinct signers (§3.4).
+			if msg.Claim.View == p.view && msg.Sig.Signer == from {
 				p.syncVotes[from] = msg.Sig
 				if len(p.syncVotes) >= in.quorum() && p.view > in.certHead.view {
 					in.certHead = p

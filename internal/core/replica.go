@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"spotless/internal/crypto"
 	"spotless/internal/protocol"
 	"spotless/internal/types"
 )
@@ -100,6 +101,49 @@ func (r *Replica) HandleTimer(tag protocol.TimerTag) {
 		in.onTimer(tag)
 	}
 }
+
+// IngressJob implements protocol.IngressVerifier. A Propose must carry a
+// valid primary signature before it enters the state machine (check S1);
+// the substrate runs the check off the event loop. Sync signatures are
+// certificate material verified lazily by receivers that need them (§3.4),
+// and Ask carries no signature — so SpotLess's all-to-all fast path stays
+// MAC-priced, the asymmetry the paper's evaluation rests on. Embedded
+// certificates (Propose.Parent.Cert) are likewise not screened here: they
+// matter only on the recovery path, where the instance fans them out as one
+// VerifyAsync batch job.
+func (r *Replica) IngressJob(from types.NodeID, msg types.Message) (protocol.VerifyJob, bool) {
+	m, ok := msg.(*types.Propose)
+	if !ok || m.Batch == nil {
+		return protocol.VerifyJob{}, false
+	}
+	// Stateless pre-guards mirroring the loop's own cheap drops: bogus
+	// instances and signers that are not the view's primary never reach
+	// (or pay for) verification. The stateful flooding window (view too
+	// far ahead) still costs one pooled check per junk proposal.
+	if m.Instance < 0 || int(m.Instance) >= r.cfg.Instances ||
+		m.Sig.Signer != PrimaryOf(m.Instance, m.View, r.cfg.N) {
+		return protocol.VerifyJob{}, false
+	}
+	d := m.Digest()
+	return protocol.VerifyJob{
+		Checks: []crypto.Check{{Sig: m.Sig, Msg: d[:]}},
+		Quorum: 1,
+	}, true
+}
+
+// HandleVerified implements protocol.VerifyConsumer, routing asynchronous
+// certificate-verification completions to their instance.
+func (r *Replica) HandleVerified(tag protocol.TimerTag, ok bool) {
+	if in := r.instance(tag.Instance); in != nil {
+		in.onVerified(tag, ok)
+	}
+}
+
+var (
+	_ protocol.Protocol        = (*Replica)(nil)
+	_ protocol.IngressVerifier = (*Replica)(nil)
+	_ protocol.VerifyConsumer  = (*Replica)(nil)
+)
 
 func (r *Replica) instance(i int32) *Instance {
 	if i < 0 || int(i) >= len(r.insts) {

@@ -19,6 +19,12 @@ type fakeContext struct {
 	sent    []types.Message
 	commits []types.Commit
 	timers  []protocol.TimerTag
+	verifs  []fakeVerify // queued VerifyAsync completions (delivered by flushVerify)
+}
+
+type fakeVerify struct {
+	tag protocol.TimerTag
+	ok  bool
 }
 
 func newFakeContext(id types.NodeID, n int) *fakeContext {
@@ -42,6 +48,24 @@ func (c *fakeContext) Crypto() crypto.Provider      { return c.prov }
 func (c *fakeContext) Deliver(cm types.Commit)      { c.commits = append(c.commits, cm) }
 func (c *fakeContext) NextBatch(int32) *types.Batch { return nil }
 func (c *fakeContext) Logf(string, ...any)          {}
+
+// VerifyAsync computes the verdict immediately but queues the completion,
+// honouring the non-reentrancy of the contract; tests deliver it with
+// flushVerify.
+func (c *fakeContext) VerifyAsync(job protocol.VerifyJob) {
+	ok := crypto.VerifyChecks(c.prov, job.Checks, job.Quorum)
+	c.verifs = append(c.verifs, fakeVerify{tag: job.Tag, ok: ok})
+}
+
+// flushVerify delivers queued verification completions to the replica, as
+// the substrates do after the issuing handler returned.
+func flushVerify(r *Replica, ctx *fakeContext) {
+	for len(ctx.verifs) > 0 {
+		v := ctx.verifs[0]
+		ctx.verifs = ctx.verifs[1:]
+		r.HandleVerified(v.tag, v.ok)
+	}
+}
 
 // provFor returns a signing provider for another (simulated) replica.
 func provFor(id types.NodeID) crypto.Provider {
@@ -327,6 +351,12 @@ func TestCertificateConditionallyPrepares(t *testing.T) {
 	}
 	p2 := buildProposal(0, 2, types.Justification{Kind: types.JustCert, ParentView: 1, ParentDigest: d1, Cert: cert}, 2)
 	r.HandleMessage(2, p2)
+	// Certificate verification is asynchronous: the proposal is buffered
+	// until the fanned-out batch job completes.
+	if in.props[d1].condPrepared {
+		t.Fatal("parent conditionally prepared before the cert job completed")
+	}
+	flushVerify(r, ctx)
 	if !in.props[d1].condPrepared {
 		t.Fatal("valid certificate must conditionally prepare the parent (S4)")
 	}
@@ -344,7 +374,7 @@ func TestCertificateConditionallyPrepares(t *testing.T) {
 // TestBogusCertificateRejected: certificates with forged or duplicate
 // signatures do not conditionally prepare the parent.
 func TestBogusCertificateRejected(t *testing.T) {
-	r, _ := newTestReplica()
+	r, ctx := newTestReplica()
 	in := r.Instance(0)
 	p1 := buildProposal(0, 1, types.Justification{Kind: types.JustGenesis}, 1)
 	d1 := p1.Digest()
@@ -359,6 +389,7 @@ func TestBogusCertificateRejected(t *testing.T) {
 	cert := []types.Signature{one, one, one}
 	p2 := buildProposal(0, 2, types.Justification{Kind: types.JustCert, ParentView: 1, ParentDigest: d1, Cert: cert}, 2)
 	r.HandleMessage(2, p2)
+	flushVerify(r, ctx)
 	if p, ok := in.props[d1]; ok && p.condPrepared {
 		t.Fatal("duplicate-signature certificate accepted")
 	}

@@ -63,6 +63,11 @@ type CostModel struct {
 	Verify    time.Duration // verify one digital signature
 	MAC       time.Duration // compute or verify one MAC
 	HashPerKB time.Duration // hash cost per KiB of payload
+	// Cores is the number of virtual cores the verification pipeline may
+	// use for one batch (the simulated analogue of the real runtime's
+	// worker pool; see Verifier). 0 or 1 serializes verification — the
+	// pre-pipeline behaviour.
+	Cores int
 }
 
 // DefaultCostModel returns the calibrated defaults (ed25519-class signing,

@@ -1,0 +1,310 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spotless/internal/types"
+)
+
+// This file is the verification pipeline of the crypto layer: signature
+// checking declared as data (Check), executed in batches (Verifier), and
+// taken off protocol event loops — by a worker pool for the real provider
+// and by a modelled multi-core charge for the simulated one. Protocols
+// declare their checks up front (see protocol.IngressVerifier) and the
+// substrates run them here, so the single-threaded state machines only ever
+// consume pre-verified messages.
+
+// Check is one signature-verification work item: a signature and the bytes
+// it allegedly covers.
+type Check struct {
+	Sig types.Signature
+	Msg []byte
+}
+
+// Verifier verifies batches of signature checks, possibly in parallel.
+//
+// A batch passes when at least quorum *distinct* signers verify; duplicate
+// signers are counted once (the certificate rule of §3.4 and §6.2). A
+// quorum ≤ 0 requires every check to pass, which a batch containing
+// duplicate signers can never satisfy.
+type Verifier interface {
+	VerifyBatch(checks []Check, quorum int) bool
+}
+
+// DistinctSigners counts the distinct signers among sigs. It is the
+// structural half of certificate validation kept on protocol event loops —
+// the cryptographic half having already run in the verification pipeline.
+func DistinctSigners(sigs []types.Signature) int {
+	seen := make(map[types.NodeID]bool, len(sigs))
+	for _, sig := range sigs {
+		seen[sig.Signer] = true
+	}
+	return len(seen)
+}
+
+// dedupChecks drops duplicate signers, keeping each signer's first check.
+// It returns the input slice unchanged when there are no duplicates (the
+// common case) to avoid allocating on the fast path.
+func dedupChecks(checks []Check) []Check {
+	seen := make(map[types.NodeID]bool, len(checks))
+	dup := false
+	for _, c := range checks {
+		if seen[c.Sig.Signer] {
+			dup = true
+			break
+		}
+		seen[c.Sig.Signer] = true
+	}
+	if !dup {
+		return checks
+	}
+	out := make([]Check, 0, len(checks))
+	clear(seen)
+	for _, c := range checks {
+		if seen[c.Sig.Signer] {
+			continue
+		}
+		seen[c.Sig.Signer] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// normalizeQuorum resolves the quorum convention shared by all Verifier
+// implementations; the boolean is false when the batch structurally cannot
+// reach quorum. An empty batch never passes — no signatures is no
+// evidence, whatever the quorum.
+func normalizeQuorum(checks, deduped []Check, quorum int) (int, bool) {
+	if quorum <= 0 {
+		quorum = len(checks) // "all must pass"; duplicates can never satisfy it
+	}
+	return quorum, len(deduped) > 0 && len(deduped) >= quorum
+}
+
+// VerifyChecks is the serial reference implementation of the batch rule; it
+// early-outs once quorum distinct signers verified.
+func VerifyChecks(p Provider, checks []Check, quorum int) bool {
+	deduped := dedupChecks(checks)
+	quorum, feasible := normalizeQuorum(checks, deduped, quorum)
+	if !feasible {
+		return false
+	}
+	valid := 0
+	for i, c := range deduped {
+		if p.Verify(c.Sig, c.Msg) == nil {
+			valid++
+			if valid >= quorum {
+				return true
+			}
+		}
+		if valid+len(deduped)-i-1 < quorum {
+			return false // remaining checks cannot reach quorum
+		}
+	}
+	return false
+}
+
+// SerialVerifier adapts a Provider to Verifier with in-place execution. It
+// is the fallback where no pool is wired (tests, trivial deployments).
+type SerialVerifier struct{ P Provider }
+
+// VerifyBatch implements Verifier.
+func (v SerialVerifier) VerifyBatch(checks []Check, quorum int) bool {
+	return VerifyChecks(v.P, checks, quorum)
+}
+
+// ---------------------------------------------------------------------------
+// PoolVerifier: bounded worker pool for real (CPU-bound) providers
+// ---------------------------------------------------------------------------
+
+// PoolVerifier fans signature checks out to a bounded worker pool. One pool
+// serves a whole replica: the runtime node's ingress screening, the TCP
+// transport's reader goroutines, and VerifyAsync completions all share it,
+// so an n−f-signature certificate is verified by up to n−f cores instead of
+// serializing on the protocol event loop.
+//
+// Submission never blocks the caller beyond the verification itself: when
+// the pool's queue is full (or the pool is closed), the check runs inline
+// on the submitting goroutine.
+type PoolVerifier struct {
+	p       Provider
+	workers int
+
+	mu     sync.RWMutex // guards tasks against Close
+	closed bool
+	tasks  chan func()
+	wg     sync.WaitGroup
+}
+
+// NewPoolVerifier creates a pool with the given number of workers
+// (≤ 0 selects GOMAXPROCS). Close releases the workers.
+func NewPoolVerifier(p Provider, workers int) *PoolVerifier {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	v := &PoolVerifier{p: p, workers: workers, tasks: make(chan func(), workers*64)}
+	v.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer v.wg.Done()
+			for fn := range v.tasks {
+				fn()
+			}
+		}()
+	}
+	return v
+}
+
+// Workers reports the pool width.
+func (v *PoolVerifier) Workers() int { return v.workers }
+
+// Close stops the workers after draining queued checks. Checks submitted
+// after Close run inline on their caller.
+func (v *PoolVerifier) Close() {
+	v.mu.Lock()
+	if !v.closed {
+		v.closed = true
+		close(v.tasks)
+	}
+	v.mu.Unlock()
+	v.wg.Wait()
+}
+
+// submit enqueues fn, or runs it inline when the pool is saturated/closed.
+func (v *PoolVerifier) submit(fn func()) {
+	v.mu.RLock()
+	if !v.closed {
+		select {
+		case v.tasks <- fn:
+			v.mu.RUnlock()
+			return
+		default:
+		}
+	}
+	v.mu.RUnlock()
+	fn()
+}
+
+// batchState collects one batch's verdict across workers. The verdict is
+// decided early — at quorum valid signatures, or as soon as quorum becomes
+// unreachable — recovering the early-out of the serial loops this pool
+// replaced; checks of an already-decided batch are skipped.
+type batchState struct {
+	valid   atomic.Int32
+	failed  atomic.Int32
+	decided atomic.Bool
+	quorum  int32
+	total   int32
+	done    func(bool)
+}
+
+// finish delivers the verdict exactly once.
+func (st *batchState) finish(ok bool) {
+	if st.decided.CompareAndSwap(false, true) {
+		st.done(ok)
+	}
+}
+
+// VerifyBatchAsync verifies the batch on the pool and invokes done(ok)
+// exactly once when the verdict is known. done may run on a worker
+// goroutine or synchronously on the caller; it must be non-blocking and
+// thread-safe (typically it posts an event to the node loop).
+func (v *PoolVerifier) VerifyBatchAsync(checks []Check, quorum int, done func(ok bool)) {
+	deduped := dedupChecks(checks)
+	quorum, feasible := normalizeQuorum(checks, deduped, quorum)
+	if !feasible {
+		done(false)
+		return
+	}
+	st := &batchState{quorum: int32(quorum), total: int32(len(deduped)), done: done}
+	for i := range deduped {
+		c := deduped[i]
+		v.submit(func() {
+			if st.decided.Load() {
+				return // verdict already delivered; skip the work
+			}
+			if v.p.Verify(c.Sig, c.Msg) == nil {
+				if st.valid.Add(1) >= st.quorum {
+					st.finish(true)
+				}
+			} else if st.failed.Add(1) > st.total-st.quorum {
+				st.finish(false)
+			}
+		})
+	}
+}
+
+// VerifyBatch implements Verifier, blocking the caller until the verdict.
+// Intended for goroutines that are themselves off the event loop (transport
+// readers); event loops use VerifyBatchAsync via their substrate.
+func (v *PoolVerifier) VerifyBatch(checks []Check, quorum int) bool {
+	ch := make(chan bool, 1)
+	v.VerifyBatchAsync(checks, quorum, func(ok bool) { ch <- ok })
+	return <-ch
+}
+
+// ---------------------------------------------------------------------------
+// Simulated multi-core verification
+// ---------------------------------------------------------------------------
+
+// ParallelCharger is implemented by simulation node contexts that can model
+// parallel CPU work: total is the aggregate CPU time consumed across cores,
+// critical the wall-clock (critical-path) latency of the parallel stage.
+// Chargers that only see serial work receive ChargeCPU(total).
+type ParallelCharger interface {
+	Charger
+	// ChargeCPUParallel charges total CPU work whose parallel execution
+	// completes after critical wall-clock time (critical ≤ total).
+	ChargeCPUParallel(total, critical time.Duration)
+}
+
+// VerifyBatch implements Verifier for the simulation provider: the batch is
+// charged as one parallel stage over min(len(batch), CostModel.Cores)
+// virtual cores, modelling the worker-pool verifier of the real runtime.
+// Checks are indivisible, so the critical path is whole verification
+// rounds — ceil(len/cores) × the mean per-check cost — not a fractional
+// total/cores. With Cores ≤ 1 verification serializes on the handler as in
+// the pre-pipeline model (absolute figures still differ from the seed:
+// ingress MAC charges are new, and batches no longer early-out at quorum).
+func (p *SimProvider) VerifyBatch(checks []Check, quorum int) bool {
+	deduped := dedupChecks(checks)
+	var total time.Duration
+	for _, c := range deduped {
+		total += p.costs.Verify + p.hashCost(c.Msg)
+	}
+	critical := total
+	if n := len(deduped); n > 0 {
+		cores := p.costs.Cores
+		if cores < 1 {
+			cores = 1
+		}
+		rounds := (n + cores - 1) / cores
+		critical = total / time.Duration(n) * time.Duration(rounds)
+	}
+	if pc, ok := p.charger.(ParallelCharger); ok {
+		pc.ChargeCPUParallel(total, critical)
+	} else {
+		p.charger.ChargeCPU(total)
+	}
+	quorum, feasible := normalizeQuorum(checks, deduped, quorum)
+	if !feasible {
+		return false
+	}
+	valid := 0
+	for _, c := range deduped {
+		if hmac.Equal(c.Sig.Bytes, simTag(c.Sig.Signer, c.Msg)) {
+			valid++
+		}
+	}
+	return valid >= quorum
+}
+
+var (
+	_ Verifier = SerialVerifier{}
+	_ Verifier = (*PoolVerifier)(nil)
+	_ Verifier = (*SimProvider)(nil)
+)

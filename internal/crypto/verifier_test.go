@@ -1,0 +1,193 @@
+package crypto
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"spotless/internal/types"
+)
+
+func checksFor(ring *Keyring, msg []byte, ids ...types.NodeID) []Check {
+	out := make([]Check, 0, len(ids))
+	for _, id := range ids {
+		p, _ := ring.Provider(id)
+		out = append(out, Check{Sig: p.Sign(msg), Msg: msg})
+	}
+	return out
+}
+
+// TestVerifyChecksQuorum: the serial reference applies the shared batch
+// rule — distinct-signer quorum, duplicates counted once, quorum ≤ 0
+// meaning all-must-pass.
+func TestVerifyChecksQuorum(t *testing.T) {
+	ring := testRing()
+	p0, _ := ring.Provider(0)
+	msg := []byte("batch rule")
+	good := checksFor(ring, msg, 0, 1, 2)
+	forged := Check{Sig: types.Signature{Signer: 3, Bytes: []byte("junk")}, Msg: msg}
+
+	if !VerifyChecks(p0, good, 3) {
+		t.Fatal("three valid distinct signers rejected at quorum 3")
+	}
+	if !VerifyChecks(p0, append(good[:2:2], forged), 2) {
+		t.Fatal("two valid + one forged rejected at quorum 2")
+	}
+	if VerifyChecks(p0, append(good[:2:2], forged), 3) {
+		t.Fatal("two valid + one forged accepted at quorum 3")
+	}
+	dup := []Check{good[0], good[0], good[0]}
+	if VerifyChecks(p0, dup, 2) {
+		t.Fatal("duplicate signers counted more than once")
+	}
+	if VerifyChecks(p0, append(good[:2:2], forged), 0) {
+		t.Fatal("quorum 0 (all must pass) accepted a forged check")
+	}
+	if !VerifyChecks(p0, good, 0) {
+		t.Fatal("quorum 0 rejected an all-valid batch")
+	}
+	// An empty batch is never evidence, whatever the quorum — and the
+	// async path must still complete exactly once.
+	if VerifyChecks(p0, nil, 0) || VerifyChecks(p0, nil, 1) {
+		t.Fatal("empty batch accepted")
+	}
+	sim := NewSimProvider(0, CostModel{}, nil)
+	if sim.VerifyBatch(nil, 0) {
+		t.Fatal("sim verifier accepted an empty batch")
+	}
+	pool := NewPoolVerifier(p0, 1)
+	defer pool.Close()
+	done := make(chan bool, 1)
+	pool.VerifyBatchAsync(nil, 0, func(ok bool) { done <- ok })
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pool verifier accepted an empty batch")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("empty-batch job never completed")
+	}
+}
+
+// TestPoolVerifierMatchesSerial: the pooled verdict equals the serial one
+// across mixtures of valid, forged, and duplicate checks, also under
+// concurrent batches from many goroutines.
+func TestPoolVerifierMatchesSerial(t *testing.T) {
+	ring := testRing()
+	p0, _ := ring.Provider(0)
+	pool := NewPoolVerifier(p0, 4)
+	defer pool.Close()
+	msg := []byte("pool vs serial")
+	good := checksFor(ring, msg, 0, 1, 2, 3)
+	forged := Check{Sig: types.Signature{Signer: 2, Bytes: []byte("junk")}, Msg: msg}
+
+	cases := []struct {
+		checks []Check
+		quorum int
+	}{
+		{good, 4}, {good, 2}, {good[:1], 1}, {good[:1], 0},
+		{append(good[:3:3], forged), 4},
+		{append(good[:3:3], forged), 3},
+		{[]Check{good[0], good[0]}, 2},
+		{[]Check{forged}, 1},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, tc := range cases {
+				want := VerifyChecks(p0, tc.checks, tc.quorum)
+				if got := pool.VerifyBatch(tc.checks, tc.quorum); got != want {
+					t.Errorf("pool verdict %v, serial %v (quorum %d)", got, want, tc.quorum)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPoolVerifierAsync: done fires exactly once per job with the right
+// verdict, and a closed pool still verifies (inline on the caller).
+func TestPoolVerifierAsync(t *testing.T) {
+	ring := testRing()
+	p0, _ := ring.Provider(0)
+	pool := NewPoolVerifier(p0, 2)
+	msg := []byte("async")
+	good := checksFor(ring, msg, 0, 1, 2)
+
+	results := make(chan bool, 2)
+	pool.VerifyBatchAsync(good, 3, func(ok bool) { results <- ok })
+	pool.VerifyBatchAsync([]Check{{Sig: types.Signature{Signer: 1, Bytes: []byte("junk")}, Msg: msg}}, 1,
+		func(ok bool) { results <- ok })
+	got := map[bool]int{}
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-results:
+			got[ok]++
+		case <-time.After(5 * time.Second):
+			t.Fatal("async verification did not complete")
+		}
+	}
+	if got[true] != 1 || got[false] != 1 {
+		t.Fatalf("verdicts: %v, want one true and one false", got)
+	}
+
+	pool.Close()
+	if !pool.VerifyBatch(good, 3) { // inline fallback after Close
+		t.Fatal("closed pool rejected a valid batch")
+	}
+}
+
+// parallelRecorder captures parallel charges.
+type parallelRecorder struct {
+	total    time.Duration
+	critical time.Duration
+	serial   time.Duration
+}
+
+func (r *parallelRecorder) ChargeCPU(d time.Duration) { r.serial += d }
+func (r *parallelRecorder) ChargeCPUParallel(total, critical time.Duration) {
+	r.total += total
+	r.critical += critical
+}
+
+// TestSimVerifyBatchParallelCharge: the simulated verifier charges the full
+// aggregate work while the critical path shrinks by min(batch, Cores) — and
+// Cores ≤ 1 degenerates to the serial charge.
+func TestSimVerifyBatchParallelCharge(t *testing.T) {
+	msg := []byte("m")
+	var checks []Check
+	for i := 0; i < 8; i++ {
+		p := NewSimProvider(types.NodeID(i), CostModel{}, nil)
+		checks = append(checks, Check{Sig: p.Sign(msg), Msg: msg})
+	}
+	costs := CostModel{Verify: 100 * time.Microsecond, Cores: 4}
+	rec := &parallelRecorder{}
+	v := NewSimProvider(0, costs, rec)
+	if !v.VerifyBatch(checks, len(checks)) {
+		t.Fatal("valid batch rejected")
+	}
+	if want := 800 * time.Microsecond; rec.total != want {
+		t.Fatalf("aggregate work %v, want %v", rec.total, want)
+	}
+	if want := 200 * time.Microsecond; rec.critical != want {
+		t.Fatalf("critical path %v, want %v (8 checks on 4 cores)", rec.critical, want)
+	}
+
+	// Serial model: Cores=1 charges critical == total.
+	rec1 := &parallelRecorder{}
+	v1 := NewSimProvider(0, CostModel{Verify: 100 * time.Microsecond, Cores: 1}, rec1)
+	v1.VerifyBatch(checks, len(checks))
+	if rec1.critical != rec1.total || rec1.total != 800*time.Microsecond {
+		t.Fatalf("serial charge: critical %v total %v, want both 800µs", rec1.critical, rec1.total)
+	}
+
+	// A small batch cannot use more cores than it has checks.
+	rec2 := &parallelRecorder{}
+	v2 := NewSimProvider(0, CostModel{Verify: 100 * time.Microsecond, Cores: 16}, rec2)
+	v2.VerifyBatch(checks[:2], 2)
+	if want := 100 * time.Microsecond; rec2.critical != want {
+		t.Fatalf("critical path %v, want %v (width capped at batch size)", rec2.critical, want)
+	}
+}

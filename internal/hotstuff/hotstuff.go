@@ -11,6 +11,7 @@ package hotstuff
 import (
 	"time"
 
+	"spotless/internal/crypto"
 	"spotless/internal/protocol"
 	"spotless/internal/types"
 )
@@ -190,16 +191,76 @@ func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {
 	}
 }
 
+// IngressJob implements protocol.IngressVerifier, declaring the protocol's
+// signature work up front so substrates verify it off the event loop: the
+// n−f QC signatures carried by proposals and NewViews — the dominant cost
+// of the protocol's critical path (§6.2) — fan out as one batch job, and
+// each vote signature is checked before it reaches the leader's loop. The
+// state machine below consumes only pre-verified messages.
+//
+// Every stateless guard the loop applies anyway (leadership, vote routing,
+// structural QC quorum) runs here *before* any checks are declared, so a
+// flood of junk messages is discarded by the loop for free instead of
+// burning verification capacity.
+func (r *Replica) IngressJob(from types.NodeID, msg types.Message) (protocol.VerifyJob, bool) {
+	switch m := msg.(type) {
+	case *types.HSProposal:
+		if from != r.leader(m.View) {
+			return protocol.VerifyJob{}, false // onProposal drops it unread
+		}
+		return r.qcJob(m.Justify)
+	case *types.HSNewView:
+		return r.qcJob(m.Justify)
+	case *types.HSVote:
+		// Votes must be signed by their sender: a replayed third-party
+		// signature would verify but poison the leader's QC with a
+		// duplicate signer, so it is dropped before costing a check.
+		if r.leader(m.View+1) != r.ctx.ID() || m.Sig.Signer != from {
+			return protocol.VerifyJob{}, false // onVote drops it unread
+		}
+		return protocol.VerifyJob{
+			Checks: []crypto.Check{{Sig: m.Sig, Msg: m.Block[:]}},
+			Quorum: 1,
+		}, true
+	}
+	return protocol.VerifyJob{}, false
+}
+
+// qcJob declares the batch verification of one quorum certificate.
+// Structurally short QCs (too few distinct signers) declare no checks —
+// qcComplete rejects them on the loop at map-count cost.
+func (r *Replica) qcJob(qc types.QC) (protocol.VerifyJob, bool) {
+	if qc.Genesis || r.cfg.SkipQCVerify || crypto.DistinctSigners(qc.Sigs) < r.quorum() {
+		return protocol.VerifyJob{}, false
+	}
+	checks := make([]crypto.Check, len(qc.Sigs))
+	for i, sig := range qc.Sigs {
+		checks[i] = crypto.Check{Sig: sig, Msg: qc.Block[:]}
+	}
+	return protocol.VerifyJob{Checks: checks, Quorum: r.quorum()}, true
+}
+
+// qcComplete is the structural remnant of QC validation on the event loop:
+// the signatures themselves were verified by the ingress pipeline, so only
+// the distinct-signer quorum count is (re)checked here — it also covers
+// QCs assembled locally or injected by tests.
+func qcComplete(qc types.QC, quorum int) bool {
+	return qc.Genesis || crypto.DistinctSigners(qc.Sigs) >= quorum
+}
+
+var (
+	_ protocol.Protocol        = (*Replica)(nil)
+	_ protocol.IngressVerifier = (*Replica)(nil)
+)
+
 func (r *Replica) onProposal(from types.NodeID, m *types.HSProposal) {
 	if m.View < r.view || from != r.leader(m.View) {
 		return
 	}
-	// Verify the justification: n−f individual signatures (§6.2) — the
-	// dominant cost of the protocol's critical path.
-	if !m.Justify.Genesis {
-		if !r.verifyQC(m.Justify) {
-			return
-		}
+	// The justification's n−f signatures (§6.2) were verified by the
+	// ingress pipeline; only the structural quorum check remains here.
+	if !qcComplete(m.Justify, r.quorum()) {
+		return
 	}
 	parent, ok := r.blocks[m.Parent]
 	if !ok && !m.Justify.Genesis {
@@ -286,33 +347,6 @@ func (r *Replica) commit(b *block) {
 	}
 }
 
-func (r *Replica) verifyQC(qc types.QC) bool {
-	if qc.Genesis {
-		return true
-	}
-	if len(qc.Sigs) < r.quorum() {
-		return false
-	}
-	if r.cfg.SkipQCVerify {
-		return true
-	}
-	valid := 0
-	seen := make(map[types.NodeID]bool, len(qc.Sigs))
-	for _, sig := range qc.Sigs {
-		if seen[sig.Signer] {
-			continue
-		}
-		seen[sig.Signer] = true
-		if r.ctx.Crypto().Verify(sig, qc.Block[:]) == nil {
-			valid++
-			if valid >= r.quorum() {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 func (r *Replica) updateHighQC(qc types.QC) {
 	if qc.Genesis {
 		return
@@ -334,8 +368,10 @@ func (r *Replica) onVote(from types.NodeID, m *types.HSVote) {
 	if _, dup := set[from]; dup {
 		return
 	}
-	// The leader verifies each vote signature on arrival (§6.2).
-	if r.ctx.Crypto().Verify(m.Sig, m.Block[:]) != nil {
+	// Vote signatures are verified by the ingress pipeline on arrival
+	// (§6.2); the loop only tallies pre-verified votes, re-asserting the
+	// sender binding so an assembled QC always has distinct signers.
+	if m.Sig.Signer != from {
 		return
 	}
 	set[from] = m.Sig
@@ -356,7 +392,7 @@ func (r *Replica) onVote(from types.NodeID, m *types.HSVote) {
 }
 
 func (r *Replica) onNewView(from types.NodeID, m *types.HSNewView) {
-	if !m.Justify.Genesis && r.verifyQC(m.Justify) {
+	if qcComplete(m.Justify, r.quorum()) {
 		r.updateHighQC(m.Justify)
 	}
 	// View synchronization: adopt higher views and echo our own NewView to

@@ -38,6 +38,7 @@ func (c *fakeCtx) Send(to types.NodeID, m types.Message) {
 }
 func (c *fakeCtx) Broadcast(m types.Message)                 { c.sent = append(c.sent, sentMsg{-1, m}) }
 func (c *fakeCtx) SetTimer(time.Duration, protocol.TimerTag) {}
+func (c *fakeCtx) VerifyAsync(protocol.VerifyJob)            {}
 func (c *fakeCtx) Crypto() crypto.Provider                   { return c.prov }
 func (c *fakeCtx) Deliver(cm types.Commit)                   { c.commits = append(c.commits, cm) }
 func (c *fakeCtx) Logf(string, ...any)                       {}
@@ -52,6 +53,18 @@ func (c *fakeCtx) NextBatch(int32) *types.Batch {
 
 func prov(id types.NodeID) crypto.Provider {
 	return crypto.NewSimProvider(id, crypto.CostModel{}, nil)
+}
+
+// deliver routes a message the way substrates do: the declared ingress
+// checks run first (off-loop in production) and failing messages never
+// reach the state machine.
+func deliver(r *Replica, from types.NodeID, msg types.Message) {
+	if job, needed := r.IngressJob(from, msg); needed {
+		if !crypto.VerifyChecks(prov(from), job.Checks, job.Quorum) {
+			return
+		}
+	}
+	r.HandleMessage(from, msg)
 }
 
 func mkBatch(tag byte) *types.Batch {
@@ -78,7 +91,7 @@ func feedChain(r *Replica, n, f int, count int) []types.Digest {
 		batch := mkBatch(byte(v))
 		d := types.ProposalDigest(0, v, batch.ID, justify.View, parent)
 		msg := &types.HSProposal{View: v, Block: d, Parent: parent, Batch: batch, Justify: justify}
-		r.HandleMessage(r.leader(v), msg)
+		deliver(r, r.leader(v), msg)
 		digests = append(digests, d)
 		justify = qcFor(v, d, n, f)
 		parent = d
@@ -132,13 +145,21 @@ func TestHotStuffRejectsBadQC(t *testing.T) {
 	r.Start()
 	batch := mkBatch(1)
 	d1 := types.ProposalDigest(0, 1, batch.ID, 0, types.Digest{})
-	r.HandleMessage(1, &types.HSProposal{View: 1, Block: d1, Batch: batch, Justify: types.QC{Genesis: true}})
-	// Forged QC: one signature repeated.
+	deliver(r, 1, &types.HSProposal{View: 1, Block: d1, Batch: batch, Justify: types.QC{Genesis: true}})
+	// Forged QC: one signature repeated — dropped by the ingress pipeline
+	// (distinct-signer quorum infeasible).
 	sig := prov(1).Sign(d1[:])
 	bad := types.QC{View: 1, Block: d1, Sigs: []types.Signature{sig, sig, sig}}
 	batch2 := mkBatch(2)
 	d2 := types.ProposalDigest(0, 2, batch2.ID, 1, d1)
-	r.HandleMessage(2, &types.HSProposal{View: 2, Block: d2, Parent: d1, Batch: batch2, Justify: bad})
+	deliver(r, 2, &types.HSProposal{View: 2, Block: d2, Parent: d1, Batch: batch2, Justify: bad})
+	// A structurally complete QC of invalid signatures is dropped too.
+	forged := types.QC{View: 1, Block: d1, Sigs: []types.Signature{
+		{Signer: 0, Bytes: []byte("junk0")},
+		{Signer: 1, Bytes: []byte("junk1")},
+		{Signer: 2, Bytes: []byte("junk2")},
+	}}
+	deliver(r, 2, &types.HSProposal{View: 2, Block: d2, Parent: d1, Batch: batch2, Justify: forged})
 	votedFor2 := false
 	for _, s := range ctx.sent {
 		if v, ok := s.msg.(*types.HSVote); ok && v.View == 2 {
@@ -159,10 +180,12 @@ func TestHotStuffLeaderFormsQCAtQuorum(t *testing.T) {
 	r.Start()
 	batch := mkBatch(1)
 	d1 := types.ProposalDigest(0, 1, batch.ID, 0, types.Digest{})
-	r.HandleMessage(1, &types.HSProposal{View: 1, Block: d1, Batch: batch, Justify: types.QC{Genesis: true}})
-	// Two external votes + own vote = n−f = 3.
+	deliver(r, 1, &types.HSProposal{View: 1, Block: d1, Batch: batch, Justify: types.QC{Genesis: true}})
+	// Two external votes + own vote = n−f = 3; a forged vote must not
+	// survive ingress screening or count toward the quorum.
+	deliver(r, 0, &types.HSVote{View: 1, Block: d1, Sig: types.Signature{Signer: 0, Bytes: []byte("junk")}})
 	for _, from := range []types.NodeID{0, 3} {
-		r.HandleMessage(from, &types.HSVote{View: 1, Block: d1, Sig: prov(from).Sign(d1[:])})
+		deliver(r, from, &types.HSVote{View: 1, Block: d1, Sig: prov(from).Sign(d1[:])})
 	}
 	proposed := false
 	for _, s := range ctx.sent {
@@ -205,7 +228,7 @@ func TestHotStuffNewViewAdoption(t *testing.T) {
 	ctx := newFakeCtx(3, 4)
 	r := New(ctx, DefaultConfig(4))
 	r.Start()
-	r.HandleMessage(1, &types.HSNewView{View: 7, Justify: types.QC{Genesis: true}})
+	deliver(r, 1, &types.HSNewView{View: 7, Justify: types.QC{Genesis: true}})
 	if r.View() != 7 {
 		t.Fatalf("view after NewView adoption: %d", r.View())
 	}

@@ -19,6 +19,7 @@ func (c *fakeCtx) Now() time.Duration                        { return c.now }
 func (c *fakeCtx) Send(types.NodeID, types.Message)          {}
 func (c *fakeCtx) Broadcast(types.Message)                   {}
 func (c *fakeCtx) SetTimer(time.Duration, protocol.TimerTag) {}
+func (c *fakeCtx) VerifyAsync(protocol.VerifyJob)            {}
 func (c *fakeCtx) Crypto() crypto.Provider                   { return nil }
 func (c *fakeCtx) Deliver(types.Commit)                      {}
 func (c *fakeCtx) NextBatch(int32) *types.Batch              { return nil }

@@ -28,7 +28,13 @@ func TestNarwhalNormalCase(t *testing.T) {
 		sim.SetProtocol(types.NodeID(i), r)
 	}
 	sim.Start()
-	sim.Run(3 * time.Second)
+	// Dissemination + lane ordering need a fair stretch of virtual time;
+	// -short keeps a window that still orders every replica's lane.
+	window := 3 * time.Second
+	if testing.Short() {
+		window = 1200 * time.Millisecond
+	}
+	sim.Run(window)
 	if col.TxnsDone == 0 {
 		t.Fatalf("no transactions completed")
 	}

@@ -158,6 +158,22 @@ func (r *Replica) fillPipeline() {
 	}
 }
 
+// IngressJob implements protocol.IngressVerifier. Pbft is the paper's
+// MAC-authenticated baseline (§6.2): none of its messages carry digital
+// signatures, so the declaration is empty and authentication happens
+// entirely at the transport layer — pairwise MACs checked on reader
+// goroutines (TCP) or charged at delivery (simulation). Declaring that
+// explicitly keeps all five protocols uniform for the substrates' ingress
+// pipeline.
+func (r *Replica) IngressJob(from types.NodeID, msg types.Message) (protocol.VerifyJob, bool) {
+	return protocol.VerifyJob{}, false
+}
+
+var (
+	_ protocol.Protocol        = (*Replica)(nil)
+	_ protocol.IngressVerifier = (*Replica)(nil)
+)
+
 // HandleMessage implements protocol.Protocol.
 func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {
 	if r.suspended {

@@ -28,6 +28,7 @@ func (c *fakeCtx) Send(to types.NodeID, m types.Message) {
 }
 func (c *fakeCtx) Broadcast(m types.Message)                 { c.sent = append(c.sent, m) }
 func (c *fakeCtx) SetTimer(time.Duration, protocol.TimerTag) {}
+func (c *fakeCtx) VerifyAsync(protocol.VerifyJob)            {}
 func (c *fakeCtx) Crypto() crypto.Provider {
 	return crypto.NewSimProvider(c.id, crypto.CostModel{}, nil)
 }

@@ -36,7 +36,45 @@ const (
 	TimerPbft                  // Pbft/RCC request timer
 	TimerPacemaker             // HotStuff pacemaker
 	TimerPropose               // re-check batch availability when idle
+	TimerVerify                // async verification completion (VerifyAsync)
 )
+
+// VerifyJob is a batch of signature checks a protocol hands to the
+// verification pipeline. The checks of one job are fanned out together (one
+// certificate is one job), and the job passes when at least Quorum distinct
+// signers verify (Quorum ≤ 0: every check must pass). Tag correlates the
+// asynchronous completion back to protocol state; it is unused for ingress
+// jobs, whose only outcome is deliver-or-drop.
+type VerifyJob struct {
+	Tag    TimerTag
+	Checks []crypto.Check
+	Quorum int
+}
+
+// IngressVerifier is implemented by protocols whose messages carry digital
+// signatures. IngressJob declares, for one inbound message, the signature
+// checks it must pass before it may enter the state machine; the substrate
+// runs them off the event loop (worker pool, reader goroutines, or modelled
+// parallel cores) and silently drops messages that fail — so HandleMessage
+// only ever sees pre-verified messages and never calls Crypto().Verify
+// inline.
+//
+// IngressJob is invoked concurrently with the event loop and therefore must
+// be stateless: it may read only construction-time configuration, never
+// mutable protocol state. Substrates do not screen a protocol's own
+// messages (self-delivery is trusted).
+type IngressVerifier interface {
+	IngressJob(from types.NodeID, msg types.Message) (VerifyJob, bool)
+}
+
+// VerifyConsumer is implemented by protocols that use Context.VerifyAsync.
+// The substrate serializes HandleVerified with all other protocol events.
+type VerifyConsumer interface {
+	// HandleVerified receives the completion of a VerifyAsync job. Like
+	// expired timers, completions are delivered verbatim and may be stale:
+	// protocols must ignore tags no longer correlated to pending state.
+	HandleVerified(tag TimerTag, ok bool)
+}
 
 // Context is the substrate-provided environment of one replica.
 type Context interface {
@@ -56,6 +94,24 @@ type Context interface {
 	Broadcast(msg types.Message)
 	// SetTimer schedules tag to fire after d. Timers are one-shot.
 	SetTimer(d time.Duration, tag TimerTag)
+	// VerifyAsync schedules a signature-verification job off the event
+	// loop. The substrate later invokes HandleVerified(job.Tag, ok) on the
+	// protocol (which must implement VerifyConsumer), subject to the
+	// completion-ordering contract:
+	//
+	//   1. never reentrantly — the handler that issued the job always
+	//      returns before its completion is delivered, and the completion
+	//      arrives as its own serialized protocol event;
+	//   2. exactly once per job — every job completes, even when the
+	//      underlying pool sheds load (the job then fails);
+	//   3. with no cross-job order guarantee — a later, smaller job may
+	//      complete before an earlier, larger one; protocols correlate
+	//      completions by Tag, never by position.
+	//
+	// Stale completions follow the stale-timer discipline above: protocols
+	// ignore tags that no longer match pending state, so jobs never need
+	// cancelling.
+	VerifyAsync(job VerifyJob)
 	// Crypto returns this replica's cryptographic provider.
 	Crypto() crypto.Provider
 	// Deliver hands a decided batch to the execution layer. Protocols call

@@ -1,0 +1,189 @@
+// Package protocol_test exercises the environment contracts every protocol
+// is written against — the stale-timer discipline and the asynchronous
+// verification completion contract — against the deterministic simulation
+// substrate (the external test package breaks the import cycle).
+package protocol_test
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/protocol"
+	"spotless/internal/simnet"
+	"spotless/internal/types"
+)
+
+func TestQuorumWeak(t *testing.T) {
+	for _, tc := range []struct{ n, f, q, w int }{
+		{4, 1, 3, 2}, {7, 2, 5, 3}, {128, 42, 86, 43},
+	} {
+		if got := protocol.Quorum(tc.n, tc.f); got != tc.q {
+			t.Errorf("Quorum(%d,%d) = %d, want %d", tc.n, tc.f, got, tc.q)
+		}
+		if got := protocol.Weak(tc.f); got != tc.w {
+			t.Errorf("Weak(%d) = %d, want %d", tc.f, got, tc.w)
+		}
+	}
+}
+
+// contractProbe is a minimal protocol recording every event the substrate
+// delivers, flagging any contract violation it can observe locally.
+type contractProbe struct {
+	ctx protocol.Context
+
+	onStart func(p *contractProbe)
+
+	inHandler   bool // true while any handler of ours is on the stack
+	reentrant   bool // a completion or timer arrived inside another handler
+	timers      []protocol.TimerTag
+	completions []struct {
+		tag protocol.TimerTag
+		ok  bool
+	}
+}
+
+func (p *contractProbe) enter() { p.reentrant = p.reentrant || p.inHandler; p.inHandler = true }
+func (p *contractProbe) exit()  { p.inHandler = false }
+
+func (p *contractProbe) Start() {
+	p.enter()
+	defer p.exit()
+	if p.onStart != nil {
+		p.onStart(p)
+	}
+}
+func (p *contractProbe) HandleMessage(types.NodeID, types.Message) {}
+func (p *contractProbe) HandleTimer(tag protocol.TimerTag) {
+	p.enter()
+	defer p.exit()
+	p.timers = append(p.timers, tag)
+}
+func (p *contractProbe) HandleVerified(tag protocol.TimerTag, ok bool) {
+	p.enter()
+	defer p.exit()
+	p.completions = append(p.completions, struct {
+		tag protocol.TimerTag
+		ok  bool
+	}{tag, ok})
+}
+
+func newProbeSim(onStart func(p *contractProbe)) (*simnet.Simulation, *contractProbe) {
+	sim := simnet.New(simnet.DefaultConfig(1))
+	probe := &contractProbe{ctx: sim.Context(0), onStart: onStart}
+	sim.SetProtocol(0, probe)
+	return sim, probe
+}
+
+// TestStaleTimerDiscipline: timers are one-shot, delivered verbatim at (or
+// after) their deadline, and never cancelled — the substrate redelivers
+// whatever the protocol set, and the protocol is responsible for ignoring
+// tags that are no longer relevant. The tag must round-trip unmodified, or
+// relevance checks (view/instance/seq comparison) would misfire.
+func TestStaleTimerDiscipline(t *testing.T) {
+	want := []protocol.TimerTag{
+		{Kind: protocol.TimerRecording, Instance: 3, View: 7, Seq: 99},
+		{Kind: protocol.TimerCertifying, Instance: 3, View: 8},
+	}
+	sim, probe := newProbeSim(func(p *contractProbe) {
+		// Set in reverse deadline order: delivery must sort by deadline.
+		p.ctx.SetTimer(2*time.Millisecond, want[1])
+		p.ctx.SetTimer(time.Millisecond, want[0])
+	})
+	sim.Start()
+	sim.Run(10 * time.Millisecond)
+	if probe.reentrant {
+		t.Fatal("timer delivered reentrantly")
+	}
+	if len(probe.timers) != 2 {
+		t.Fatalf("timers fired: %d, want 2 (one-shot, no cancellation)", len(probe.timers))
+	}
+	for i := range want {
+		if probe.timers[i] != want[i] {
+			t.Fatalf("timer %d delivered as %+v, want verbatim %+v", i, probe.timers[i], want[i])
+		}
+	}
+}
+
+// TestVerifyAsyncCompletionContract: completions are delivered (a) never
+// reentrantly — the issuing handler returns first, (b) exactly once per
+// job with the job's verdict, and (c) verbatim, so stale completions can be
+// recognized and ignored by tag correlation.
+func TestVerifyAsyncCompletionContract(t *testing.T) {
+	prov := crypto.NewSimProvider(1, crypto.CostModel{}, nil)
+	msg := []byte("payload")
+	good := prov.Sign(msg)
+	forged := types.Signature{Signer: 1, Bytes: []byte("junk")}
+
+	tagOK := protocol.TimerTag{Kind: protocol.TimerVerify, Instance: 1, Seq: 1}
+	tagBad := protocol.TimerTag{Kind: protocol.TimerVerify, Instance: 1, Seq: 2}
+	sim, probe := newProbeSim(func(p *contractProbe) {
+		p.ctx.VerifyAsync(protocol.VerifyJob{Tag: tagOK,
+			Checks: []crypto.Check{{Sig: good, Msg: msg}}})
+		p.ctx.VerifyAsync(protocol.VerifyJob{Tag: tagBad,
+			Checks: []crypto.Check{{Sig: forged, Msg: msg}}})
+		if len(p.completions) != 0 {
+			t.Error("completion delivered inside the issuing handler")
+		}
+	})
+	sim.Start()
+	sim.Run(10 * time.Millisecond)
+	if probe.reentrant {
+		t.Fatal("completion delivered reentrantly")
+	}
+	if len(probe.completions) != 2 {
+		t.Fatalf("completions: %d, want exactly 2 (one per job)", len(probe.completions))
+	}
+	byTag := map[protocol.TimerTag]bool{}
+	for _, c := range probe.completions {
+		byTag[c.tag] = c.ok
+	}
+	if ok, present := byTag[tagOK]; !present || !ok {
+		t.Fatalf("valid-signature job: present=%v ok=%v, want true/true", present, ok)
+	}
+	if ok, present := byTag[tagBad]; !present || ok {
+		t.Fatalf("forged-signature job: present=%v ok=%v, want true/false", present, ok)
+	}
+}
+
+// TestVerifyAsyncQuorumSemantics: a job passes with quorum distinct valid
+// signers, counts duplicate signers once, and Quorum ≤ 0 demands that every
+// check pass.
+func TestVerifyAsyncQuorumSemantics(t *testing.T) {
+	msg := []byte("claim")
+	sig := func(id types.NodeID) types.Signature {
+		return crypto.NewSimProvider(id, crypto.CostModel{}, nil).Sign(msg)
+	}
+	forged := types.Signature{Signer: 9, Bytes: []byte("junk")}
+	cases := []struct {
+		name   string
+		checks []crypto.Check
+		quorum int
+		want   bool
+	}{
+		{"quorum-met", []crypto.Check{{Sig: sig(1), Msg: msg}, {Sig: sig(2), Msg: msg}, {Sig: forged, Msg: msg}}, 2, true},
+		{"quorum-missed", []crypto.Check{{Sig: sig(1), Msg: msg}, {Sig: forged, Msg: msg}}, 2, false},
+		{"duplicates-count-once", []crypto.Check{{Sig: sig(1), Msg: msg}, {Sig: sig(1), Msg: msg}}, 2, false},
+		{"all-must-pass", []crypto.Check{{Sig: sig(1), Msg: msg}, {Sig: forged, Msg: msg}}, 0, false},
+		{"all-pass", []crypto.Check{{Sig: sig(1), Msg: msg}, {Sig: sig(2), Msg: msg}}, 0, true},
+	}
+	sim, probe := newProbeSim(func(p *contractProbe) {
+		for i, tc := range cases {
+			p.ctx.VerifyAsync(protocol.VerifyJob{
+				Tag:    protocol.TimerTag{Kind: protocol.TimerVerify, Seq: uint64(i)},
+				Checks: tc.checks, Quorum: tc.quorum,
+			})
+		}
+	})
+	sim.Start()
+	sim.Run(10 * time.Millisecond)
+	if len(probe.completions) != len(cases) {
+		t.Fatalf("completions: %d, want %d", len(probe.completions), len(cases))
+	}
+	for _, c := range probe.completions {
+		tc := cases[c.tag.Seq]
+		if c.ok != tc.want {
+			t.Errorf("%s: verdict %v, want %v", tc.name, c.ok, tc.want)
+		}
+	}
+}

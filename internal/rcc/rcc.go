@@ -122,6 +122,19 @@ func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {
 	}
 }
 
+// IngressJob implements protocol.IngressVerifier. RCC inherits Pbft's
+// MAC-only authentication: neither Complaints nor the per-instance Pbft
+// traffic carry digital signatures, so there is nothing to fan out to the
+// verification pipeline (authentication is transport-level, like pbft).
+func (r *Replica) IngressJob(from types.NodeID, msg types.Message) (protocol.VerifyJob, bool) {
+	return protocol.VerifyJob{}, false
+}
+
+var (
+	_ protocol.Protocol        = (*Replica)(nil)
+	_ protocol.IngressVerifier = (*Replica)(nil)
+)
+
 func instanceOf(msg types.Message) (int32, bool) {
 	switch m := msg.(type) {
 	case *types.PrePrepare:

@@ -53,7 +53,13 @@ func TestRCCInstanceSuspension(t *testing.T) {
 		t.Fatalf("no progress before failure")
 	}
 	sim.SetDown(1, true) // primary of instance 1
-	sim.Run(3 * time.Second)
+	// Recovery spans complaint collection plus the suspension penalty;
+	// -short trims the tail past the first post-suspension deliveries.
+	window := 3 * time.Second
+	if testing.Short() {
+		window = 1500 * time.Millisecond
+	}
+	sim.Run(window)
 	if col.TxnsDone <= before {
 		t.Fatalf("no progress after instance-primary failure: before=%d after=%d", before, col.TxnsDone)
 	}

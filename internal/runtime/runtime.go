@@ -35,10 +35,11 @@ type Executor interface {
 }
 
 type event struct {
-	kind byte // 0 message, 1 timer, 2 func
+	kind byte // 0 message, 1 timer, 2 func, 3 verification completion
 	from types.NodeID
 	msg  types.Message
 	tag  protocol.TimerTag
+	ok   bool // verification verdict (kind 3)
 	fn   func()
 }
 
@@ -57,9 +58,23 @@ type Node struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
+	// Verification pipeline: inbound messages whose protocol declares
+	// signature checks (protocol.IngressVerifier) are verified on this
+	// bounded worker pool before they are posted to the event loop, so the
+	// single-threaded state machine only consumes pre-verified messages.
+	// VerifyAsync jobs share the same pool.
+	verifier    *crypto.PoolVerifier
+	ingress     atomic.Pointer[ingressRef]
+	preVerified bool
+
 	dropped atomic.Uint64 // inbox overflow (backpressure signal)
+	badSigs atomic.Uint64 // messages dropped by ingress verification
 	Debug   func(format string, args ...any)
 }
+
+// ingressRef wraps the interface for atomic publication to transport
+// goroutines.
+type ingressRef struct{ iv protocol.IngressVerifier }
 
 // NodeConfig parameterizes a runtime node.
 type NodeConfig struct {
@@ -71,6 +86,13 @@ type NodeConfig struct {
 	Executor  Executor
 	// InboxDepth bounds the event queue (default 1 << 16).
 	InboxDepth int
+	// VerifyWorkers bounds the verification pool (default GOMAXPROCS).
+	VerifyWorkers int
+	// PreVerified declares that the transport already screens inbound
+	// signatures (e.g. transport.Config.Ingress), disabling the node-level
+	// ingress screening to avoid verifying twice. VerifyAsync still uses
+	// the node's pool.
+	PreVerified bool
 }
 
 // NewNode creates a node; attach the protocol with SetProtocol, then Start.
@@ -80,22 +102,35 @@ func NewNode(cfg NodeConfig) *Node {
 		depth = 1 << 16
 	}
 	n := &Node{
-		id:     cfg.ID,
-		n:      cfg.N,
-		f:      cfg.F,
-		trans:  cfg.Transport,
-		crypto: cfg.Crypto,
-		src:    cfg.Source,
-		exec:   cfg.Executor,
-		inbox:  make(chan event, depth),
-		done:   make(chan struct{}),
+		id:          cfg.ID,
+		n:           cfg.N,
+		f:           cfg.F,
+		trans:       cfg.Transport,
+		crypto:      cfg.Crypto,
+		src:         cfg.Source,
+		exec:        cfg.Executor,
+		inbox:       make(chan event, depth),
+		done:        make(chan struct{}),
+		verifier:    crypto.NewPoolVerifier(cfg.Crypto, cfg.VerifyWorkers),
+		preVerified: cfg.PreVerified,
 	}
 	cfg.Transport.Register(cfg.ID, n.receive)
 	return n
 }
 
-// SetProtocol attaches the hosted protocol (before Start).
-func (n *Node) SetProtocol(p protocol.Protocol) { n.proto = p }
+// SetProtocol attaches the hosted protocol (before Start). Protocols
+// implementing protocol.IngressVerifier get their inbound signature checks
+// screened on the node's verification pool from this point on.
+func (n *Node) SetProtocol(p protocol.Protocol) {
+	n.proto = p
+	if iv, ok := p.(protocol.IngressVerifier); ok && !n.preVerified {
+		n.ingress.Store(&ingressRef{iv: iv})
+	}
+}
+
+// Verifier exposes the node's verification pool (shared with the transport
+// in TCP deployments).
+func (n *Node) Verifier() *crypto.PoolVerifier { return n.verifier }
 
 // Start launches the event loop and invokes Protocol.Start.
 func (n *Node) Start() {
@@ -105,16 +140,32 @@ func (n *Node) Start() {
 	n.post(event{kind: 2, fn: n.proto.Start})
 }
 
-// Stop terminates the event loop.
+// Stop terminates the event loop and releases the verification pool.
 func (n *Node) Stop() {
 	close(n.done)
 	n.wg.Wait()
+	n.verifier.Close()
 }
 
 // Dropped reports inbox overflow events.
 func (n *Node) Dropped() uint64 { return n.dropped.Load() }
 
+// BadSigs reports messages dropped by ingress signature screening.
+func (n *Node) BadSigs() uint64 { return n.badSigs.Load() }
+
 func (n *Node) receive(from types.NodeID, msg types.Message) {
+	if ref := n.ingress.Load(); ref != nil && from != n.id {
+		if job, needed := ref.iv.IngressJob(from, msg); needed {
+			n.verifier.VerifyBatchAsync(job.Checks, job.Quorum, func(ok bool) {
+				if !ok {
+					n.badSigs.Add(1)
+					return
+				}
+				n.post(event{kind: 0, from: from, msg: msg})
+			})
+			return
+		}
+	}
 	n.post(event{kind: 0, from: from, msg: msg})
 }
 
@@ -136,6 +187,27 @@ func (n *Node) post(ev event) {
 	}
 }
 
+// postCompletion delivers a VerifyAsync completion. Unlike post it never
+// sheds — the Context.VerifyAsync contract promises exactly-once delivery
+// and protocols key pending state on it. It must not block either: the
+// pool may resolve a verdict synchronously on the event-loop goroutine
+// itself (structurally infeasible batch, saturated-pool inline fallback),
+// and a blocking send to the loop's own full inbox would deadlock the
+// replica. A full inbox therefore hands the waiting to a fresh goroutine.
+func (n *Node) postCompletion(ev event) {
+	select {
+	case n.inbox <- ev:
+	case <-n.done:
+	default:
+		go func() {
+			select {
+			case n.inbox <- ev:
+			case <-n.done:
+			}
+		}()
+	}
+}
+
 func (n *Node) loop() {
 	defer n.wg.Done()
 	for {
@@ -150,6 +222,10 @@ func (n *Node) loop() {
 				n.proto.HandleTimer(ev.tag)
 			case 2:
 				ev.fn()
+			case 3:
+				if vc, ok := n.proto.(protocol.VerifyConsumer); ok {
+					vc.HandleVerified(ev.tag, ev.ok)
+				}
 			}
 		}
 	}
@@ -193,6 +269,16 @@ func (n *Node) Broadcast(msg types.Message) {
 // SetTimer implements protocol.Context.
 func (n *Node) SetTimer(d time.Duration, tag protocol.TimerTag) {
 	time.AfterFunc(d, func() { n.post(event{kind: 1, tag: tag}) })
+}
+
+// VerifyAsync implements protocol.Context: the job runs on the node's
+// verification pool and its completion is posted back to the event loop,
+// honouring the completion-ordering contract (never reentrant, exactly
+// once, correlated by tag).
+func (n *Node) VerifyAsync(job protocol.VerifyJob) {
+	n.verifier.VerifyBatchAsync(job.Checks, job.Quorum, func(ok bool) {
+		n.postCompletion(event{kind: 3, tag: job.Tag, ok: ok})
+	})
 }
 
 // Crypto implements protocol.Context.

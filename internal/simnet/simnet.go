@@ -99,6 +99,7 @@ const (
 	evTimer
 	evFlush
 	evFn
+	evVerified // VerifyAsync completion
 )
 
 type event struct {
@@ -111,6 +112,7 @@ type event struct {
 	tag  protocol.TimerTag
 	dest int32
 	gen  uint64
+	ok   bool // evVerified verdict
 	fn   func()
 }
 
@@ -128,6 +130,7 @@ type simNode struct {
 	proto    protocol.Protocol
 	ctx      *nodeCtx
 	crypto   crypto.Provider
+	verifier crypto.Verifier // batch verifier (modelled multi-core)
 	region   int
 	cores    int
 	bwBps    float64 // bytes/sec
@@ -161,10 +164,12 @@ type Simulation struct {
 	// handler scratch state
 	cur          *simNode
 	handlerStart time.Duration
-	charge       time.Duration
+	charge       time.Duration // critical-path latency of the handler
+	work         time.Duration // aggregate CPU work (≥ charge on parallel stages)
 	pendingSends []pendingSend
 	pendingTimer []pendingTimer
 	pendingDeliv []types.Commit
+	pendingVerif []pendingVerified
 }
 
 type pendingSend struct {
@@ -175,6 +180,11 @@ type pendingSend struct {
 type pendingTimer struct {
 	d   time.Duration
 	tag protocol.TimerTag
+}
+
+type pendingVerified struct {
+	tag protocol.TimerTag
+	ok  bool
 }
 
 // BatchSource supplies client batches to proposing primaries (§5). The
@@ -191,6 +201,11 @@ func New(cfg Config) *Simulation {
 	}
 	if cfg.ExecRate <= 0 {
 		cfg.ExecRate = 340000
+	}
+	// The verification pipeline defaults to the node's full core count; set
+	// Costs.Cores = 1 to reproduce the serial (pre-pipeline) model.
+	if cfg.Costs.Cores == 0 {
+		cfg.Costs.Cores = cfg.Cores
 	}
 	s := &Simulation{
 		cfg:     cfg,
@@ -219,7 +234,9 @@ func New(cfg Config) *Simulation {
 			n.execCost = 0
 		}
 		n.ctx = &nodeCtx{s: s, n: n}
-		n.crypto = crypto.NewSimProvider(n.id, cfg.Costs, n.ctx)
+		prov := crypto.NewSimProvider(n.id, cfg.Costs, n.ctx)
+		n.crypto = prov
+		n.verifier = prov
 		s.nodes[i] = n
 	}
 	return s
@@ -331,11 +348,31 @@ func (s *Simulation) dispatch(ev event) {
 		from := ev.from
 		for _, m := range ev.msgs {
 			msg := m
-			s.runHandler(n, func() { n.proto.HandleMessage(from, msg) })
+			s.runHandler(n, func() {
+				// Ingress verification stage: MAC plus any declared
+				// signature checks, charged as parallel CPU work ahead of
+				// the protocol handler (see screen). Failing messages are
+				// dropped before the state machine sees them.
+				if from != n.id && !s.screen(n, from, msg) {
+					return
+				}
+				n.proto.HandleMessage(from, msg)
+			})
 			if n.down { // a handler may down the node (tests)
 				break
 			}
 		}
+	case evVerified:
+		n := s.nodes[ev.node]
+		if n.down || n.proto == nil {
+			return
+		}
+		vc, ok := n.proto.(protocol.VerifyConsumer)
+		if !ok {
+			return
+		}
+		tag, verdict := ev.tag, ev.ok
+		s.runHandler(n, func() { vc.HandleVerified(tag, verdict) })
 	case evFlush:
 		n := s.nodes[ev.node]
 		buf := &n.buffers[ev.dest]
@@ -346,8 +383,31 @@ func (s *Simulation) dispatch(ev event) {
 	}
 }
 
+// screen runs the ingress verification stage for one inbound message: the
+// transport-level MAC check plus whatever signature checks the protocol
+// declared for the message (protocol.IngressVerifier). Signature batches
+// are charged as parallel work across the node's verification cores
+// (CostModel.Cores) instead of serializing on the event loop — the
+// simulated counterpart of the runtime's worker pool. Must run inside
+// runHandler. Reports whether the message may enter the state machine.
+func (s *Simulation) screen(n *simNode, from types.NodeID, msg types.Message) bool {
+	n.ctx.ChargeCPU(s.cfg.Costs.MAC) // pairwise MAC on every delivery (§2)
+	iv, ok := n.proto.(protocol.IngressVerifier)
+	if !ok {
+		return true
+	}
+	job, needed := iv.IngressJob(from, msg)
+	if !needed {
+		return true
+	}
+	return n.verifier.VerifyBatch(job.Checks, job.Quorum)
+}
+
 // runHandler executes one protocol event handler under the CPU model and
-// applies its buffered effects at the handler's finish time.
+// applies its buffered effects at the handler's finish time. The handler's
+// latency is its critical-path service time (s.charge); its capacity
+// consumption is its aggregate work (s.work), which exceeds the latency
+// when verification batches ran on parallel virtual cores.
 func (s *Simulation) runHandler(n *simNode, fn func()) {
 	start := s.now
 	if n.cpuBusyUntil > start {
@@ -356,14 +416,16 @@ func (s *Simulation) runHandler(n *simNode, fn func()) {
 	s.cur = n
 	s.handlerStart = start
 	s.charge = s.cfg.BaseHandlerCost
+	s.work = s.cfg.BaseHandlerCost
 	s.pendingSends = s.pendingSends[:0]
 	s.pendingTimer = s.pendingTimer[:0]
 	s.pendingDeliv = s.pendingDeliv[:0]
+	s.pendingVerif = s.pendingVerif[:0]
 
 	fn()
 
-	finish := start + s.charge // latency: full service time
-	n.cpuBusyUntil = start + s.charge/time.Duration(n.cores)
+	finish := start + s.charge // latency: full critical-path service time
+	n.cpuBusyUntil = start + s.work/time.Duration(n.cores)
 	s.cur = nil
 
 	for _, d := range s.pendingDeliv {
@@ -371,6 +433,9 @@ func (s *Simulation) runHandler(n *simNode, fn func()) {
 	}
 	for _, t := range s.pendingTimer {
 		s.push(event{at: finish + t.d, kind: evTimer, node: n.idx, tag: t.tag})
+	}
+	for _, v := range s.pendingVerif {
+		s.push(event{at: finish, kind: evVerified, node: n.idx, tag: v.tag, ok: v.ok})
 	}
 	for _, snd := range s.pendingSends {
 		s.enqueueSend(n, snd.to, snd.msg, finish)
@@ -525,7 +590,7 @@ type nodeCtx struct {
 }
 
 var _ protocol.Context = (*nodeCtx)(nil)
-var _ crypto.Charger = (*nodeCtx)(nil)
+var _ crypto.ParallelCharger = (*nodeCtx)(nil)
 
 func (c *nodeCtx) ID() types.NodeID { return c.n.id }
 func (c *nodeCtx) N() int           { return c.s.cfg.N }
@@ -541,8 +606,21 @@ func (c *nodeCtx) Now() time.Duration {
 func (c *nodeCtx) ChargeCPU(d time.Duration) {
 	if c.s.cur == c.n {
 		c.s.charge += d
+		c.s.work += d
 	} else {
 		c.n.cpuBusyUntil += d / time.Duration(c.n.cores)
+	}
+}
+
+// ChargeCPUParallel implements crypto.ParallelCharger: a verification batch
+// adds only its critical-path latency to the handler's service time while
+// its full aggregate work drains the node's core capacity.
+func (c *nodeCtx) ChargeCPUParallel(total, critical time.Duration) {
+	if c.s.cur == c.n {
+		c.s.charge += critical
+		c.s.work += total
+	} else {
+		c.n.cpuBusyUntil += total / time.Duration(c.n.cores)
 	}
 }
 
@@ -576,6 +654,19 @@ func (c *nodeCtx) SetTimer(d time.Duration, tag protocol.TimerTag) {
 }
 
 func (c *nodeCtx) Crypto() crypto.Provider { return c.n.crypto }
+
+// VerifyAsync implements protocol.Context. The batch is charged to the
+// issuing handler as a parallel verification stage (its verdict is computed
+// deterministically right away), and the completion is delivered as its own
+// event at the handler's finish time — never reentrantly.
+func (c *nodeCtx) VerifyAsync(job protocol.VerifyJob) {
+	ok := c.n.verifier.VerifyBatch(job.Checks, job.Quorum)
+	if c.inHandler() {
+		c.s.pendingVerif = append(c.s.pendingVerif, pendingVerified{tag: job.Tag, ok: ok})
+		return
+	}
+	c.s.push(event{at: c.s.now, kind: evVerified, node: c.n.idx, tag: job.Tag, ok: ok})
+}
 
 func (c *nodeCtx) Deliver(commit types.Commit) {
 	if c.inHandler() {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"spotless/internal/crypto"
+	"spotless/internal/protocol"
 	"spotless/internal/types"
 )
 
@@ -86,6 +87,18 @@ type Config struct {
 	DialRetry time.Duration
 	// QueueDepth bounds each peer's send queue (default 8192).
 	QueueDepth int
+
+	// Ingress, when set, screens every decoded inbound message before it
+	// reaches the registered receiver: the checks the protocol declares for
+	// the message must pass or it is dropped. MAC verification always runs
+	// on the connection's reader goroutine (off any event loop); Ingress
+	// signature checks run on Verifier — typically the replica's shared
+	// worker pool — so certificate batches fan out across cores while the
+	// reader pipelines the next frame. Set via SetIngress when the protocol
+	// is constructed after the transport.
+	Ingress protocol.IngressVerifier
+	// Verifier executes Ingress checks (default: serial on the reader).
+	Verifier crypto.Verifier
 }
 
 // TCP is a runtime.Transport over TCP sockets.
@@ -145,6 +158,36 @@ func (t *TCP) Register(id types.NodeID, recv func(from types.NodeID, msg types.M
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.recv = recv
+}
+
+// SetIngress installs (or replaces) the ingress screening pipeline — the
+// protocol's check classifier and the verifier executing its checks. Call
+// before Start; deployments whose protocol is constructed after the
+// transport (the usual order) wire it here.
+func (t *TCP) SetIngress(iv protocol.IngressVerifier, v crypto.Verifier) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.Ingress = iv
+	t.cfg.Verifier = v
+}
+
+// screen applies the declared ingress checks for one inbound message; it
+// runs on a connection reader goroutine, after the frame's MAC verified.
+func (t *TCP) screen(from types.NodeID, msg types.Message) bool {
+	t.mu.RLock()
+	iv, v := t.cfg.Ingress, t.cfg.Verifier
+	t.mu.RUnlock()
+	if iv == nil {
+		return true
+	}
+	job, needed := iv.IngressJob(from, msg)
+	if !needed {
+		return true
+	}
+	if v == nil {
+		return crypto.VerifyChecks(t.cfg.Crypto, job.Checks, job.Quorum)
+	}
+	return v.VerifyBatch(job.Checks, job.Quorum)
 }
 
 // Start listens (if configured) and dials all peers.
@@ -382,11 +425,18 @@ func (t *TCP) readDecoded(dec *gob.Decoder, owner types.NodeID) {
 		if f.From != owner {
 			continue // connections speak only for their owner
 		}
+		// MAC verification stays on this reader goroutine: the per-frame
+		// HMAC (the §2 MAC channel) never touches the node's event loop.
 		if err := t.cfg.Crypto.VerifyMAC(f.From, f.Payload, f.MAC); err != nil {
 			continue
 		}
 		msg, err := Decode(f.Payload)
 		if err != nil {
+			continue
+		}
+		// Declared signature checks run on the shared verification pool;
+		// failing messages are dropped before the event loop sees them.
+		if !t.screen(f.From, msg) {
 			continue
 		}
 		t.mu.RLock()

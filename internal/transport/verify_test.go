@@ -1,0 +1,80 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/protocol"
+	"spotless/internal/transport"
+	"spotless/internal/types"
+)
+
+// voteScreener declares the signature check of HSVote messages (a stand-in
+// for a protocol's IngressJob).
+type voteScreener struct{}
+
+func (voteScreener) IngressJob(from types.NodeID, msg types.Message) (protocol.VerifyJob, bool) {
+	m, ok := msg.(*types.HSVote)
+	if !ok {
+		return protocol.VerifyJob{}, false
+	}
+	return protocol.VerifyJob{
+		Checks: []crypto.Check{{Sig: m.Sig, Msg: m.Block[:]}},
+		Quorum: 1,
+	}, true
+}
+
+// TestTCPIngressScreening: inbound messages whose declared signature checks
+// fail are dropped on the receive path (MAC on the reader goroutine, then
+// signature checks on the verifier) and never reach the registered
+// receiver.
+func TestTCPIngressScreening(t *testing.T) {
+	ring := crypto.NewKeyring([]byte("tcp-ingress"), []types.NodeID{0, 1})
+	p0, _ := ring.Provider(0)
+	p1, _ := ring.Provider(1)
+
+	recv := transport.New(transport.Config{ID: 1, Listen: "127.0.0.1:0", Crypto: p1})
+	pool := crypto.NewPoolVerifier(p1, 2)
+	defer pool.Close()
+	recv.SetIngress(voteScreener{}, pool)
+	got := make(chan types.Message, 16)
+	recv.Register(1, func(from types.NodeID, msg types.Message) { got <- msg })
+	if err := recv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	send := transport.New(transport.Config{ID: 0, Peers: map[types.NodeID]string{1: recv.Addr()}, Crypto: p0})
+	if err := send.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	d := types.Digest{7}
+	send.Send(0, 1, &types.HSVote{View: 1, Block: d, Sig: types.Signature{Signer: 0, Bytes: []byte("junk")}})
+	send.Send(0, 1, &types.HSVote{View: 1, Block: d, Sig: p0.Sign(d[:])})
+	send.Send(0, 1, &types.Ask{Instance: 3}) // undeclared: passes untouched
+
+	var delivered []types.Message
+	deadline := time.After(5 * time.Second)
+	for len(delivered) < 2 {
+		select {
+		case m := <-got:
+			delivered = append(delivered, m)
+		case <-deadline:
+			t.Fatalf("only %d messages delivered, want 2", len(delivered))
+		}
+	}
+	select {
+	case m := <-got:
+		t.Fatalf("unexpected third delivery %T (forged vote must be dropped)", m)
+	case <-time.After(200 * time.Millisecond):
+	}
+	if v, ok := delivered[0].(*types.HSVote); !ok || v.Sig.Bytes == nil || string(v.Sig.Bytes) == "junk" {
+		t.Fatalf("first delivery %+v, want the validly signed vote", delivered[0])
+	}
+	if _, ok := delivered[1].(*types.Ask); !ok {
+		t.Fatalf("second delivery %T, want the undeclared Ask", delivered[1])
+	}
+}
