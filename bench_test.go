@@ -74,6 +74,6 @@ func BenchmarkSpotLessHeadline(b *testing.B) {
 	b.ReportMetric(tput/1000, "ktxn/s")
 }
 
-// BenchmarkAblations regenerates the design-choice ablations of DESIGN.md:
+// BenchmarkAblations regenerates the design-choice ablation tables:
 // geo fast path, message buffering, and QC-verification cost.
 func BenchmarkAblations(b *testing.B) { runFigure(b, "ablation") }

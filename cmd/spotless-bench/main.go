@@ -8,7 +8,7 @@
 //	spotless-bench -run all -quick       # every figure at CI scale (n ≤ 32)
 //	spotless-bench -run fig7a,fig13      # a selection
 //
-// Output is the aligned text tables also recorded in EXPERIMENTS.md.
+// Output is aligned text tables (one per figure panel).
 package main
 
 import (

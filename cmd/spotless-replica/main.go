@@ -75,6 +75,8 @@ func main() {
 		records   = flag.Uint64("records", 100000, "YCSB table size")
 		timeout   = flag.Duration("timeout", 150*time.Millisecond, "initial view timeout")
 		stats     = flag.Duration("stats", 5*time.Second, "stats reporting interval")
+		ckptEvery = flag.Int("checkpoint-interval", 128, "checkpoint/GC/state-transfer interval in delivered batches (0 disables)")
+		fetchCap  = flag.Int("checkpoint-fetch-cap", 512, "max ledger blocks per state-transfer chunk")
 	)
 	flag.Parse()
 
@@ -110,20 +112,29 @@ func main() {
 	queue := newRequestQueue(m)
 	store := ycsb.NewStore(*records, 64)
 	lg := ledger.New()
+	exec := runtime.NewReplicaExecutor(self, store, lg, tr, types.ClientIDBase)
 
 	node := runtime.NewNode(runtime.NodeConfig{
 		ID: self, N: *n, F: (*n - 1) / 3,
 		Transport: tr, Crypto: prov, Source: queue,
-		Executor: runtime.NewReplicaExecutor(self, store, lg, tr, types.ClientIDBase),
+		Executor: exec,
 		// The transport screens inbound signatures on its reader
 		// goroutines + the shared pool (SetIngress below); the node must
 		// not verify a second time.
 		PreVerified: true,
 	})
 	// Client Requests arrive through the same transport; intercept them
-	// before protocol dispatch.
+	// before protocol dispatch. A retransmitted request whose batch already
+	// executed is answered from the reply cache (§5): the delivery layer
+	// deduplicates re-proposals, so it would never Inform again.
 	tr.Register(self, func(from types.NodeID, msg types.Message) {
 		if req, ok := msg.(*types.Request); ok {
+			if req.Batch != nil {
+				if results, done := exec.Reply(req.Batch.ID); done {
+					tr.Send(self, from, &types.Inform{Replica: self, BatchID: req.Batch.ID, Results: results})
+					return
+				}
+			}
 			queue.Add(req.Batch)
 			return
 		}
@@ -134,6 +145,14 @@ func main() {
 	cfg.InitialRecordingTimeout = *timeout
 	cfg.InitialCertifyTimeout = *timeout
 	cfg.MinTimeout = *timeout / 8
+	if *ckptEvery > 0 {
+		// Checkpoint + GC + state transfer: bounds memory in long runs and
+		// lets a restarted replica rejoin from the stable checkpoint (the
+		// operator kill-and-rejoin path; see README).
+		cfg.CheckpointInterval = *ckptEvery
+		cfg.CheckpointFetchCap = *fetchCap
+		cfg.Host = exec
+	}
 	rep := core.New(node, cfg)
 	node.SetProtocol(rep)
 	// Verification pipeline: MAC checks on the transport readers, declared

@@ -11,53 +11,41 @@
 //
 // # Layout
 //
-// The stack is layered: shared vocabulary and cryptography at the bottom,
-// the substrate-neutral protocol environment in the middle, three
-// interchangeable substrates above it, and the five consensus protocols on
-// top.
-//
-//		types ──► crypto                      vocabulary; providers + Verifier
-//		   │         │                        (worker-pool / simulated multi-core)
-//		   ▼         ▼
-//		      protocol                        Context, Protocol, TimerTag,
-//		   │                                  VerifyJob / IngressVerifier /
-//		   ▼                                  VerifyConsumer
-//		{ simnet │ runtime │ transport }      the three substrates
-//		   │
-//		   ▼
-//		{ core │ hotstuff │ pbft │ rcc │ narwhal }   the five protocols
-//
-//	  - internal/core — the SpotLess protocol (§3–§5 of the paper)
-//	  - internal/pbft, internal/rcc, internal/hotstuff, internal/narwhal —
-//	    the four baselines of the evaluation (§6.2)
-//	  - internal/simnet — deterministic discrete-event network/CPU simulator
-//	    (the evaluation substrate; see DESIGN.md for the substitution notes)
-//	  - internal/runtime, internal/transport — real-time in-process and TCP
-//	    deployments with ed25519/HMAC cryptography
-//	  - internal/ycsb, internal/ledger — the YCSB execution substrate and the
-//	    hash-chained provenance ledger of Apache ResilientDB (§6.1)
-//	  - internal/bench — one experiment per table and figure of §6.3
+// The stack is layered: shared vocabulary (internal/types) and cryptography
+// (internal/crypto) at the bottom; the substrate-neutral protocol
+// environment (internal/protocol) in the middle; three interchangeable
+// substrates above it (internal/simnet, internal/runtime,
+// internal/transport); and the five consensus protocols on top
+// (internal/core is SpotLess; internal/pbft, internal/rcc,
+// internal/hotstuff, internal/narwhal are the §6.2 baselines).
+// internal/ycsb and internal/ledger provide execution and provenance;
+// internal/bench and internal/loadgen reconstruct the paper's evaluation.
+// The full layer diagram and a mechanism-by-mechanism paper-to-code map
+// live in docs/ARCHITECTURE.md.
 //
 // # Verification pipeline
 //
 // Protocol state machines are single-threaded and never verify signatures
-// inline. Instead each protocol declares its signature work up front
-// (protocol.IngressVerifier): the substrate runs the declared checks off
-// the event loop — internal/runtime on a bounded worker pool
-// (crypto.PoolVerifier) before posting to the node loop, internal/transport
-// with MACs on the connection reader goroutines and signature batches on
-// the shared pool, and internal/simnet as modelled parallel CPU work
-// charged across CostModel.Cores virtual cores — and drops messages that
-// fail, so state machines consume only pre-verified messages. State-
-// dependent checks that cannot be declared at ingress (SpotLess's lazily
-// verified embedded certificates, §3.4) go through Context.VerifyAsync,
-// whose completion is delivered back to the event loop under the
-// stale-timer-style discipline documented in internal/protocol.
+// inline: protocols declare signature work up front
+// (protocol.IngressVerifier) and substrates run the checks off the event
+// loop, so state machines consume only pre-verified messages.
+// State-dependent checks (SpotLess's lazily verified certificates, §3.4)
+// go through Context.VerifyAsync under the stale-tag discipline documented
+// in internal/protocol.
+//
+// # Checkpointing and state transfer
+//
+// Every K delivered batches replicas exchange signed checkpoints; n−f
+// matching attestations form a stable frontier behind which consensus
+// state and ledger blocks are garbage-collected, and a replica that
+// crashed or fell behind the frontier rejoins by fetching the stable
+// checkpoint (types.FetchState / types.StateChunk) instead of replaying
+// pruned views. See internal/core/checkpoint.go and docs/ARCHITECTURE.md.
 //
 // # Entry points
 //
 // Cluster (this package) embeds a ready-to-use in-process deployment;
 // cmd/spotless-replica and cmd/spotless-client deploy over TCP;
 // cmd/spotless-bench regenerates every figure; the examples directory walks
-// through typical uses. See README.md, DESIGN.md, and EXPERIMENTS.md.
+// through typical uses. See README.md and docs/ARCHITECTURE.md.
 package spotless

@@ -15,7 +15,7 @@ func init() {
 	})
 }
 
-// Ablations benchmarks the design choices DESIGN.md calls out:
+// Ablations benchmarks the reproduction's design choices:
 //
 //   - the geo fast path: the optimistic next-view proposal should cut WAN
 //     latency without hurting LAN throughput;

@@ -55,7 +55,7 @@ type Figure struct {
 	Run   func(quick bool) []Table
 }
 
-// Figures indexes every reproduced table and figure (see DESIGN.md §4).
+// Figures indexes every reproduced table and figure plus the ablations.
 var Figures = []Figure{
 	{"fig1", "Figure 1: measured communication cost per consensus decision", Fig1Complexity},
 	{"fig7a", "Figure 7(a): scalability — throughput vs number of replicas", Fig7aScalability},

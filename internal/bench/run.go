@@ -1,11 +1,15 @@
 // Package bench is the evaluation harness: it reconstructs every experiment
 // of §6.3 (all panels of Figures 7–15 plus the Figure 1 complexity table) on
 // the discrete-event simulator, with one Options struct per data point and
-// one exported function per figure.
+// one exported function per figure, plus ablations for the reproduction's
+// own design choices (fast path, buffering, the verification pipeline, and
+// the checkpoint/state-transfer subsystem with its kill-and-rejoin
+// scenario).
 package bench
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"spotless/internal/core"
@@ -13,6 +17,7 @@ import (
 	"spotless/internal/loadgen"
 	"spotless/internal/narwhal"
 	"spotless/internal/pbft"
+	"spotless/internal/protocol"
 	"spotless/internal/rcc"
 	"spotless/internal/simnet"
 	"spotless/internal/types"
@@ -63,10 +68,18 @@ type Options struct {
 	Failures int             // number of faulty replicas
 	FailAt   time.Duration   // when they fail (0: from the start)
 	Attack   core.AttackMode // AttackNone ⇒ non-responsive (A1)
+	// ReviveAt restarts the downed replicas (Attack == AttackNone only)
+	// with fresh, empty state at the given time — the crash/recovery
+	// scenario. Recovery is measured into Result.ReviveRecovery.
+	ReviveAt time.Duration
+
+	// Checkpoint subsystem knobs (SpotLess; see core.Config).
+	CheckpointInterval int // 0 disables (seed behaviour)
+	RetentionViews     int // 0 keeps the protocol default window
 
 	TimelineBucket time.Duration // >0 records a throughput timeline (Fig 12)
 
-	// Ablation knobs (DESIGN.md §4: design-choice benchmarks).
+	// Ablation knobs (design-choice benchmarks; see the ablation-* figures).
 	FastPath     bool // SpotLess geo fast path (§6.1)
 	NoBuffering  bool // disable ResilientDB-style message buffering (§6.1)
 	SkipQCVerify bool // HotStuff without backup-side QC verification
@@ -84,6 +97,15 @@ type Result struct {
 	Batches      uint64
 	MsgsPerBatch float64 // protocol messages sent per decided batch
 	Timeline     []loadgen.TimelinePoint
+
+	// Retained consensus bookkeeping at the end of the run, maximum across
+	// SpotLess replicas (proposal-map and view-map entries) — the state the
+	// checkpoint GC bounds.
+	StateProposals int
+	StateViews     int
+	// ReviveRecovery is the time from ReviveAt until the last revived
+	// replica executed its first post-revival batch (0: never recovered).
+	ReviveRecovery time.Duration
 }
 
 // oneWayDelayMs is the one-way propagation between the paper's regions
@@ -217,7 +239,7 @@ func Run(o Options) Result {
 		victims[types.NodeID(i)] = true // non-faulty victims for A2/A3
 	}
 
-	buildReplica(sim, o, m, faulty, victims)
+	protos := buildReplica(sim, o, m, faulty, victims)
 
 	// Failure injection.
 	if o.Failures > 0 && o.Attack == core.AttackNone {
@@ -227,6 +249,39 @@ func Run(o Options) Result {
 			sim.Schedule(at, func() { sim.SetDown(fid, true) })
 		}
 	}
+	// Crash-recovery: bring the downed replicas back with fresh state and
+	// time their first post-revival execution (state-transfer rejoin).
+	var reviveDone time.Duration
+	if o.ReviveAt > 0 && o.Failures > 0 && o.Attack == core.AttackNone {
+		pending := make(map[types.NodeID]bool, len(faulty))
+		for id := range faulty {
+			pending[id] = true
+		}
+		sim.SetDeliverHook(func(node types.NodeID, c types.Commit) {
+			if pending[node] && sim.Now() >= o.ReviveAt {
+				delete(pending, node)
+				if len(pending) == 0 {
+					reviveDone = sim.Now()
+				}
+			}
+		})
+		// Deterministic revival order (map iteration would vary run to run).
+		order := make([]types.NodeID, 0, len(faulty))
+		for id := range faulty {
+			order = append(order, id)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, id := range order {
+			fid := id
+			sim.Schedule(o.ReviveAt, func() {
+				sim.Restart(fid, func(ctx protocol.Context) protocol.Protocol {
+					p := buildOne(ctx, o, m, fid, faulty, victims)
+					protos[fid] = p
+					return p
+				})
+			})
+		}
+	}
 
 	sim.Start()
 	sim.Run(o.Warmup)
@@ -234,7 +289,33 @@ func Run(o Options) Result {
 	sim.Run(o.Warmup + o.Measure)
 	msgsDuring := sim.Stats().MessagesSent - msgsBefore
 
+	// A revived replica may still be mid-recovery when the measurement
+	// window closes; run on (metrics are frozen at MeasureEnd) until it
+	// recovers or a deadline passes, so ReviveRecovery is observed. Gated
+	// exactly like the hook installation above — without a hook,
+	// reviveDone can never fire and the loop would burn the full deadline.
+	if o.ReviveAt > 0 && o.Failures > 0 && o.Attack == core.AttackNone {
+		deadline := o.Warmup + o.Measure + 2*time.Second
+		for reviveDone == 0 && sim.Now() < deadline {
+			sim.Run(sim.Now() + 50*time.Millisecond)
+		}
+	}
+
 	res := Result{Options: o, Throughput: col.Throughput(), Batches: col.BatchesDone}
+	for _, p := range protos {
+		if rep, ok := p.(*core.Replica); ok {
+			props, views := rep.StateFootprint()
+			if props > res.StateProposals {
+				res.StateProposals = props
+			}
+			if views > res.StateViews {
+				res.StateViews = views
+			}
+		}
+	}
+	if o.ReviveAt > 0 && reviveDone > 0 {
+		res.ReviveRecovery = reviveDone - o.ReviveAt
+	}
 	res.AvgLatency, res.P50Latency, res.P99Latency = col.Latency()
 	if col.BatchesDone > 0 {
 		res.MsgsPerBatch = float64(msgsDuring) / float64(col.BatchesDone)
@@ -247,54 +328,66 @@ func Run(o Options) Result {
 	return res
 }
 
-// buildReplica attaches one protocol replica per node.
-func buildReplica(sim *simnet.Simulation, o Options, m int, faulty, victims map[types.NodeID]bool) {
-	n := o.N
-	for i := 0; i < n; i++ {
+// buildReplica attaches one protocol replica per node and returns them
+// indexed by node id.
+func buildReplica(sim *simnet.Simulation, o Options, m int, faulty, victims map[types.NodeID]bool) []protocol.Protocol {
+	protos := make([]protocol.Protocol, o.N)
+	for i := 0; i < o.N; i++ {
 		id := types.NodeID(i)
-		ctx := sim.Context(id)
-		switch o.Protocol {
-		case SpotLess:
-			cfg := core.DefaultConfig(n, m)
-			tune := estimateViewCycle(o, m)
-			cfg.InitialRecordingTimeout = tune
-			cfg.InitialCertifyTimeout = tune
-			// The adaptive halving rule (§3.5) must not sink the timers
-			// below the real view duration, or spurious ∅-claims cascade.
-			cfg.MinTimeout = tune / 2
-			cfg.RetransmitInterval = max(300*time.Millisecond, 8*tune)
-			cfg.FastPath = o.FastPath
-			if faulty[id] && o.Attack != core.AttackNone {
-				cfg.Behavior = core.Behavior{Mode: o.Attack, Victims: victims, Accomplices: faulty}
-			}
-			sim.SetProtocol(id, core.New(ctx, cfg))
-		case Pbft:
-			cfg := pbft.DefaultConfig(n)
-			sim.SetProtocol(id, pbft.New(ctx, cfg))
-		case RCC:
-			cfg := rcc.DefaultConfig(n, m)
-			// Bound the aggregate out-of-order burst across instances.
-			cfg.Window = 512 / m
-			if cfg.Window < 4 {
-				cfg.Window = 4
-			}
-			if cfg.Window > 64 {
-				cfg.Window = 64
-			}
-			sim.SetProtocol(id, rcc.New(ctx, cfg))
-		case HotStuff:
-			cfg := hotstuff.DefaultConfig(n)
-			cfg.SkipQCVerify = o.SkipQCVerify
-			if faulty[id] && o.Attack != core.AttackNone {
-				cfg.Behavior = core.Behavior{Mode: o.Attack, Victims: victims, Accomplices: faulty}
-			}
-			sim.SetProtocol(id, hotstuff.New(ctx, cfg))
-		case NarwhalHS:
-			cfg := narwhal.DefaultConfig(n)
-			sim.SetProtocol(id, narwhal.New(ctx, cfg))
-		default:
-			panic(fmt.Sprintf("bench: unknown protocol %q", o.Protocol))
+		p := buildOne(sim.Context(id), o, m, id, faulty, victims)
+		protos[i] = p
+		sim.SetProtocol(id, p)
+	}
+	return protos
+}
+
+// buildOne constructs the protocol replica hosted at one node — also the
+// constructor used when a crashed replica is revived with fresh state.
+func buildOne(ctx protocol.Context, o Options, m int, id types.NodeID, faulty, victims map[types.NodeID]bool) protocol.Protocol {
+	n := o.N
+	switch o.Protocol {
+	case SpotLess:
+		cfg := core.DefaultConfig(n, m)
+		tune := estimateViewCycle(o, m)
+		cfg.InitialRecordingTimeout = tune
+		cfg.InitialCertifyTimeout = tune
+		// The adaptive halving rule (§3.5) must not sink the timers
+		// below the real view duration, or spurious ∅-claims cascade.
+		cfg.MinTimeout = tune / 2
+		cfg.RetransmitInterval = max(300*time.Millisecond, 8*tune)
+		cfg.FastPath = o.FastPath
+		cfg.CheckpointInterval = o.CheckpointInterval
+		if o.RetentionViews > 0 {
+			cfg.RetentionViews = o.RetentionViews
 		}
+		if faulty[id] && o.Attack != core.AttackNone {
+			cfg.Behavior = core.Behavior{Mode: o.Attack, Victims: victims, Accomplices: faulty}
+		}
+		return core.New(ctx, cfg)
+	case Pbft:
+		return pbft.New(ctx, pbft.DefaultConfig(n))
+	case RCC:
+		cfg := rcc.DefaultConfig(n, m)
+		// Bound the aggregate out-of-order burst across instances.
+		cfg.Window = 512 / m
+		if cfg.Window < 4 {
+			cfg.Window = 4
+		}
+		if cfg.Window > 64 {
+			cfg.Window = 64
+		}
+		return rcc.New(ctx, cfg)
+	case HotStuff:
+		cfg := hotstuff.DefaultConfig(n)
+		cfg.SkipQCVerify = o.SkipQCVerify
+		if faulty[id] && o.Attack != core.AttackNone {
+			cfg.Behavior = core.Behavior{Mode: o.Attack, Victims: victims, Accomplices: faulty}
+		}
+		return hotstuff.New(ctx, cfg)
+	case NarwhalHS:
+		return narwhal.New(ctx, narwhal.DefaultConfig(n))
+	default:
+		panic(fmt.Sprintf("bench: unknown protocol %q", o.Protocol))
 	}
 }
 

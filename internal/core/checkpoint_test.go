@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/core"
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// TestCheckpointStabilizesAndGCs: a healthy cluster with checkpointing
+// enabled stabilizes checkpoints and keeps making progress.
+func TestCheckpointStabilizesAndGCs(t *testing.T) {
+	c := newCluster(t, 4, 2, func(i int, cfg *core.Config) {
+		cfg.CheckpointInterval = 8
+	}, nil)
+	c.run(2 * time.Second)
+	for i, r := range c.replicas {
+		if r.Delivered == 0 {
+			t.Fatalf("replica %d delivered nothing", i)
+		}
+		if r.StableHeight() == 0 {
+			t.Errorf("replica %d never stabilized a checkpoint (delivered %d)", i, r.Delivered)
+		}
+		if r.StableHeight()%8 != 0 {
+			t.Errorf("replica %d stable height %d not interval-aligned", i, r.StableHeight())
+		}
+	}
+}
+
+// TestCheckpointBoundsStateFootprint is the memory-bound regression: with
+// the fixed retention window widened out of the way, per-instance
+// proposal/view bookkeeping grows with the number of views passed when
+// checkpointing is disabled, and stays O(K) when enabled — the subsystem's
+// core claim.
+func TestCheckpointBoundsStateFootprint(t *testing.T) {
+	measure := func(interval int) (props, views int) {
+		c := newCluster(t, 4, 1, func(i int, cfg *core.Config) {
+			cfg.CheckpointInterval = interval
+			cfg.RetentionViews = 1 << 30 // neutralize the fallback pruner
+		}, nil)
+		c.run(3 * time.Second)
+		return c.replicas[0].StateFootprint()
+	}
+	offProps, offViews := measure(0)
+	onProps, onViews := measure(8)
+	t.Logf("checkpointing off: %d proposals / %d views; on (K=8): %d / %d",
+		offProps, offViews, onProps, onViews)
+	// Without checkpoints the maps track every view ever passed.
+	if offProps < 4*onProps || offViews < 4*onViews {
+		t.Fatalf("expected unbounded growth without checkpoints: off=%d/%d on=%d/%d",
+			offProps, offViews, onProps, onViews)
+	}
+	// With checkpoints the footprint is O(K) — a small multiple of the
+	// interval (stabilization lag + in-flight views), not O(views passed).
+	const bound = 256 // generous: K=8 plus pipeline and quorum lag
+	if onProps > bound || onViews > bound {
+		t.Fatalf("footprint with checkpointing not bounded: %d proposals / %d views > %d",
+			onProps, onViews, bound)
+	}
+}
+
+// TestCrashRecoveryViaStateTransfer is the kill-and-rejoin scenario: a
+// replica crashes mid-run, loses all in-memory state, and restarts while
+// the survivors keep committing under a bounded retention policy. The
+// rejoiner cannot rebuild the pruned chain by Asks; it must fetch the
+// stable checkpoint, install it, and then commit new batches.
+func TestCrashRecoveryViaStateTransfer(t *testing.T) {
+	const (
+		n, m   = 4, 2
+		victim = types.NodeID(3)
+	)
+	tune := func(cfg *core.Config) {
+		cfg.InitialRecordingTimeout = 20 * time.Millisecond
+		cfg.InitialCertifyTimeout = 20 * time.Millisecond
+		cfg.CheckpointInterval = 8
+	}
+	c := newCluster(t, n, m, func(i int, cfg *core.Config) { tune(cfg) }, nil)
+
+	c.run(500 * time.Millisecond)
+	c.sim.SetDown(victim, true)
+	c.run(1500 * time.Millisecond)
+
+	var revived *core.Replica
+	c.sim.Schedule(c.sim.Now(), func() {
+		c.sim.Restart(victim, func(ctx protocol.Context) protocol.Protocol {
+			cfg := core.DefaultConfig(n, m)
+			tune(&cfg)
+			revived = core.New(ctx, cfg)
+			c.replicas[victim] = revived
+			return revived
+		})
+	})
+	c.run(3500 * time.Millisecond)
+
+	if revived == nil {
+		t.Fatal("restart hook never ran")
+	}
+	if revived.StableHeight() == 0 {
+		t.Fatalf("revived replica never installed a stable checkpoint (delivered %d, peers at %d)",
+			revived.Delivered, c.replicas[0].Delivered)
+	}
+	mark := revived.Delivered
+	if mark == 0 {
+		t.Fatal("revived replica delivered nothing after state transfer")
+	}
+	// It must now be an active participant: new batches keep committing.
+	c.run(4500 * time.Millisecond)
+	if revived.Delivered <= mark {
+		t.Fatalf("revived replica stalled after install: delivered %d then %d", mark, revived.Delivered)
+	}
+	// And it must have caught up to the pack, not merely limp along.
+	healthy := c.replicas[0].Delivered
+	if revived.Delivered+uint64(4*8) < healthy {
+		t.Fatalf("revived replica lags: %d vs healthy %d", revived.Delivered, healthy)
+	}
+}

@@ -1,7 +1,12 @@
 // Package core implements SpotLess (§3–§5 of the paper): the chained
 // rotational consensus instance with Rapid View Synchronization, and the
 // concurrent consensus architecture that runs m instances in parallel with a
-// deterministic total order across them.
+// deterministic total order across them. On top of the paper's protocol it
+// adds the checkpoint + garbage-collection + state-transfer subsystem
+// (checkpoint.go): periodic signed checkpoints bound the per-view state RVS
+// would otherwise retain forever, and let crashed or lagging replicas
+// rejoin from the stable frontier instead of replaying pruned views. See
+// docs/ARCHITECTURE.md for the paper-to-code map.
 package core
 
 import (
@@ -34,9 +39,28 @@ type Config struct {
 	RetransmitInterval time.Duration
 
 	// RetentionViews bounds per-view bookkeeping kept behind the committed
-	// frontier (older state is pruned; production deployments would anchor
-	// this to checkpoints).
+	// frontier when checkpointing is disabled (older state is pruned on a
+	// fixed window). With CheckpointInterval > 0 the stable checkpoint
+	// frontier drives garbage collection instead.
 	RetentionViews int
+	// CheckpointInterval enables the checkpoint + garbage-collection +
+	// state-transfer subsystem: every K globally delivered batches the
+	// replica broadcasts a signed checkpoint attestation; n−f matching
+	// attestations make the checkpoint stable, after which state at or
+	// below the stable frontier is dropped and lagging replicas recover via
+	// FetchState/StateChunk instead of per-view Asks. 0 disables the
+	// subsystem (the seed behaviour). All replicas must agree on K.
+	CheckpointInterval int
+	// CheckpointFetchCap bounds the ledger blocks carried per StateChunk
+	// (default 512). Blocks beyond the cap are not re-fetched: the
+	// requester rebuilds them through ordinary consensus re-delivery, which
+	// GC keeps possible above the stable frontier.
+	CheckpointFetchCap int
+	// Host integrates the execution layer's durable state with the
+	// checkpoint subsystem (ledger truncation, block serving, state
+	// install). Optional: nil models a substrate without durable state
+	// (e.g. the simulator), where checkpoints cover protocol state only.
+	Host StateHost
 	// PendingWindow bounds how far ahead of the current view proposals are
 	// buffered (flooding guard).
 	PendingWindow int
@@ -53,6 +77,28 @@ type Config struct {
 
 	// Behavior configures Byzantine behaviour for evaluation (§6.3).
 	Behavior Behavior
+}
+
+// StateHost is the execution-layer integration surface of the checkpoint
+// subsystem. The runtime's replica executor implements it over the
+// blockchain ledger; substrates without durable state leave Config.Host nil.
+// All methods are invoked on the replica's event loop.
+type StateHost interface {
+	// StateDigest returns the digest of the durable state after height
+	// delivered batches (the ledger's chain-resume hash); it is folded into
+	// the checkpoint attestation so divergent execution is detected at
+	// checkpoint time.
+	StateDigest(height uint64) types.Digest
+	// TruncateBelow garbage-collects durable state below the stable height.
+	TruncateBelow(height uint64)
+	// FetchBlocks returns up to max retained ledger blocks from the given
+	// height, serving state-transfer chunks.
+	FetchBlocks(from uint64, max int) []types.BlockRecord
+	// InstallState adopts a verified stable checkpoint on a lagging
+	// replica: resume the ledger at the checkpoint height using the
+	// chain-resume hash and ingest the transferred blocks (the first of
+	// which carries the checkpoint height).
+	InstallState(height uint64, resume types.Digest, blocks []types.BlockRecord) error
 }
 
 // DefaultConfig returns a configuration for n replicas with m instances.

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"sort"
 	"time"
 
 	"spotless/internal/crypto"
@@ -94,6 +95,14 @@ type Instance struct {
 
 	lastProgressView types.View // for periodic retransmission
 	proposedView     types.View // highest view we already proposed (fast path)
+	lastGapAsk       time.Duration
+	// lastGapAsk rate-limits chain-gap Asks (state-transfer catch-up);
+	// chainServeAt rate-limits ancestor-chain Ask service per requester.
+	chainServeAt map[types.NodeID]time.Duration
+	// gcFloor is the view below which checkpoint GC retired all state;
+	// messages referencing older views are dropped rather than allowed to
+	// regrow placeholders the GC just collected.
+	gcFloor types.View
 
 	// Outstanding VerifyAsync certificate jobs, keyed by the correlation
 	// sequence carried in TimerTag.Seq (stale-completion discipline:
@@ -140,6 +149,10 @@ func newInstance(r *Replica, id int32) *Instance {
 		// Sentinels: a first timeout at view 1 is not "consecutive".
 		lastTimeoutViewR: ^types.View(0) - 1,
 		lastTimeoutViewA: ^types.View(0) - 1,
+		// A fresh (or restarted) replica's first chain-gap Ask must not be
+		// rate-limited by the zero timestamp.
+		lastGapAsk:   -r.cfg.RetransmitInterval,
+		chainServeAt: make(map[types.NodeID]time.Duration),
 	}
 	return inst
 }
@@ -297,6 +310,9 @@ func (in *Instance) onPropose(msg *types.Propose) {
 	if msg.Batch == nil { // S2: malformed
 		return
 	}
+	if v < in.gcFloor {
+		return // below the checkpoint GC floor: nobody correct needs it
+	}
 	if v > in.view+types.View(in.r.cfg.PendingWindow) {
 		return // flooding guard
 	}
@@ -342,6 +358,9 @@ func (in *Instance) tryAccept(p *proposal, msg *types.Propose) {
 		return // one claim per view
 	}
 	parent := p.parent
+	if parent == nil {
+		return // parent severed by checkpoint GC: a fork below the stable frontier
+	}
 	// S4 / A1: the parent must be conditionally prepared; a valid embedded
 	// certificate conditionally prepares it (§3.3). Certificate signatures
 	// are checked off the event loop as one fanned-out batch job: the
@@ -546,6 +565,9 @@ func (in *Instance) onSync(from types.NodeID, msg *types.Sync) {
 // all RVS transitions.
 func (in *Instance) recordSync(from types.NodeID, msg *types.Sync) {
 	v := msg.View
+	if v < in.gcFloor {
+		return // the view's state was retired by checkpoint GC
+	}
 	s := in.vs(v)
 	if _, dup := s.syncs[from]; !dup {
 		s.syncs[from] = msg
@@ -556,8 +578,12 @@ func (in *Instance) recordSync(from types.NodeID, msg *types.Sync) {
 			p := in.getOrCreate(msg.Claim.Digest, msg.Claim.View)
 			// Only sender-bound signatures become certificate material:
 			// a relayed third-party signature would later assemble into
-			// a cert short of distinct signers (§3.4).
-			if msg.Claim.View == p.view && msg.Sig.Signer == from {
+			// a cert short of distinct signers (§3.4). A nil vote map
+			// marks a proposal pruned past retention (prune/gcToAnchor):
+			// votes for it no longer matter, and must not be recorded —
+			// a lagging replica's Sync can reference arbitrarily old
+			// proposals.
+			if msg.Claim.View == p.view && msg.Sig.Signer == from && p.syncVotes != nil {
 				p.syncVotes[from] = msg.Sig
 				if len(p.syncVotes) >= in.quorum() && p.view > in.certHead.view {
 					in.certHead = p
@@ -567,7 +593,13 @@ func (in *Instance) recordSync(from types.NodeID, msg *types.Sync) {
 		// CP endorsements: f+1 distinct endorsers conditionally prepare the
 		// proposal (Figure 3, lines 22–23); n−f make it extendable (E2).
 		for _, e := range msg.CP {
+			if e.View < in.gcFloor {
+				continue // retired by checkpoint GC; do not regrow
+			}
 			p := in.getOrCreate(e.Digest, e.View)
+			if p.cpVotes == nil {
+				continue // pruned past retention (see above)
+			}
 			p.cpVotes[from] = struct{}{}
 			if len(p.cpVotes) >= in.weak() && !p.condPrepared {
 				in.condPrepare(p)
@@ -676,36 +708,73 @@ func (in *Instance) acceptableByClaim(p *proposal) bool {
 }
 
 // askFor requests the full proposal behind a claim from up to f+1 replicas
-// that vouched for it.
+// that vouched for it. Voucher sets live in maps; targets are sorted so the
+// same state always asks the same peers (simulation determinism).
 func (in *Instance) askFor(p *proposal, v types.View) {
 	ask := &types.Ask{Instance: in.id, View: v, Claim: types.Claim{View: p.view, Digest: p.digest}}
-	sent := 0
+	self := in.r.ctx.ID()
+	targets := make([]types.NodeID, 0, 2*in.weak())
 	if s, ok := in.views[p.view]; ok {
 		for from, m := range s.syncs {
-			if !m.Claim.Empty && m.Claim.Digest == p.digest && from != in.r.ctx.ID() {
-				in.r.ctx.Send(from, ask)
-				sent++
-				if sent >= in.weak() {
-					return
-				}
+			if !m.Claim.Empty && m.Claim.Digest == p.digest && from != self {
+				targets = append(targets, from)
 			}
 		}
 	}
-	for from := range p.cpVotes {
-		if from == in.r.ctx.ID() {
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	vouchers := len(targets)
+	if vouchers < in.weak() {
+		cps := make([]types.NodeID, 0, len(p.cpVotes))
+		for from := range p.cpVotes {
+			if from != self {
+				cps = append(cps, from)
+			}
+		}
+		sort.Slice(cps, func(i, j int) bool { return cps[i] < cps[j] })
+		targets = append(targets, cps...)
+	}
+	sent := 0
+	seen := make(map[types.NodeID]bool, len(targets))
+	for _, from := range targets {
+		if seen[from] {
 			continue
 		}
+		seen[from] = true
 		in.r.ctx.Send(from, ask)
-		sent++
-		if sent >= in.weak() {
+		if sent++; sent >= in.weak() {
 			return
 		}
 	}
 }
 
 func (in *Instance) onAsk(from types.NodeID, msg *types.Ask) {
-	if p, ok := in.props[msg.Claim.Digest]; ok && p.known && p.msg != nil {
-		in.r.ctx.Send(from, p.msg)
+	p, ok := in.props[msg.Claim.Digest]
+	if !ok || !p.known || p.msg == nil {
+		return
+	}
+	in.r.ctx.Send(from, p.msg)
+	if !in.r.ckptEnabled() {
+		return
+	}
+	// Recovery aid (checkpoint deployments): a replica backfilling a
+	// committed-chain gap after a state-transfer install needs the whole
+	// ancestor chain, and discovers parent digests only as payloads arrive
+	// — serving one link per Ask round trip would cost a rate-limited
+	// round per missing link. Serve the retained ancestor chain along with
+	// the requested proposal, bounded by the catch-up window and, against
+	// bandwidth-amplification abuse (every Ask would otherwise cost up to
+	// CatchupWindow full batches), rate-limited per requester.
+	now := in.r.ctx.Now()
+	if last, ok := in.chainServeAt[from]; ok && now-last < in.r.cfg.RetransmitInterval {
+		return
+	}
+	in.chainServeAt[from] = now
+	sent := 0
+	for q := p.parent; q != nil && q.known && q.msg != nil; q = q.parent {
+		in.r.ctx.Send(from, q.msg)
+		if sent++; sent >= in.r.cfg.CatchupWindow {
+			return
+		}
 	}
 }
 
@@ -801,8 +870,12 @@ func (in *Instance) commit(p *proposal) {
 func (in *Instance) maybeDeliver() {
 	// Walk from the last delivered view upward along the committed chain.
 	for {
-		next := in.nextCommittedAfter(in.lastDeliver)
+		next, blocked := in.nextCommittedAfter(in.lastDeliver)
 		if next == nil || !next.known {
+			if blocked == nil && next != nil && !next.known {
+				blocked = next
+			}
+			in.askChainGap(blocked)
 			return
 		}
 		next.delivered = true
@@ -812,18 +885,141 @@ func (in *Instance) maybeDeliver() {
 }
 
 // nextCommittedAfter finds the lowest committed, undelivered proposal with
-// view > v by walking down from the committed head.
-func (in *Instance) nextCommittedAfter(v types.View) *proposal {
-	var candidate *proposal
+// view > v by walking down from the committed head. blocked reports the
+// chain link whose payload is still missing when continuity cannot be
+// certified yet.
+func (in *Instance) nextCommittedAfter(v types.View) (candidate, blocked *proposal) {
 	for q := in.lastCommit; q != nil && q.view > v; q = q.parent {
 		if q.committed && !q.delivered {
 			candidate = q
 		}
 		if !q.known {
-			return nil // cannot certify chain continuity yet
+			return nil, q // cannot certify chain continuity yet
 		}
 	}
-	return candidate
+	return candidate, nil
+}
+
+// askChainGap fetches the payload of a committed-chain link this replica
+// never recorded. After a checkpoint install the chain between the anchor
+// and the present was learned from claims only, and head-of-line delivery
+// blocks until the payloads arrive — but the per-view Sync records that
+// would normally name vouchers are gone, so after asking any recorded
+// vouchers we fall back to a deterministic f+1 peer set (every correct
+// replica that delivered past the gap still retains it above the stable
+// frontier). Rate-limited to one gap per retransmission interval; inert
+// when checkpointing is disabled, preserving the seed behaviour.
+func (in *Instance) askChainGap(p *proposal) {
+	if p == nil || p.known || !in.r.ckptEnabled() {
+		return
+	}
+	now := in.r.ctx.Now()
+	if now-in.lastGapAsk < in.r.cfg.RetransmitInterval {
+		return
+	}
+	in.lastGapAsk = now
+	in.askFor(p, in.view)
+	ask := &types.Ask{Instance: in.id, View: in.view, Claim: types.Claim{View: p.view, Digest: p.digest}}
+	self := in.r.ctx.ID()
+	for i, sent := 0, 0; i < in.r.cfg.N && sent < in.weak(); i++ {
+		id := types.NodeID((int(self) + 1 + i) % in.r.cfg.N)
+		if id == self {
+			continue
+		}
+		in.r.ctx.Send(id, ask)
+		sent++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint integration (see checkpoint.go)
+// ---------------------------------------------------------------------------
+
+// installAnchor adopts a stable-checkpoint anchor as this instance's new
+// delivery frontier: the anchor proposal is recorded as decided (the
+// checkpoint certificate stands in for the per-view quorums that decided
+// it), state behind it is collected, and the instance re-enters the
+// rotation in the view after the anchor.
+func (in *Instance) installAnchor(a types.Anchor) {
+	if a.View == 0 {
+		return // the instance had delivered nothing at the checkpoint cut
+	}
+	p := in.getOrCreate(a.Digest, a.View)
+	p.view = a.View
+	p.known = true
+	p.condPrepared, p.condCommitted = true, true
+	p.committed, p.delivered = true, true
+	if in.lastDeliver < a.View {
+		in.lastDeliver = a.View
+	}
+	in.gcToAnchor(a)
+	if in.view <= a.View {
+		in.enterView(a.View + 1)
+	} else {
+		in.retryPending()
+		in.maybeDeliver()
+	}
+}
+
+// gcToAnchor garbage-collects consensus state behind a stable-checkpoint
+// anchor: view bookkeeping and proposals strictly below the anchor view are
+// dropped, chain links into the pruned region are severed (so the
+// historical proposal chain becomes collectable rather than pinned by
+// parent pointers), and the lock/head references are raised to the anchor
+// when they point below it — the anchor is committed, so locking on it is
+// always safe.
+func (in *Instance) gcToAnchor(a types.Anchor) {
+	if a.View == 0 {
+		return
+	}
+	anchor := in.getOrCreate(a.Digest, a.View)
+	if in.gcFloor < a.View {
+		in.gcFloor = a.View
+	}
+	if in.lock.view < a.View {
+		in.lock = anchor
+	}
+	if in.certHead.view < a.View {
+		in.certHead = anchor
+	}
+	if in.cpHead.view < a.View {
+		in.cpHead = anchor
+	}
+	if in.lastCommit.view < a.View {
+		in.lastCommit = anchor
+	}
+	horizon := a.View
+	for v := range in.views {
+		if v < horizon {
+			delete(in.views, v)
+		}
+	}
+	for d, p := range in.props {
+		if p == in.genesis || p == anchor {
+			continue
+		}
+		if p.view < horizon {
+			delete(in.props, d)
+			continue
+		}
+		if p.parent != nil && p.parent != in.genesis && p.parent != anchor && p.parent.view < horizon {
+			p.parent = nil // sever links into the pruned region
+		}
+	}
+	// The anchor's own parent link would otherwise pin the entire
+	// pre-checkpoint chain (and every retained batch) in the heap even
+	// after the map entries are gone. All walks stop at the anchor — it is
+	// committed and delivered — so severing is safe.
+	if anchor.parent != nil && anchor.parent != in.genesis {
+		anchor.parent = nil
+	}
+	keep := in.cpList[:0]
+	for _, p := range in.cpList {
+		if p.view >= horizon {
+			keep = append(keep, p)
+		}
+	}
+	in.cpList = keep
 }
 
 // ---------------------------------------------------------------------------
@@ -883,13 +1079,32 @@ func clampTimeout(d time.Duration, cfg Config) time.Duration {
 	return d
 }
 
+// pruneEmergencyProps is the per-instance footprint at which the prune
+// backstop opens under checkpointing (see prune).
+const pruneEmergencyProps = 1 << 16
+
 // prune discards bookkeeping behind the committed frontier (retention
-// window), bounding memory in long runs.
+// window), bounding memory in long runs. With checkpointing enabled the
+// stable frontier drives GC instead (gcToAnchor), and the GC contract is
+// that everything above the stable frontier stays Ask-servable — views
+// advance thousands of times faster than deliveries under no-op spin, so
+// a view-anchored window here would destroy payloads peers still need and
+// turn transient chain holes permanent. prune therefore acts only as an
+// emergency valve for a wedged stable frontier (replicas disagreeing on
+// the interval, state divergence): it stays closed until the per-instance
+// footprint exceeds a hard cap, then reclaims behind a widened window.
 func (in *Instance) prune() {
-	if in.lastDeliver < types.View(in.r.cfg.RetentionViews) {
+	window := types.View(in.r.cfg.RetentionViews)
+	if in.r.ckptEnabled() {
+		if len(in.props) < pruneEmergencyProps && len(in.views) < pruneEmergencyProps {
+			return
+		}
+		window *= 4
+	}
+	if in.lastDeliver < window {
 		return
 	}
-	horizon := in.lastDeliver - types.View(in.r.cfg.RetentionViews)
+	horizon := in.lastDeliver - window
 	for v := range in.views {
 		if v < horizon {
 			delete(in.views, v)
@@ -901,7 +1116,7 @@ func (in *Instance) prune() {
 			p.msg = nil
 			p.syncVotes = nil
 			p.cpVotes = nil
-			if p.view+types.View(in.r.cfg.RetentionViews) < horizon {
+			if p.view+window < horizon {
 				delete(in.props, d)
 			}
 		}

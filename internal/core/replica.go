@@ -25,6 +25,10 @@ type Replica struct {
 	queues    [][]orderedCommit // committed, not yet globally ordered
 	seenBatch map[types.Digest]bool
 
+	// ckpt is the checkpoint + state-transfer manager (see checkpoint.go);
+	// inert unless Config.CheckpointInterval > 0.
+	ckpt ckptState
+
 	// Stats exposed for tests and the harness.
 	Delivered uint64 // globally ordered non-noop batches
 	NoOps     uint64
@@ -50,6 +54,12 @@ func New(ctx protocol.Context, cfg Config) *Replica {
 		frontiers: make([]types.View, cfg.Instances),
 		queues:    make([][]orderedCommit, cfg.Instances),
 		seenBatch: make(map[types.Digest]bool),
+		ckpt: ckptState{
+			anchors: make([]types.Anchor, cfg.Instances),
+			tallies: make(map[uint64]map[types.NodeID]attest),
+			newest:  make(map[types.NodeID]attest),
+			local:   make(map[uint64]localCkpt),
+		},
 	}
 	r.insts = make([]*Instance, cfg.Instances)
 	for i := range r.insts {
@@ -92,11 +102,21 @@ func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {
 		if in := r.instance(m.Instance); in != nil {
 			in.onAsk(from, m)
 		}
+	case *types.Checkpoint:
+		r.onCheckpoint(from, m)
+	case *types.FetchState:
+		r.onFetchState(from, m)
+	case *types.StateChunk:
+		r.onStateChunk(from, m)
 	}
 }
 
 // HandleTimer implements protocol.Protocol.
 func (r *Replica) HandleTimer(tag protocol.TimerTag) {
+	if tag.Kind == protocol.TimerStateFetch {
+		r.onFetchTimer(tag)
+		return
+	}
 	if in := r.instance(tag.Instance); in != nil {
 		in.onTimer(tag)
 	}
@@ -112,28 +132,52 @@ func (r *Replica) HandleTimer(tag protocol.TimerTag) {
 // matter only on the recovery path, where the instance fans them out as one
 // VerifyAsync batch job.
 func (r *Replica) IngressJob(from types.NodeID, msg types.Message) (protocol.VerifyJob, bool) {
-	m, ok := msg.(*types.Propose)
-	if !ok || m.Batch == nil {
-		return protocol.VerifyJob{}, false
+	switch m := msg.(type) {
+	case *types.Propose:
+		if m.Batch == nil {
+			return protocol.VerifyJob{}, false
+		}
+		// Stateless pre-guards mirroring the loop's own cheap drops: bogus
+		// instances and signers that are not the view's primary never reach
+		// (or pay for) verification. The stateful flooding window (view too
+		// far ahead) still costs one pooled check per junk proposal.
+		if m.Instance < 0 || int(m.Instance) >= r.cfg.Instances ||
+			m.Sig.Signer != PrimaryOf(m.Instance, m.View, r.cfg.N) {
+			return protocol.VerifyJob{}, false
+		}
+		d := m.Digest()
+		return protocol.VerifyJob{
+			Checks: []crypto.Check{{Sig: m.Sig, Msg: d[:]}},
+			Quorum: 1,
+		}, true
+	case *types.Checkpoint:
+		// Attestations are tallied by signer; the signature must bind the
+		// signer to (height, state hash) before the tally sees it, and the
+		// signer must be a replica — clients share the keyring, and a
+		// compromised client's signature must not count toward the f+1
+		// lagging-detection threshold. (An empty infeasible job drops the
+		// message.) The StateChunk certificate is not screened here: it is
+		// verified as one fanned-out VerifyAsync batch on the recovery
+		// path only.
+		if m.Sig.Signer < 0 || int(m.Sig.Signer) >= r.cfg.N {
+			return protocol.VerifyJob{Quorum: 1}, true
+		}
+		return protocol.VerifyJob{
+			Checks: []crypto.Check{{Sig: m.Sig, Msg: types.CheckpointBytes(m.Height, m.StateHash)}},
+			Quorum: 1,
+		}, true
 	}
-	// Stateless pre-guards mirroring the loop's own cheap drops: bogus
-	// instances and signers that are not the view's primary never reach
-	// (or pay for) verification. The stateful flooding window (view too
-	// far ahead) still costs one pooled check per junk proposal.
-	if m.Instance < 0 || int(m.Instance) >= r.cfg.Instances ||
-		m.Sig.Signer != PrimaryOf(m.Instance, m.View, r.cfg.N) {
-		return protocol.VerifyJob{}, false
-	}
-	d := m.Digest()
-	return protocol.VerifyJob{
-		Checks: []crypto.Check{{Sig: m.Sig, Msg: d[:]}},
-		Quorum: 1,
-	}, true
+	return protocol.VerifyJob{}, false
 }
 
 // HandleVerified implements protocol.VerifyConsumer, routing asynchronous
-// certificate-verification completions to their instance.
+// certificate-verification completions to their instance (Instance ≥ 0) or
+// to the checkpoint manager (Instance −1: state-transfer certificates).
 func (r *Replica) HandleVerified(tag protocol.TimerTag, ok bool) {
+	if tag.Instance < 0 {
+		r.onCkptVerified(tag, ok)
+		return
+	}
 	if in := r.instance(tag.Instance); in != nil {
 		in.onVerified(tag, ok)
 	}
@@ -225,8 +269,26 @@ func (r *Replica) deliver(inst int32, oc orderedCommit) {
 	if len(r.seenBatch) > 1<<17 {
 		r.seenBatch = make(map[types.Digest]bool) // bounded dedup window
 	}
+	// Note the window semantics under checkpointing: the map also restarts
+	// at every checkpoint cut (maybeCheckpoint/installState), narrowing
+	// dedup to roughly one interval. The reset point sits at the same
+	// position of the executed sequence on every correct replica — and a
+	// rejoiner starts with the same empty window — so dedup decisions, and
+	// therefore delivered heights, stay identical cluster-wide; a batch
+	// replayed across a cut executes again *consistently* (at-least-once
+	// across cuts), which is the trade-off for a transferable window. The
+	// executor reply cache keeps answering client retransmissions either
+	// way.
+	// Checkpoint accounting covers exactly the executed sequence (deduped
+	// non-noops): it is what the ledger chains and what all correct
+	// replicas observe identically. The raw drain interleave is NOT hashed
+	// — transiently forked no-op proposals can commit at some replicas and
+	// not others (they never carry client batches, so execution and
+	// ledgers are unaffected), and hashing them would split attestations.
+	r.noteDrained(inst, oc)
 	r.Delivered++
 	r.ctx.Deliver(types.Commit{Instance: inst, View: oc.view, Batch: oc.batch, Proposal: oc.dig})
+	r.maybeCheckpoint()
 }
 
 // String describes the replica (debugging).

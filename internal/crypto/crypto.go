@@ -13,7 +13,7 @@
 //
 // Key distribution is a deployment concern the paper assumes away; both
 // providers derive per-replica keys deterministically from a cluster secret,
-// standing in for the usual PKI (documented in DESIGN.md).
+// standing in for the usual PKI (documented in docs/ARCHITECTURE.md).
 package crypto
 
 import (

@@ -1,31 +1,28 @@
-// Package ledger implements the immutable blockchain ledger of Apache
-// ResilientDB (§6.1): an append-only, hash-chained record of every executed
-// batch together with the consensus proof reference, providing strong data
-// provenance.
+// Package ledger implements the blockchain ledger of Apache ResilientDB
+// (§6.1): an append-only, hash-chained record of every executed batch
+// together with the consensus proof reference, providing strong data
+// provenance. The chain is checkpoint-aware: Truncate prunes blocks behind a
+// stable checkpoint while retaining a verifiable chain-resume hash, Snapshot
+// describes the resume point, and AppendRecord ingests blocks received via
+// state transfer — so a rejoining replica rebuilds a chain whose links still
+// verify from the checkpoint onward.
 package ledger
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sync"
 
 	"spotless/internal/types"
 )
 
-// Block is one ledger entry.
-type Block struct {
-	Height   uint64
-	Prev     types.Digest // hash of the previous block
-	Instance int32
-	View     types.View
-	BatchID  types.Digest
-	Proposal types.Digest // digest of the committing proposal (the proof ref)
-	Results  types.Digest // execution-result digest
-	Hash     types.Digest
-}
+// Block is one ledger entry. It aliases types.BlockRecord so state-transfer
+// chunks can carry ledger segments without a dependency cycle.
+type Block = types.BlockRecord
 
-func (b *Block) computeHash() types.Digest {
+func computeHash(b *Block) types.Digest {
 	var buf [8 + 32 + 4 + 8 + 32 + 32 + 32]byte
 	binary.LittleEndian.PutUint64(buf[0:], b.Height)
 	copy(buf[8:], b.Prev[:])
@@ -37,21 +34,46 @@ func (b *Block) computeHash() types.Digest {
 	return sha256.Sum256(buf[:])
 }
 
-// Ledger is an append-only hash chain.
+// Snapshot describes a ledger's resume point: every block below Height is
+// pruned, and Resume is the hash of the last pruned block — the value the
+// first retained block's Prev link must match for the chain to verify.
+type Snapshot struct {
+	Height uint64
+	Resume types.Digest
+}
+
+// Ledger is a hash chain, append-only above its truncation point.
 type Ledger struct {
 	mu     sync.RWMutex
+	base   uint64       // height of blocks[0]
+	resume types.Digest // hash of block base−1 (zero at genesis)
 	blocks []Block
 }
 
-// New creates an empty ledger.
+// New creates an empty ledger rooted at genesis.
 func New() *Ledger { return &Ledger{} }
+
+// NewAt creates an empty ledger resuming at a snapshot point, as a rejoining
+// replica does after adopting a stable checkpoint.
+func NewAt(s Snapshot) *Ledger { return &Ledger{base: s.Height, resume: s.Resume} }
+
+// Reset discards every retained block and re-roots the ledger at a snapshot
+// point — the state-transfer install path on a rejoining replica, whose own
+// (shorter) chain prefix is superseded by the stable checkpoint.
+func (l *Ledger) Reset(s Snapshot) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.base = s.Height
+	l.resume = s.Resume
+	l.blocks = nil
+}
 
 // Append adds a block for an executed batch and returns it.
 func (l *Ledger) Append(c types.Commit, results types.Digest) Block {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	b := Block{
-		Height:   uint64(len(l.blocks)),
+		Height:   l.base + uint64(len(l.blocks)),
 		Instance: c.Instance,
 		View:     c.View,
 		Proposal: c.Proposal,
@@ -62,46 +84,140 @@ func (l *Ledger) Append(c types.Commit, results types.Digest) Block {
 	}
 	if len(l.blocks) > 0 {
 		b.Prev = l.blocks[len(l.blocks)-1].Hash
+	} else {
+		b.Prev = l.resume
 	}
-	b.Hash = b.computeHash()
+	b.Hash = computeHash(&b)
 	l.blocks = append(l.blocks, b)
 	return b
 }
 
-// Height returns the number of blocks.
+// Height returns the next height to be appended (total blocks ever chained).
 func (l *Ledger) Height() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return uint64(len(l.blocks))
+	return l.base + uint64(len(l.blocks))
 }
 
-// Block returns the block at the given height.
+// Block returns the block at the given height; ok is false when the height
+// is beyond the chain or behind the truncation point.
 func (l *Ledger) Block(h uint64) (Block, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if h >= uint64(len(l.blocks)) {
+	if h < l.base || h >= l.base+uint64(len(l.blocks)) {
 		return Block{}, false
 	}
-	return l.blocks[h], true
+	return l.blocks[h-l.base], true
 }
 
-// Errors returned by Verify.
+// Blocks returns up to max retained blocks starting at height from (ordered,
+// possibly empty). State transfer serves chunks with it.
+func (l *Ledger) Blocks(from uint64, max int) []types.BlockRecord {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if from < l.base {
+		from = l.base
+	}
+	end := l.base + uint64(len(l.blocks))
+	if from >= end {
+		return nil
+	}
+	n := end - from
+	if max > 0 && uint64(max) < n {
+		n = uint64(max)
+	}
+	out := make([]types.BlockRecord, n)
+	copy(out, l.blocks[from-l.base:from-l.base+n])
+	return out
+}
+
+// Snapshot returns the current resume point (the truncation frontier).
+func (l *Ledger) Snapshot() Snapshot {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return Snapshot{Height: l.base, Resume: l.resume}
+}
+
+// Errors returned by Verify, Truncate, and AppendRecord.
 var (
 	ErrBrokenChain = errors.New("ledger: previous-hash mismatch")
 	ErrBadHash     = errors.New("ledger: block hash mismatch")
+	ErrGap         = errors.New("ledger: non-contiguous height")
 )
 
-// Verify re-hashes the chain and checks every link.
+// Truncate prunes every block below the given height, keeping the pruned
+// frontier's hash as the chain-resume point. Truncating at or below the
+// current base is a no-op; truncating beyond the chain head is an error.
+func (l *Ledger) Truncate(below uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if below <= l.base {
+		return nil
+	}
+	if below > l.base+uint64(len(l.blocks)) {
+		return fmt.Errorf("%w: truncate %d beyond height %d", ErrGap, below, l.base+uint64(len(l.blocks)))
+	}
+	keep := below - l.base
+	l.resume = l.blocks[keep-1].Hash
+	l.blocks = append([]Block(nil), l.blocks[keep:]...)
+	l.base = below
+	return nil
+}
+
+// Rollback discards every block at or above the given height — the
+// state-transfer install path when the consensus replay contradicts an
+// imported (unattested) segment suffix. Rolling back below the base is
+// rejected: blocks behind the truncation point are final. from == base is
+// allowed — the first imported block sits exactly at the base and is
+// attested only through its resume link, so the replay must be able to
+// discard it too.
+func (l *Ledger) Rollback(from uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.base {
+		return fmt.Errorf("%w: rollback %d below base %d", ErrGap, from, l.base)
+	}
+	if from >= l.base+uint64(len(l.blocks)) {
+		return nil
+	}
+	l.blocks = l.blocks[:from-l.base]
+	return nil
+}
+
+// AppendRecord ingests one block received via state transfer, verifying its
+// hash and its link to the current head before chaining it.
+func (l *Ledger) AppendRecord(b types.BlockRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b.Height != l.base+uint64(len(l.blocks)) {
+		return fmt.Errorf("%w: got %d, want %d", ErrGap, b.Height, l.base+uint64(len(l.blocks)))
+	}
+	want := l.resume
+	if len(l.blocks) > 0 {
+		want = l.blocks[len(l.blocks)-1].Hash
+	}
+	if b.Prev != want {
+		return ErrBrokenChain
+	}
+	if computeHash(&b) != b.Hash {
+		return ErrBadHash
+	}
+	l.blocks = append(l.blocks, b)
+	return nil
+}
+
+// Verify re-hashes the retained chain and checks every link from the resume
+// point onward.
 func (l *Ledger) Verify() error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	var prev types.Digest
+	prev := l.resume
 	for i := range l.blocks {
 		b := &l.blocks[i]
 		if b.Prev != prev {
 			return ErrBrokenChain
 		}
-		if b.computeHash() != b.Hash {
+		if computeHash(b) != b.Hash {
 			return ErrBadHash
 		}
 		prev = b.Hash

@@ -65,9 +65,143 @@ func TestTamperDetection(t *testing.T) {
 	if err := l.Verify(); err == nil {
 		t.Fatal("tampered ledger verified")
 	}
-	l.blocks[3].Hash = l.blocks[3].computeHash() // fix hash, break link
+	l.blocks[3].Hash = computeHash(&l.blocks[3]) // fix hash, break link
 	if err := l.Verify(); err == nil {
 		t.Fatal("re-hashed tampered block still verified (link must break)")
+	}
+}
+
+// TestTruncateKeepsVerifiableResume: pruning behind a checkpoint keeps the
+// chain verifiable via the resume hash, preserves retained blocks, and
+// refuses truncation beyond the head.
+func TestTruncateKeepsVerifiableResume(t *testing.T) {
+	l := New()
+	for i := byte(0); i < 10; i++ {
+		l.Append(commitFor(i), types.Digest{0xee, i})
+	}
+	pruned, _ := l.Block(3) // last block below the cut
+	if err := l.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("truncated ledger must still verify: %v", err)
+	}
+	if snap := l.Snapshot(); snap.Height != 4 || snap.Resume != pruned.Hash {
+		t.Fatalf("snapshot %+v, want height 4 resume %x", snap, pruned.Hash[:4])
+	}
+	if _, ok := l.Block(3); ok {
+		t.Fatal("pruned block still accessible")
+	}
+	if b, ok := l.Block(4); !ok || b.Prev != pruned.Hash {
+		t.Fatalf("first retained block broken: %+v ok=%v", b, ok)
+	}
+	if l.Height() != 10 {
+		t.Fatalf("height changed by truncation: %d", l.Height())
+	}
+	// Idempotent / no-op below base; error beyond head.
+	if err := l.Truncate(2); err != nil {
+		t.Fatalf("truncate below base must be a no-op: %v", err)
+	}
+	if err := l.Truncate(99); err == nil {
+		t.Fatal("truncate beyond head must fail")
+	}
+	// Appends continue the chain across the truncation point.
+	l.Append(commitFor(10), types.Digest{})
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeFromSnapshotAndImport: a fresh ledger seeded from a snapshot
+// ingests transferred blocks, verifies every link, and rejects gaps, broken
+// links, and tampered blocks — the rejoining replica's exact code path.
+func TestResumeFromSnapshotAndImport(t *testing.T) {
+	src := New()
+	for i := byte(0); i < 8; i++ {
+		src.Append(commitFor(i), types.Digest{0xab, i})
+	}
+	if err := src.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	chunk := src.Blocks(0, 0) // from clamps to base; 0 = no cap
+	if len(chunk) != 3 || chunk[0].Height != 5 {
+		t.Fatalf("served segment wrong: len=%d first=%d", len(chunk), chunk[0].Height)
+	}
+
+	dst := NewAt(Snapshot{Height: 5, Resume: chunk[0].Prev})
+	for _, b := range chunk {
+		if err := dst.AppendRecord(b); err != nil {
+			t.Fatalf("import height %d: %v", b.Height, err)
+		}
+	}
+	if err := dst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Height() != src.Height() {
+		t.Fatalf("resumed height %d, want %d", dst.Height(), src.Height())
+	}
+	// Native appends continue seamlessly after the import.
+	dst.Append(commitFor(8), types.Digest{})
+	if err := dst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rejections: gap, broken link, bad hash.
+	far := chunk[2]
+	far.Height += 5
+	if err := NewAt(Snapshot{Height: 5, Resume: chunk[0].Prev}).AppendRecord(far); err == nil {
+		t.Fatal("gap accepted")
+	}
+	bad := chunk[0]
+	bad.Prev = types.Digest{0xff}
+	if err := NewAt(Snapshot{Height: 5, Resume: chunk[0].Prev}).AppendRecord(bad); err == nil {
+		t.Fatal("broken link accepted")
+	}
+	forged := chunk[0]
+	forged.Results = types.Digest{0x66}
+	if err := NewAt(Snapshot{Height: 5, Resume: chunk[0].Prev}).AppendRecord(forged); err == nil {
+		t.Fatal("tampered block accepted")
+	}
+}
+
+// TestRollbackBounds: a contradicted import suffix can be rolled back from
+// the base upward (the first imported block is attested only through its
+// resume link), but never below the base.
+func TestRollbackBounds(t *testing.T) {
+	src := New()
+	for i := byte(0); i < 6; i++ {
+		src.Append(commitFor(i), types.Digest{})
+	}
+	if err := src.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Rollback(2); err == nil {
+		t.Fatal("rollback below base accepted")
+	}
+	if err := src.Rollback(3); err != nil { // from == base: the whole import
+		t.Fatal(err)
+	}
+	if src.Height() != 3 {
+		t.Fatalf("height after full rollback: %d, want 3", src.Height())
+	}
+	// The chain resumes correctly after re-appending.
+	src.Append(commitFor(9), types.Digest{})
+	if err := src.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlocksWindow: the serving helper respects from/max bounds.
+func TestBlocksWindow(t *testing.T) {
+	l := New()
+	for i := byte(0); i < 6; i++ {
+		l.Append(commitFor(i), types.Digest{})
+	}
+	if got := l.Blocks(2, 3); len(got) != 3 || got[0].Height != 2 || got[2].Height != 4 {
+		t.Fatalf("window wrong: %+v", got)
+	}
+	if got := l.Blocks(6, 10); got != nil {
+		t.Fatalf("past-head window must be empty, got %d", len(got))
 	}
 }
 

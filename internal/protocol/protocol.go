@@ -37,6 +37,7 @@ const (
 	TimerPacemaker             // HotStuff pacemaker
 	TimerPropose               // re-check batch availability when idle
 	TimerVerify                // async verification completion (VerifyAsync)
+	TimerStateFetch            // state-transfer retry (checkpoint subsystem)
 )
 
 // VerifyJob is a batch of signature checks a protocol hands to the

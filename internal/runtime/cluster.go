@@ -14,25 +14,87 @@ import (
 
 // ReplicaExecutor wires the execution layer of one replica: sequential YCSB
 // execution, ledger append, and the Inform reply to the client (§5, §6.1).
+// All methods except the read-only accessors run on the node's event loop.
 type ReplicaExecutor struct {
 	id     types.NodeID
 	store  *ycsb.Store
 	ledger *ledger.Ledger
 	trans  Transport
 	client types.NodeID
+	// delivered is the global delivery position (non-noop commits executed).
+	// It trails the ledger head during post-install catch-up, when the
+	// canonical blocks were already imported via state transfer and the
+	// replayed executions must not append duplicates.
+	delivered uint64
+
+	// Reply cache (§5): clients retransmit unanswered requests, but a batch
+	// that already executed is deduplicated at delivery and never executes
+	// (or Informs) again — so replicas remember recent results and answer
+	// retransmissions from the cache. Guarded for the transport readers
+	// that consult it; bounded FIFO.
+	replyMu    sync.Mutex
+	replies    map[types.Digest]types.Digest
+	replyOrder []types.Digest
+}
+
+// replyCacheSize bounds the retained per-batch results.
+const replyCacheSize = 4096
+
+func (e *ReplicaExecutor) recordReply(id, results types.Digest) {
+	e.replyMu.Lock()
+	defer e.replyMu.Unlock()
+	if _, dup := e.replies[id]; dup {
+		return
+	}
+	e.replies[id] = results
+	e.replyOrder = append(e.replyOrder, id)
+	if len(e.replyOrder) > replyCacheSize {
+		delete(e.replies, e.replyOrder[0])
+		e.replyOrder = e.replyOrder[1:]
+	}
+}
+
+// Reply returns the cached execution result for an already-executed batch.
+func (e *ReplicaExecutor) Reply(id types.Digest) (types.Digest, bool) {
+	e.replyMu.Lock()
+	defer e.replyMu.Unlock()
+	r, ok := e.replies[id]
+	return r, ok
 }
 
 // NewReplicaExecutor creates an executor for a replica.
 func NewReplicaExecutor(id types.NodeID, store *ycsb.Store, lg *ledger.Ledger, trans Transport, client types.NodeID) *ReplicaExecutor {
-	return &ReplicaExecutor{id: id, store: store, ledger: lg, trans: trans, client: client}
+	return &ReplicaExecutor{id: id, store: store, ledger: lg, trans: trans, client: client,
+		replies: make(map[types.Digest]types.Digest)}
 }
 
 // Execute implements Executor.
 func (e *ReplicaExecutor) Execute(c types.Commit) {
 	results := e.store.Apply(c.Batch)
-	e.ledger.Append(c, results)
-	if c.Batch != nil && !c.Batch.NoOp && e.trans != nil {
-		e.trans.Send(e.id, e.client, &types.Inform{Replica: e.id, BatchID: c.Batch.ID, Results: results})
+	pos := e.delivered
+	e.delivered++
+	if pos >= e.ledger.Height() {
+		e.ledger.Append(c, results)
+	} else if blk, ok := e.ledger.Block(pos); !ok ||
+		blk.Instance != c.Instance || blk.View != c.View || blk.Proposal != c.Proposal ||
+		(c.Batch != nil && blk.BatchID != c.Batch.ID) {
+		// Catch-up replay contradicts the imported record at this position.
+		// The certificate attests only the chain-resume hash, not the
+		// segment above it, so a Byzantine responder can fabricate a
+		// self-consistent suffix — consensus is the authority: discard the
+		// contradicted suffix and chain our own execution.
+		_ = e.ledger.Rollback(pos)
+		e.ledger.Append(c, results)
+	}
+	// else: catch-up replay confirmed the imported block (same instance,
+	// view, proposal, and batch as consensus decided) — the replay repairs
+	// the table, the imported record with the cluster's canonical result
+	// digest stays authoritative.
+	if c.Batch != nil && !c.Batch.NoOp {
+		e.recordReply(c.Batch.ID, results)
+		if e.trans != nil {
+			e.trans.Send(e.id, e.client, &types.Inform{Replica: e.id, BatchID: c.Batch.ID, Results: results})
+		}
 	}
 }
 
@@ -41,6 +103,75 @@ func (e *ReplicaExecutor) Ledger() *ledger.Ledger { return e.ledger }
 
 // Store exposes the replica's table.
 func (e *ReplicaExecutor) Store() *ycsb.Store { return e.store }
+
+// --- core.StateHost: checkpointing & state transfer over the ledger ---
+
+// StateDigest implements core.StateHost: the chain hash at the checkpoint
+// height, folding execution results into the attestation. Execute runs
+// synchronously on the event loop, so the ledger head equals the delivered
+// height when the checkpoint is cut.
+func (e *ReplicaExecutor) StateDigest(height uint64) types.Digest {
+	if height == 0 {
+		return types.Digest{}
+	}
+	if b, ok := e.ledger.Block(height - 1); ok {
+		return b.Hash
+	}
+	return types.Digest{}
+}
+
+// TruncateBelow implements core.StateHost: prune ledger blocks behind the
+// stable checkpoint, keeping the chain-resume hash.
+func (e *ReplicaExecutor) TruncateBelow(height uint64) {
+	_ = e.ledger.Truncate(height)
+}
+
+// FetchBlocks implements core.StateHost, serving state-transfer chunks.
+func (e *ReplicaExecutor) FetchBlocks(from uint64, max int) []types.BlockRecord {
+	return e.ledger.Blocks(from, max)
+}
+
+// InstallState implements core.StateHost: re-root the ledger at the stable
+// checkpoint — even when the segment is empty, so subsequent appends carry
+// cluster-consistent heights and the replica's future attestations match —
+// and ingest the transferred blocks, verifying every link. The YCSB table
+// itself is not re-shipped: its content at the checkpoint is attested by
+// the result digests chained into the ledger, and a production deployment
+// would bulk-copy the table alongside (see docs/ARCHITECTURE.md); the
+// rejoining replica serves reads for keys written after the install.
+func (e *ReplicaExecutor) InstallState(height uint64, resume types.Digest, blocks []types.BlockRecord) error {
+	if len(blocks) > 0 {
+		// Honest servers serve from their stable height, which equals the
+		// certificate height; a segment starting anywhere else is forged.
+		// Anchoring the first block at the attested resume hash is what
+		// ties the (otherwise self-consistent) segment to the certificate.
+		if blocks[0].Height != height {
+			return ledger.ErrGap
+		}
+		if blocks[0].Prev != resume {
+			return ledger.ErrBrokenChain // segment contradicts the attested resume hash
+		}
+		// Validate the whole segment before touching the live ledger, so a
+		// tampered block mid-segment cannot leave a half-installed state.
+		probe := ledger.NewAt(ledger.Snapshot{Height: height, Resume: resume})
+		for _, b := range blocks {
+			if err := probe.AppendRecord(b); err != nil {
+				return err
+			}
+		}
+	}
+	e.ledger.Reset(ledger.Snapshot{Height: height, Resume: resume})
+	for _, b := range blocks {
+		if err := e.ledger.AppendRecord(b); err != nil {
+			return err // unreachable: the segment was validated above
+		}
+	}
+	// Delivery resumes at the checkpoint height; imported blocks above it
+	// are provisional-canonical — kept unless the consensus replay
+	// contradicts them (see Execute).
+	e.delivered = height
+	return nil
+}
 
 // SafeSource makes any BatchSource safe for concurrent nodes.
 type SafeSource struct {
@@ -136,6 +267,10 @@ type Cluster struct {
 	Execs     []*ReplicaExecutor
 	Client    *Client
 	ClientID  types.NodeID
+
+	cfg  ClusterConfig // retained for Restart
+	ring *crypto.Keyring
+	src  BatchSource
 }
 
 // ClusterConfig parameterizes NewCluster.
@@ -144,8 +279,12 @@ type ClusterConfig struct {
 	Source       BatchSource // shared (wrapped in SafeSource)
 	Records      uint64      // YCSB table size (default 10k for fast startup)
 	Secret       []byte
-	Tune         func(i int, cfg *core.Config)
-	OnDone       func(types.Digest)
+	// CheckpointInterval is the checkpoint/GC/state-transfer interval in
+	// delivered batches (core.Config.CheckpointInterval). 0 selects the
+	// production default of 64; negative disables checkpointing.
+	CheckpointInterval int
+	Tune               func(i int, cfg *core.Config)
+	OnDone             func(types.Digest)
 }
 
 // NewCluster builds and starts an n-replica SpotLess cluster in-process.
@@ -162,6 +301,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Secret == nil {
 		cfg.Secret = []byte("spotless-cluster-secret")
 	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 64
+	}
 	n, f := cfg.N, (cfg.N-1)/3
 	clientID := types.ClientIDBase
 	ids := make([]types.NodeID, 0, n+1)
@@ -172,42 +314,77 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	ring := crypto.NewKeyring(cfg.Secret, ids)
 
 	trans := NewLocalTransport()
-	cl := &Cluster{N: n, F: f, M: cfg.Instances, Transport: trans, ClientID: clientID}
+	cl := &Cluster{N: n, F: f, M: cfg.Instances, Transport: trans, ClientID: clientID,
+		cfg: cfg, ring: ring}
 	cl.Client = NewClient(f, cfg.OnDone)
 	trans.Register(clientID, cl.Client.Receive)
 
-	var src BatchSource
 	if cfg.Source != nil {
-		src = NewSafeSource(cfg.Source)
+		cl.src = NewSafeSource(cfg.Source)
 	}
+	cl.Nodes = make([]*Node, n)
+	cl.Replicas = make([]*core.Replica, n)
+	cl.Execs = make([]*ReplicaExecutor, n)
 	for i := 0; i < n; i++ {
-		id := types.NodeID(i)
-		prov, err := ring.Provider(id)
-		if err != nil {
+		if err := cl.buildReplica(i); err != nil {
 			return nil, err
 		}
-		exec := NewReplicaExecutor(id, ycsb.NewStore(cfg.Records, 64), ledger.New(), trans, clientID)
-		node := NewNode(NodeConfig{
-			ID: id, N: n, F: f,
-			Transport: trans, Crypto: prov, Source: src, Executor: exec,
-		})
-		ccfg := core.DefaultConfig(n, cfg.Instances)
-		ccfg.InitialRecordingTimeout = 100 * time.Millisecond
-		ccfg.InitialCertifyTimeout = 100 * time.Millisecond
-		ccfg.MinTimeout = 10 * time.Millisecond
-		if cfg.Tune != nil {
-			cfg.Tune(i, &ccfg)
-		}
-		rep := core.New(node, ccfg)
-		node.SetProtocol(rep)
-		cl.Nodes = append(cl.Nodes, node)
-		cl.Replicas = append(cl.Replicas, rep)
-		cl.Execs = append(cl.Execs, exec)
 	}
 	for _, nd := range cl.Nodes {
 		nd.Start()
 	}
 	return cl, nil
+}
+
+// buildReplica constructs (or reconstructs) replica i with a fresh node,
+// executor, and protocol instance.
+func (c *Cluster) buildReplica(i int) error {
+	id := types.NodeID(i)
+	prov, err := c.ring.Provider(id)
+	if err != nil {
+		return err
+	}
+	exec := NewReplicaExecutor(id, ycsb.NewStore(c.cfg.Records, 64), ledger.New(), c.Transport, c.ClientID)
+	node := NewNode(NodeConfig{
+		ID: id, N: c.N, F: c.F,
+		Transport: c.Transport, Crypto: prov, Source: c.src, Executor: exec,
+	})
+	ccfg := core.DefaultConfig(c.N, c.cfg.Instances)
+	ccfg.InitialRecordingTimeout = 100 * time.Millisecond
+	ccfg.InitialCertifyTimeout = 100 * time.Millisecond
+	ccfg.MinTimeout = 10 * time.Millisecond
+	if c.cfg.CheckpointInterval > 0 {
+		ccfg.CheckpointInterval = c.cfg.CheckpointInterval
+		ccfg.Host = exec
+	}
+	if c.cfg.Tune != nil {
+		c.cfg.Tune(i, &ccfg)
+	}
+	rep := core.New(node, ccfg)
+	node.SetProtocol(rep)
+	c.Nodes[i] = node
+	c.Replicas[i] = rep
+	c.Execs[i] = exec
+	return nil
+}
+
+// Kill crashes replica i: its event loop stops and its in-memory state —
+// consensus bookkeeping, YCSB table, ledger — is abandoned.
+func (c *Cluster) Kill(i int) {
+	c.Nodes[i].Stop()
+}
+
+// Restart brings a killed replica back with empty state, as a crashed
+// process would restart. The fresh replica rejoins through the checkpoint
+// subsystem: it hears peers' attestations, fetches the stable checkpoint,
+// installs the anchors and the transferred ledger segment, and resumes
+// committing new batches.
+func (c *Cluster) Restart(i int) error {
+	if err := c.buildReplica(i); err != nil {
+		return err
+	}
+	c.Nodes[i].Start()
+	return nil
 }
 
 // Stop shuts down all replicas.

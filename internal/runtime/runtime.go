@@ -2,7 +2,12 @@
 // real-time substrate: every replica runs a single-goroutine event loop fed
 // by a transport (in-process channels or TCP) and wall-clock timers, with
 // real cryptography (ed25519 + HMAC), real YCSB execution, and the
-// blockchain ledger. It is the deployable counterpart of internal/simnet.
+// blockchain ledger. Inbound messages are screened by the verification
+// pipeline (a bounded crypto.PoolVerifier worker pool) before they reach
+// the loop. The in-process Cluster wires checkpointing end to end — the
+// executor implements core.StateHost over the ledger — and supports
+// crash-recovery drills via Kill/Restart. It is the deployable counterpart
+// of internal/simnet.
 package runtime
 
 import (
@@ -52,11 +57,12 @@ type Node struct {
 	src    BatchSource
 	exec   Executor
 
-	proto protocol.Protocol
-	inbox chan event
-	start time.Time
-	done  chan struct{}
-	wg    sync.WaitGroup
+	proto    protocol.Protocol
+	inbox    chan event
+	start    time.Time
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
 	// Verification pipeline: inbound messages whose protocol declares
 	// signature checks (protocol.IngressVerifier) are verified on this
@@ -140,11 +146,15 @@ func (n *Node) Start() {
 	n.post(event{kind: 2, fn: n.proto.Start})
 }
 
-// Stop terminates the event loop and releases the verification pool.
+// Stop terminates the event loop and releases the verification pool. It is
+// idempotent: Cluster.Kill followed by a deferred Cluster.Stop (the
+// crash-recovery drill's failure path) must not double-close.
 func (n *Node) Stop() {
-	close(n.done)
-	n.wg.Wait()
-	n.verifier.Close()
+	n.stopOnce.Do(func() {
+		close(n.done)
+		n.wg.Wait()
+		n.verifier.Close()
+	})
 }
 
 // Dropped reports inbox overflow events.

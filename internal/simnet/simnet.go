@@ -1,7 +1,7 @@
 // Package simnet is a deterministic discrete-event simulator for BFT
 // protocol evaluation. It substitutes the paper's 128-machine Oracle-Cloud
-// testbed (see DESIGN.md §2) while preserving every resource that shapes the
-// evaluation:
+// testbed (see docs/ARCHITECTURE.md) while preserving every resource that
+// shapes the evaluation:
 //
 //   - per-replica egress bandwidth with FIFO serialization,
 //   - per-region-pair propagation delay (geo-scale experiments),
@@ -142,6 +142,10 @@ type simNode struct {
 
 	buffers []outBuffer // indexed by destination node index
 	down    bool
+	// gen counts protocol incarnations (Restart): timers and verification
+	// completions scheduled by a previous incarnation are discarded at
+	// dispatch, modelling that a crash loses all pending timers.
+	gen uint64
 }
 
 // Simulation is a deterministic discrete-event run.
@@ -272,6 +276,24 @@ func (s *Simulation) Stats() Stats { return s.stats }
 // virtual time onward: it drops all input and produces no output.
 func (s *Simulation) SetDown(id types.NodeID, down bool) { s.node(id).down = down }
 
+// Restart models a crash-recovery: the replica comes back up with a fresh
+// protocol instance (all in-memory consensus state lost) built by the given
+// constructor, and its Start runs under the CPU model at the current
+// virtual time. Timers and verification completions scheduled by the
+// previous incarnation are discarded (a crash loses its pending timers —
+// without this, an untagged heartbeat like TimerRetransmit would re-arm in
+// the new incarnation and double its retransmission chain forever);
+// recovery then proceeds through the protocol's own state-transfer path.
+// Call from a Schedule'd hook.
+func (s *Simulation) Restart(id types.NodeID, build func(ctx protocol.Context) protocol.Protocol) {
+	n := s.node(id)
+	n.down = false
+	n.gen++
+	p := build(n.ctx)
+	n.proto = p
+	s.runHandler(n, func() { p.Start() })
+}
+
 // BlockLink drops all traffic from a to b (network partition injection).
 func (s *Simulation) BlockLink(a, b types.NodeID, blocked bool) {
 	key := [2]int32{s.node(a).idx, s.node(b).idx}
@@ -334,7 +356,7 @@ func (s *Simulation) dispatch(ev event) {
 		ev.fn()
 	case evTimer:
 		n := s.nodes[ev.node]
-		if n.down || n.proto == nil {
+		if n.down || n.proto == nil || ev.gen != n.gen {
 			return
 		}
 		s.stats.TimersFired++
@@ -364,7 +386,7 @@ func (s *Simulation) dispatch(ev event) {
 		}
 	case evVerified:
 		n := s.nodes[ev.node]
-		if n.down || n.proto == nil {
+		if n.down || n.proto == nil || ev.gen != n.gen {
 			return
 		}
 		vc, ok := n.proto.(protocol.VerifyConsumer)
@@ -432,10 +454,10 @@ func (s *Simulation) runHandler(n *simNode, fn func()) {
 		s.execute(n, d, finish)
 	}
 	for _, t := range s.pendingTimer {
-		s.push(event{at: finish + t.d, kind: evTimer, node: n.idx, tag: t.tag})
+		s.push(event{at: finish + t.d, kind: evTimer, node: n.idx, tag: t.tag, gen: n.gen})
 	}
 	for _, v := range s.pendingVerif {
-		s.push(event{at: finish, kind: evVerified, node: n.idx, tag: v.tag, ok: v.ok})
+		s.push(event{at: finish, kind: evVerified, node: n.idx, tag: v.tag, ok: v.ok, gen: n.gen})
 	}
 	for _, snd := range s.pendingSends {
 		s.enqueueSend(n, snd.to, snd.msg, finish)
@@ -650,7 +672,7 @@ func (c *nodeCtx) SetTimer(d time.Duration, tag protocol.TimerTag) {
 		c.s.pendingTimer = append(c.s.pendingTimer, pendingTimer{d: d, tag: tag})
 		return
 	}
-	c.s.push(event{at: c.s.now + d, kind: evTimer, node: c.n.idx, tag: tag})
+	c.s.push(event{at: c.s.now + d, kind: evTimer, node: c.n.idx, tag: tag, gen: c.n.gen})
 }
 
 func (c *nodeCtx) Crypto() crypto.Provider { return c.n.crypto }
@@ -665,7 +687,7 @@ func (c *nodeCtx) VerifyAsync(job protocol.VerifyJob) {
 		c.s.pendingVerif = append(c.s.pendingVerif, pendingVerified{tag: job.Tag, ok: ok})
 		return
 	}
-	c.s.push(event{at: c.s.now, kind: evVerified, node: c.n.idx, tag: job.Tag, ok: ok})
+	c.s.push(event{at: c.s.now, kind: evVerified, node: c.n.idx, tag: job.Tag, ok: ok, gen: c.n.gen})
 }
 
 func (c *nodeCtx) Deliver(commit types.Commit) {

@@ -38,6 +38,9 @@ func init() {
 	gob.Register(&types.NarwhalBatch{})
 	gob.Register(&types.NarwhalAck{})
 	gob.Register(&types.NarwhalCert{})
+	gob.Register(&types.Checkpoint{})
+	gob.Register(&types.FetchState{})
+	gob.Register(&types.StateChunk{})
 	gob.Register(&types.Request{})
 	gob.Register(&types.Inform{})
 }

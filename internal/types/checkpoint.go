@@ -1,0 +1,130 @@
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// ---------------------------------------------------------------------------
+// Checkpointing & state transfer
+//
+// SpotLess's Rapid View Synchronization recovers a replica that missed one
+// view from the matching Sync/Ask exchange (§3.4), but it gives no way to
+// bound the per-view state kept to serve those exchanges, nor to rejoin a
+// replica that fell behind further than the retained window. The messages
+// below add both: periodic signed checkpoints every K committed heights,
+// quorum-assembled into a stable frontier behind which replicas may garbage-
+// collect, and a fetch/chunk exchange by which a lagging replica adopts the
+// stable checkpoint and re-enters the rotation.
+// ---------------------------------------------------------------------------
+
+// Anchor names the last globally delivered proposal of one instance at a
+// checkpoint cut: the point from which a rejoining replica resumes that
+// instance's chain.
+type Anchor struct {
+	View   View
+	Digest Digest
+}
+
+// BlockRecord is the wire form of one ledger block (see internal/ledger,
+// which aliases it): the hash-chained record of one executed batch. It lives
+// in types so state-transfer chunks can carry ledger segments without the
+// ledger package depending on the wire layer or vice versa.
+type BlockRecord struct {
+	Height   uint64
+	Prev     Digest // hash of the previous block (chain-resume hash for the first retained block)
+	Instance int32
+	View     View
+	BatchID  Digest
+	Proposal Digest // digest of the committing proposal (the proof ref)
+	Results  Digest // execution-result digest
+	Hash     Digest
+}
+
+// BlockRecordWireSize models one serialized ledger block inside a state
+// chunk: height + five digests + instance + view.
+const BlockRecordWireSize = 8 + 5*32 + 4 + 8
+
+// Checkpoint is a replica's signed attestation that its replicated state
+// after Height globally delivered batches has digest StateHash. Replicas
+// broadcast one every K heights; n−f matching attestations form a
+// CheckpointCert and make the checkpoint stable.
+type Checkpoint struct {
+	Height    uint64
+	StateHash Digest
+	Sig       Signature // over CheckpointBytes(Height, StateHash)
+}
+
+// WireSize implements Message.
+func (m *Checkpoint) WireSize() int { return ControlMsgSize + SignatureSize }
+
+// CheckpointCert proves a checkpoint stable: n−f signatures by distinct
+// replicas over the same (height, state hash) attestation.
+type CheckpointCert struct {
+	Height    uint64
+	StateHash Digest
+	Sigs      []Signature
+}
+
+// CheckpointBytes is the byte string replicas sign when attesting a
+// checkpoint; certificates aggregate these signatures.
+func CheckpointBytes(height uint64, stateHash Digest) []byte {
+	var buf [8 + 32]byte
+	binary.LittleEndian.PutUint64(buf[0:], height)
+	copy(buf[8:], stateHash[:])
+	return buf[:]
+}
+
+// CheckpointStateHash derives the attested state digest from the components
+// a checkpoint covers: the rolling execution hash over the globally ordered
+// deliveries, the durable-state digest supplied by the execution layer (the
+// ledger's chain-resume hash; zero on substrates without one), and the
+// per-instance anchors of the cut. A rejoining replica recomputes it from a
+// StateChunk and compares against the certificate before installing.
+func CheckpointStateHash(height uint64, execHash, stateDigest Digest, anchors []Anchor) Digest {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], height)
+	h.Write(buf[:])
+	h.Write(execHash[:])
+	h.Write(stateDigest[:])
+	for _, a := range anchors {
+		binary.LittleEndian.PutUint64(buf[:], uint64(a.View))
+		h.Write(buf[:])
+		h.Write(a.Digest[:])
+	}
+	var out Digest
+	h.Sum(out[:0])
+	return out
+}
+
+// FetchState asks a peer for the stable checkpoint and the ledger segment
+// above the requester's current height. Sent by a replica that learned of a
+// stable checkpoint beyond its own progress.
+type FetchState struct {
+	Have uint64 // requester's delivered height
+}
+
+// WireSize implements Message.
+func (m *FetchState) WireSize() int { return ControlMsgSize }
+
+// StateChunk answers a FetchState: the stable checkpoint certificate, the
+// preimage components of its state hash (execution hash, ledger resume hash,
+// per-instance anchors), and a bounded segment of ledger blocks from the
+// checkpoint height onward. Blocks beyond the sender's per-chunk cap are
+// omitted; the requester rebuilds them through ordinary consensus
+// re-delivery, which garbage collection keeps possible above the stable
+// frontier.
+type StateChunk struct {
+	Cert         CheckpointCert
+	ExecHash     Digest
+	LedgerResume Digest // hash of the last pruned block (chain-resume hash)
+	Anchors      []Anchor
+	Blocks       []BlockRecord
+}
+
+// WireSize implements Message.
+func (m *StateChunk) WireSize() int {
+	return ControlMsgSize + len(m.Cert.Sigs)*SignatureSize +
+		len(m.Anchors)*(8+32) + len(m.Blocks)*BlockRecordWireSize
+}

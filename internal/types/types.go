@@ -1,6 +1,8 @@
 // Package types defines the fundamental vocabulary shared by every layer of
 // the SpotLess stack: replica identifiers, views, digests, transactions,
-// batches, and the wire messages of all implemented consensus protocols.
+// batches, the wire messages of all implemented consensus protocols
+// (messages.go), and the checkpoint / state-transfer messages and ledger
+// block record (checkpoint.go).
 //
 // The package is deliberately dependency-free so that the crypto substrate,
 // the discrete-event simulator, the real runtimes, and every protocol can

@@ -57,6 +57,15 @@ func (s *Store) Applied() uint64 {
 // Apply executes a batch sequentially and returns the digest of the
 // results, which all correct replicas reproduce identically (the client
 // compares f+1 Informs, §5).
+//
+// The digest covers the batch's writes (key and value) — fully determined
+// by the batch content, so a replica that rejoined via checkpoint state
+// transfer and replays the post-checkpoint batches reproduces it exactly.
+// Read values are executed but not folded in: they can depend on
+// pre-checkpoint writes the rejoiner never held (the table is not shipped
+// during state transfer; see docs/ARCHITECTURE.md), and attesting them
+// would permanently split the rejoiner's checkpoint attestations from the
+// quorum's.
 func (s *Store) Apply(b *types.Batch) types.Digest {
 	if b == nil || b.NoOp {
 		return types.Digest{}
@@ -71,9 +80,9 @@ func (s *Store) Apply(b *types.Batch) types.Digest {
 			s.records[t.Key] = t.Value
 			binary.LittleEndian.PutUint64(kb[:], t.Key)
 			h.Write(kb[:])
+			h.Write(t.Value)
 		case types.OpRead:
-			v := s.records[t.Key]
-			h.Write(v)
+			_ = s.records[t.Key] // served locally; not attested (see above)
 		}
 		s.applied++
 	}
