@@ -122,12 +122,25 @@ func main() {
 	// pulled by a replica that is still catching up would otherwise be
 	// proposed in a stale view and dropped.
 	commit := func(kvs map[uint64]string, what string) {
+		// Retransmitted attempts carry distinct batch IDs (fresh seqs), so a
+		// timed-out attempt can complete later and leave its token in the
+		// channel; confirmations are matched against this call's own IDs or
+		// a later commit would return on the stale token before its write
+		// has f+1 confirmations.
+		ids := make(map[types.Digest]bool)
 		for attempt := 0; attempt < 15; attempt++ {
-			src.put(kvs)
-			select {
-			case <-completed:
-				return
-			case <-time.After(2 * time.Second):
+			ids[src.put(kvs)] = true
+			timeout := time.After(2 * time.Second)
+		wait:
+			for {
+				select {
+				case got := <-completed:
+					if ids[got] {
+						return
+					}
+				case <-timeout:
+					break wait
+				}
 			}
 		}
 		log.Fatalf("timed out waiting for %s", what)

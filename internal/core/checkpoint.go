@@ -80,6 +80,12 @@ type ckptState struct {
 	fetchSeq uint64            // correlates the retry timer
 	chunkSeq uint64            // correlates the chunk-cert VerifyAsync job
 	pending  *types.StateChunk // chunk awaiting certificate verification
+
+	// own is this replica's newest attestation — signed at cut time, or
+	// synthesized after a state install — re-advertised on the heartbeat
+	// when the attestation flow quiesces (see readvertiseCheckpoint).
+	own        *types.Checkpoint
+	advertised uint64 // own.Height observed at the previous heartbeat tick
 }
 
 // maxLocalCkpts bounds the unstabilized own-snapshot map.
@@ -140,6 +146,7 @@ func (r *Replica) maybeCheckpoint() {
 	r.seenBatch = make(map[types.Digest]bool)
 	msg := &types.Checkpoint{Height: h, StateHash: stateHash,
 		Sig: r.ctx.Crypto().Sign(types.CheckpointBytes(h, stateHash))}
+	r.ckpt.own = msg
 	r.ctx.Broadcast(msg)
 	// Count our own attestation, and re-check the quorum: peers ahead of us
 	// may have attested this height before we reached it.
@@ -309,9 +316,39 @@ func (r *Replica) onFetchTimer(tag protocol.TimerTag) {
 	if tag.Seq != r.ckpt.fetchSeq {
 		return // a newer fetch owns the latch
 	}
+	if r.ckpt.pending != nil {
+		// A chunk's certificate verification is still on the pool: clearing
+		// the latch now would orphan the verdict (onCkptVerified would find
+		// no pending chunk) and waste the whole fetch round. Keep the latch
+		// and check back after another interval.
+		r.ctx.SetTimer(2*r.cfg.RetransmitInterval,
+			protocol.TimerTag{Kind: protocol.TimerStateFetch, Instance: -1, Seq: r.ckpt.fetchSeq})
+		return
+	}
 	r.ckpt.fetching = false
-	r.ckpt.pending = nil
 	r.maybeFetchState()
+}
+
+// readvertiseCheckpoint re-broadcasts this replica's newest checkpoint
+// attestation once the attestation flow quiesces. Attestations are normally
+// broadcast exactly once, at cut time — so a replica restarted into an idle
+// cluster (no new deliveries, hence no new cuts) would never hear one: its
+// pre-gcFloor Syncs are silently dropped, the pre-checkpoint chain payloads
+// are GC'd, and it would stay wedged until new client traffic produced the
+// next checkpoint. Piggybacked on instance 0's retransmission heartbeat and
+// skipped while cuts outpace heartbeats (a busy cluster's natural
+// attestation flow already reaches everyone), it costs one small broadcast
+// per replica per interval only when the cluster idles — exactly when a
+// rejoiner has no other way to discover the stable frontier.
+func (r *Replica) readvertiseCheckpoint() {
+	if !r.ckptEnabled() || r.ckpt.own == nil {
+		return
+	}
+	if r.ckpt.own.Height != r.ckpt.advertised {
+		r.ckpt.advertised = r.ckpt.own.Height
+		return // a fresh cut advertised itself since the last tick
+	}
+	r.ctx.Broadcast(r.ckpt.own)
 }
 
 // onFetchState serves a state-transfer request from the stable checkpoint.
@@ -354,6 +391,15 @@ func (r *Replica) onStateChunk(from types.NodeID, msg *types.StateChunk) {
 	if len(msg.Anchors) != r.cfg.Instances || len(msg.Cert.Sigs) < q ||
 		crypto.DistinctSigners(msg.Cert.Sigs) < q {
 		return
+	}
+	for _, sig := range msg.Cert.Sigs {
+		if sig.Signer < 0 || int(sig.Signer) >= r.cfg.N {
+			// Only replicas attest: clients share the keyring, so a
+			// compromised client key would otherwise verify and count toward
+			// the n−f quorum (the Checkpoint ingress screen drops such
+			// signers for the same reason).
+			return
+		}
 	}
 	want := types.CheckpointStateHash(msg.Cert.Height, msg.ExecHash, msg.LedgerResume, msg.Anchors)
 	if want != msg.Cert.StateHash {
@@ -418,6 +464,12 @@ func (r *Replica) installState(chunk *types.StateChunk) {
 	r.ckpt.stableResume = chunk.LedgerResume
 	r.ckpt.stableAnch = append([]types.Anchor(nil), chunk.Anchors...)
 	r.ckpt.stableMirror.Store(h)
+	// Attest the installed checkpoint ourselves: this replica now holds
+	// exactly the state the verified certificate describes. Without an own
+	// attestation, a replica that rejoined and then idled could never
+	// re-advertise the frontier to the next rejoiner.
+	r.ckpt.own = &types.Checkpoint{Height: h, StateHash: chunk.Cert.StateHash,
+		Sig: r.ctx.Crypto().Sign(types.CheckpointBytes(h, chunk.Cert.StateHash))}
 	for th := range r.ckpt.tallies {
 		if th <= h {
 			delete(r.ckpt.tallies, th)

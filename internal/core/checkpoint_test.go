@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"spotless/internal/core"
+	"spotless/internal/loadgen"
 	"spotless/internal/protocol"
+	"spotless/internal/simnet"
 	"spotless/internal/types"
 )
 
@@ -114,5 +116,98 @@ func TestCrashRecoveryViaStateTransfer(t *testing.T) {
 	healthy := c.replicas[0].Delivered
 	if revived.Delivered+uint64(4*8) < healthy {
 		t.Fatalf("revived replica lags: %d vs healthy %d", revived.Delivered, healthy)
+	}
+}
+
+// cappedSource stops the load after a fixed number of issued batches,
+// idling the cluster: noop views keep spinning, but nothing is delivered
+// and no new checkpoint is ever cut.
+type cappedSource struct {
+	inner simnet.BatchSource
+	left  int
+}
+
+func (s *cappedSource) Next(instance int32, now time.Duration) *types.Batch {
+	if s.left <= 0 {
+		return nil
+	}
+	b := s.inner.Next(instance, now)
+	if b != nil {
+		s.left--
+	}
+	return b
+}
+
+// TestIdleClusterRejoin: a replica restarted into an idle cluster — every
+// client batch long delivered, so no new checkpoint cut (and hence no fresh
+// attestation broadcast) will ever happen — must still discover the stable
+// frontier and install it. Regression: detection used to depend entirely on
+// hearing cut-time Checkpoint broadcasts, which were never retransmitted;
+// peers silently dropped the rejoiner's pre-gcFloor Syncs, the
+// pre-checkpoint chain payloads were GC'd, and the rejoiner wedged until
+// new client traffic produced the next cut. The retransmission-heartbeat
+// re-advertisement closes this.
+func TestIdleClusterRejoin(t *testing.T) {
+	const (
+		n, m   = 4, 2
+		victim = types.NodeID(3)
+	)
+	// With m = 2, the victim is the view-1 primary of no instance, so the
+	// restarted replica emits nothing below the veterans' GC floor before
+	// rapid view synchronization pulls it to the live views: the heartbeat
+	// is its only detection path.
+	tune := func(cfg *core.Config) {
+		cfg.InitialRecordingTimeout = 20 * time.Millisecond
+		cfg.InitialCertifyTimeout = 20 * time.Millisecond
+		cfg.CheckpointInterval = 8
+	}
+	scfg := simnet.DefaultConfig(n)
+	scfg.BaseHandlerCost = time.Microsecond
+	sim := simnet.New(scfg)
+	src := loadgen.NewSource(m, 8, loadgen.DefaultWorkload(10))
+	sim.SetBatchSource(&cappedSource{inner: src, left: 48})
+	col := loadgen.NewCollector(sim.Context(simnet.ClientNode), src, (n-1)/3, 0)
+	sim.SetProtocol(simnet.ClientNode, col)
+	replicas := make([]*core.Replica, n)
+	for i := 0; i < n; i++ {
+		cfg := core.DefaultConfig(n, m)
+		tune(&cfg)
+		replicas[i] = core.New(sim.Context(types.NodeID(i)), cfg)
+		sim.SetProtocol(types.NodeID(i), replicas[i])
+	}
+	sim.Start()
+
+	sim.Run(2 * time.Second)
+	if replicas[0].StableHeight() == 0 {
+		t.Fatal("setup: veterans never stabilized a checkpoint before the idle phase")
+	}
+	idleDelivered := replicas[0].Delivered
+	sim.SetDown(victim, true)
+	sim.Run(200 * time.Millisecond)
+
+	var revived *core.Replica
+	sim.Schedule(sim.Now(), func() {
+		sim.Restart(victim, func(ctx protocol.Context) protocol.Protocol {
+			cfg := core.DefaultConfig(n, m)
+			tune(&cfg)
+			revived = core.New(ctx, cfg)
+			return revived
+		})
+	})
+	sim.Run(3 * time.Second)
+
+	if revived == nil {
+		t.Fatal("restart hook never ran")
+	}
+	if replicas[0].Delivered != idleDelivered {
+		t.Fatalf("scenario not idle: veterans delivered %d then %d",
+			idleDelivered, replicas[0].Delivered)
+	}
+	if revived.StableHeight() == 0 {
+		t.Fatalf("replica restarted into an idle cluster never installed the stable checkpoint (delivered %d, veterans stable at %d)",
+			revived.Delivered, replicas[0].StableHeight())
+	}
+	if got, want := revived.StableHeight(), replicas[0].StableHeight(); got != want {
+		t.Fatalf("revived stable height %d, veterans at %d", got, want)
 	}
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// newCkptReplica builds a whitebox replica with the checkpoint subsystem
+// enabled (no StateHost: protocol-state checkpoints only, as on the
+// simulator).
+func newCkptReplica(interval int) (*Replica, *fakeContext) {
+	ctx := newFakeContext(0, 4)
+	cfg := DefaultConfig(4, 1)
+	cfg.CheckpointInterval = interval
+	r := New(ctx, cfg)
+	r.Start()
+	return r, ctx
+}
+
+// buildChunk constructs a structurally valid StateChunk for height h whose
+// certificate carries signatures by the given ids.
+func buildChunk(h uint64, signers []types.NodeID) *types.StateChunk {
+	anchors := []types.Anchor{{}}
+	var exec, resume types.Digest
+	stateHash := types.CheckpointStateHash(h, exec, resume, anchors)
+	cert := types.CheckpointCert{Height: h, StateHash: stateHash}
+	for _, id := range signers {
+		cert.Sigs = append(cert.Sigs, provFor(id).Sign(types.CheckpointBytes(h, stateHash)))
+	}
+	return &types.StateChunk{Cert: cert, ExecHash: exec, LedgerResume: resume, Anchors: anchors}
+}
+
+// TestStateChunkRejectsNonReplicaSigners: clients share the keyring, so a
+// compromised client key produces signatures that verify — a state-transfer
+// certificate counting such signers toward the n−f quorum would let f
+// replica keys plus stolen client keys forge a checkpoint. The chunk screen
+// must drop certificates with out-of-range signers before verification,
+// mirroring the Checkpoint ingress screen.
+func TestStateChunkRejectsNonReplicaSigners(t *testing.T) {
+	r, ctx := newCkptReplica(8)
+	r.ckpt.fetching = true
+
+	forged := buildChunk(8, []types.NodeID{1, 2, types.ClientIDBase})
+	r.HandleMessage(1, forged)
+	if r.ckpt.pending != nil || len(ctx.verifs) != 0 {
+		t.Fatal("chunk whose certificate includes a non-replica signer reached verification")
+	}
+
+	// An all-replica certificate passes the screen, verifies, and installs.
+	r.HandleMessage(1, buildChunk(8, []types.NodeID{1, 2, 3}))
+	if r.ckpt.pending == nil {
+		t.Fatal("valid chunk not queued for certificate verification")
+	}
+	flushVerify(r, ctx)
+	if r.Delivered != 8 || r.StableHeight() != 8 {
+		t.Fatalf("valid chunk not installed: delivered=%d stable=%d", r.Delivered, r.StableHeight())
+	}
+}
+
+// TestFetchTimerKeepsPendingVerification: the fetch retry timer firing while
+// a chunk's certificate verification is still on the pool must not discard
+// the chunk — onCkptVerified would find no pending chunk, orphan the valid
+// verdict, and waste the whole fetch round. The latch stays held and the
+// timer re-arms instead.
+func TestFetchTimerKeepsPendingVerification(t *testing.T) {
+	r, ctx := newCkptReplica(8)
+	r.ckpt.fetching = true
+	r.ckpt.fetchSeq = 1
+
+	r.HandleMessage(1, buildChunk(8, []types.NodeID{1, 2, 3}))
+	if r.ckpt.pending == nil {
+		t.Fatal("setup: chunk not pending verification")
+	}
+	timersBefore := len(ctx.timers)
+	r.HandleTimer(protocol.TimerTag{Kind: protocol.TimerStateFetch, Instance: -1, Seq: 1})
+	if r.ckpt.pending == nil {
+		t.Fatal("fetch timer discarded a chunk whose verification is in flight")
+	}
+	rearmed := false
+	for _, tag := range ctx.timers[timersBefore:] {
+		if tag.Kind == protocol.TimerStateFetch && tag.Seq == 1 {
+			rearmed = true
+		}
+	}
+	if !rearmed {
+		t.Fatal("fetch timer not re-armed while verification is outstanding")
+	}
+	flushVerify(r, ctx)
+	if r.Delivered != 8 || r.StableHeight() != 8 {
+		t.Fatalf("verified chunk not installed after the timer fired: delivered=%d stable=%d",
+			r.Delivered, r.StableHeight())
+	}
+}

@@ -1065,6 +1065,13 @@ func (in *Instance) onTimer(tag protocol.TimerTag) {
 			}
 		}
 		in.lastProgressView = in.view
+		// Replica-level piggyback (once per heartbeat, not per instance):
+		// re-advertise the newest checkpoint attestation when the cluster
+		// idles, so a restarted replica can still discover the stable
+		// frontier (see readvertiseCheckpoint).
+		if in.id == 0 {
+			in.r.readvertiseCheckpoint()
+		}
 		in.r.ctx.SetTimer(in.r.cfg.RetransmitInterval, protocol.TimerTag{Kind: protocol.TimerRetransmit, Instance: in.id})
 	}
 }

@@ -4,9 +4,72 @@ import (
 	"testing"
 	"time"
 
+	"spotless/internal/ledger"
 	"spotless/internal/runtime"
 	"spotless/internal/types"
+	"spotless/internal/ycsb"
 )
+
+// TestExecuteRollsBackForgedResults: a state-transfer certificate attests
+// only the chain-resume hash, so the segment above it is unattested — a
+// Byzantine FetchState responder can serve a self-consistent suffix whose
+// result digests are forged. The consensus catch-up replay must cross-check
+// the re-executed result digest too and discard the contradicted suffix;
+// keeping it would permanently diverge the rejoiner's chain head and split
+// its future checkpoint attestations from the quorum's.
+func TestExecuteRollsBackForgedResults(t *testing.T) {
+	wl := ycsb.NewWorkload(7, types.ClientIDBase, 1000, 16)
+	commits := make([]types.Commit, 3)
+	for i := range commits {
+		commits[i] = types.Commit{
+			Instance: 0,
+			View:     types.View(i + 1),
+			Batch:    wl.NextBatch(4),
+			Proposal: types.Digest{byte(i + 1)},
+		}
+	}
+	canonical := runtime.NewReplicaExecutor(0, ycsb.NewStore(1000, 64), ledger.New(), nil, types.ClientIDBase)
+	for _, c := range commits {
+		canonical.Execute(c)
+	}
+	want := canonical.Ledger().Blocks(0, 0)
+
+	// The Byzantine responder re-chains the same commits with the first
+	// block's result digest flipped; the segment still links and hashes
+	// consistently, and its first block sits exactly at the attested
+	// (height, resume) point — only the replay can expose it.
+	forgedLedger := ledger.New()
+	for i, c := range commits {
+		res := want[i].Results
+		if i == 0 {
+			res[0] ^= 0xff
+		}
+		forgedLedger.Append(c, res)
+	}
+
+	rejoiner := runtime.NewReplicaExecutor(1, ycsb.NewStore(1000, 64), ledger.New(), nil, types.ClientIDBase)
+	if err := rejoiner.InstallState(0, types.Digest{}, forgedLedger.Blocks(0, 0)); err != nil {
+		t.Fatalf("install of a self-consistent forged segment failed structurally: %v", err)
+	}
+	for _, c := range commits {
+		rejoiner.Execute(c)
+	}
+	if err := rejoiner.Ledger().Verify(); err != nil {
+		t.Fatalf("rejoiner ledger does not verify after replay: %v", err)
+	}
+	got := rejoiner.Ledger().Blocks(0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("rejoiner chained %d blocks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Results != want[i].Results {
+			t.Fatalf("block %d retains forged results digest", i)
+		}
+		if got[i].Hash != want[i].Hash {
+			t.Fatalf("block %d hash diverges from the canonical chain", i)
+		}
+	}
+}
 
 // TestClusterKillAndRejoin: a replica of an in-process cluster (real
 // ed25519 + HMAC) is killed, loses its ledger and table, restarts empty,

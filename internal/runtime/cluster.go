@@ -77,19 +77,24 @@ func (e *ReplicaExecutor) Execute(c types.Commit) {
 		e.ledger.Append(c, results)
 	} else if blk, ok := e.ledger.Block(pos); !ok ||
 		blk.Instance != c.Instance || blk.View != c.View || blk.Proposal != c.Proposal ||
-		(c.Batch != nil && blk.BatchID != c.Batch.ID) {
+		(c.Batch != nil && blk.BatchID != c.Batch.ID) || blk.Results != results {
 		// Catch-up replay contradicts the imported record at this position.
 		// The certificate attests only the chain-resume hash, not the
 		// segment above it, so a Byzantine responder can fabricate a
-		// self-consistent suffix — consensus is the authority: discard the
-		// contradicted suffix and chain our own execution.
+		// self-consistent suffix — including one with forged result digests,
+		// which would permanently diverge this replica's chain head and
+		// split its future attestations from the quorum's. Consensus plus
+		// local re-execution is the authority (execution digests cover
+		// writes only, so the replayed digest is byte-identical to the
+		// canonical one): discard the contradicted suffix and chain our own
+		// execution.
 		_ = e.ledger.Rollback(pos)
 		e.ledger.Append(c, results)
 	}
-	// else: catch-up replay confirmed the imported block (same instance,
-	// view, proposal, and batch as consensus decided) — the replay repairs
-	// the table, the imported record with the cluster's canonical result
-	// digest stays authoritative.
+	// else: catch-up replay confirmed the imported block field by field
+	// (instance, view, proposal, batch, and result digest as consensus and
+	// re-execution decided); height and parent link are fixed by position,
+	// so the retained record is byte-identical to what Append would chain.
 	if c.Batch != nil && !c.Batch.NoOp {
 		e.recordReply(c.Batch.ID, results)
 		if e.trans != nil {
