@@ -77,6 +77,7 @@ func main() {
 		stats     = flag.Duration("stats", 5*time.Second, "stats reporting interval")
 		ckptEvery = flag.Int("checkpoint-interval", 128, "checkpoint/GC/state-transfer interval in delivered batches (0 disables)")
 		fetchCap  = flag.Int("checkpoint-fetch-cap", 512, "max ledger blocks per state-transfer chunk")
+		idleWait  = flag.Duration("idle-backoff", 25*time.Millisecond, "pace view entry when no client batches are pending (0 disables; keep below -timeout)")
 	)
 	flag.Parse()
 
@@ -145,6 +146,10 @@ func main() {
 	cfg.InitialRecordingTimeout = *timeout
 	cfg.InitialCertifyTimeout = *timeout
 	cfg.MinTimeout = *timeout / 8
+	// Idle pacing (ROADMAP PR 2 discovery): without it an idle cluster burns
+	// thousands of no-op views per second; with it, view entry waits up to
+	// the backoff for a client batch before proposing the no-op filler.
+	cfg.IdleBackoff = *idleWait
 	if *ckptEvery > 0 {
 		// Checkpoint + GC + state transfer: bounds memory in long runs and
 		// lets a restarted replica rejoin from the stable checkpoint (the

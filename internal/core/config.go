@@ -68,6 +68,19 @@ type Config struct {
 	// Sync(u, claim(∅), CP, Υ) catch-up messages in one jump.
 	CatchupWindow int
 
+	// IdleBackoff paces view entry when the cluster is idle: a primary whose
+	// NextBatch comes back empty delays its proposal by up to IdleBackoff
+	// (re-checking on a TimerPropose timer, and proposing immediately if a
+	// batch arrived in the meantime) instead of issuing the §5 no-op filler
+	// at once. Without pacing, TCP/runtime deployments burn thousands of
+	// no-op views per second while idle, saturating small hosts and starving
+	// real-batch commits after a crash (ROADMAP PR 2 discovery). 0 disables
+	// pacing — the simulator's figures rely on unpaced views, and loaded
+	// clusters are unaffected either way since a pending batch always
+	// proposes immediately. Keep IdleBackoff below the recording timeout tR,
+	// or backups will claim(∅) before the paced proposal arrives.
+	IdleBackoff time.Duration
+
 	// FastPath enables the geo-scale optimization of §6.1: the primary of
 	// view v+1 broadcasts its proposal optimistically as soon as it accepts
 	// the view-v proposal, without waiting for the 2f+1 votes. Acceptance

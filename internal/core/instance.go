@@ -95,6 +95,7 @@ type Instance struct {
 
 	lastProgressView types.View // for periodic retransmission
 	proposedView     types.View // highest view we already proposed (fast path)
+	idleWait         types.View // highest view with a pending idle-backoff timer
 	lastGapAsk       time.Duration
 	// lastGapAsk rate-limits chain-gap Asks (state-transfer catch-up);
 	// chainServeAt rate-limits ancestor-chain Ask service per requester.
@@ -227,12 +228,34 @@ func (in *Instance) propose(v types.View) {
 	if in.proposedView >= v {
 		return // already proposed optimistically (fast path, §6.1)
 	}
-	in.proposedView = v
-	_, just := in.highestExtendable(v)
 	batch := in.r.ctx.NextBatch(in.id)
 	if batch == nil {
+		// Idle pacing: with no client batch pending, delay the no-op filler
+		// by IdleBackoff instead of letting idle views spin unboundedly. The
+		// timer re-invokes propose; a batch that arrived meanwhile proposes
+		// then, and the no-op goes out only when the wait expires with the
+		// queue still empty (idleWait marks the view already waited for).
+		// The wait is capped at tR/2: the adaptive recording timeout can
+		// shrink below the configured backoff, and a wait that outlives tR
+		// would let every backup (and ourselves) claim(∅) before the paced
+		// proposal ever goes out — liveness would then ride on client
+		// retransmissions. At tR/2 the proposal always lands within the
+		// recording window, and the tR-halving rule cannot shrink tR below
+		// twice the wait, so pacing self-stabilizes instead of oscillating.
+		if in.r.cfg.IdleBackoff > 0 && in.idleWait < v {
+			in.idleWait = v
+			delay := in.r.cfg.IdleBackoff
+			if in.tR/2 < delay {
+				delay = in.tR / 2
+			}
+			in.r.ctx.SetTimer(delay,
+				protocol.TimerTag{Kind: protocol.TimerPropose, Instance: in.id, View: v})
+			return
+		}
 		batch = in.r.noopBatch(in.id, v)
 	}
+	in.proposedView = v
+	_, just := in.highestExtendable(v)
 	msg := &types.Propose{Instance: in.id, View: v, Batch: batch, Parent: just}
 	d := msg.Digest()
 	msg.Sig = in.r.ctx.Crypto().Sign(d[:])
@@ -400,11 +423,16 @@ func (in *Instance) tryAccept(p *proposal, msg *types.Propose) {
 // the just-accepted parent (claim-justified; receivers rely on their own
 // conditional-prepare state per rule A1).
 func (in *Instance) proposeFast(v types.View, parent *proposal) {
-	in.proposedView = v
 	batch := in.r.ctx.NextBatch(in.id)
 	if batch == nil {
+		if in.r.cfg.IdleBackoff > 0 {
+			// Idle pacing: skip the optimistic no-op; the ordinary paced
+			// propose path handles view v when we enter it.
+			return
+		}
 		batch = in.r.noopBatch(in.id, v)
 	}
+	in.proposedView = v
 	just := types.Justification{Kind: types.JustClaim, ParentView: parent.view, ParentDigest: parent.digest}
 	msg := &types.Propose{Instance: in.id, View: v, Batch: batch, Parent: just}
 	d := msg.Digest()
@@ -1051,6 +1079,20 @@ func (in *Instance) onTimer(tag protocol.TimerTag) {
 		}
 		in.lastTimeoutViewA = tag.View
 		in.enterView(tag.View + 1)
+	case protocol.TimerPropose:
+		// Idle-backoff expiry: if this view still awaits our proposal, issue
+		// it now — NextBatch may have a batch by now; otherwise the no-op
+		// goes out (idleWait stops propose from re-arming for this view).
+		// Stale-timer discipline: views we left (catch-up jumps, empty-claim
+		// advances) are ignored, and so is a view we already claimed in —
+		// proposing after our own claim(∅) would consume a client batch into
+		// a proposal nobody can vote for.
+		if tag.View != in.view || in.proposedView >= tag.View ||
+			in.primaryOf(tag.View) != in.r.ctx.ID() ||
+			in.vs(tag.View).ownSync != nil {
+			return
+		}
+		in.propose(tag.View)
 	case protocol.TimerRetransmit:
 		// Periodic retransmission while stuck (§3.5): after two heartbeats
 		// with no view progress and our claim already out (Syncing or

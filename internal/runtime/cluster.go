@@ -288,8 +288,13 @@ type ClusterConfig struct {
 	// delivered batches (core.Config.CheckpointInterval). 0 selects the
 	// production default of 64; negative disables checkpointing.
 	CheckpointInterval int
-	Tune               func(i int, cfg *core.Config)
-	OnDone             func(types.Digest)
+	// IdleBackoff paces no-op view entry when NextBatch is empty
+	// (core.Config.IdleBackoff): idle clusters stop burning thousands of
+	// no-op views per second, while loaded ones are unaffected. 0 keeps the
+	// unpaced behaviour. Keep it below the 100 ms recording timeout.
+	IdleBackoff time.Duration
+	Tune        func(i int, cfg *core.Config)
+	OnDone      func(types.Digest)
 }
 
 // NewCluster builds and starts an n-replica SpotLess cluster in-process.
@@ -358,6 +363,7 @@ func (c *Cluster) buildReplica(i int) error {
 	ccfg.InitialRecordingTimeout = 100 * time.Millisecond
 	ccfg.InitialCertifyTimeout = 100 * time.Millisecond
 	ccfg.MinTimeout = 10 * time.Millisecond
+	ccfg.IdleBackoff = c.cfg.IdleBackoff
 	if c.cfg.CheckpointInterval > 0 {
 		ccfg.CheckpointInterval = c.cfg.CheckpointInterval
 		ccfg.Host = exec

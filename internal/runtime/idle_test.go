@@ -1,0 +1,79 @@
+package runtime_test
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/runtime"
+	"spotless/internal/types"
+)
+
+// maxView returns the highest instance-0 view any replica reached. Read
+// after Stop (the event loops have quiesced) so the access is ordered.
+func maxView(cl *runtime.Cluster) types.View {
+	var v types.View
+	for _, r := range cl.Replicas {
+		if w := r.Instance(0).CurrentView(); w > v {
+			v = w
+		}
+	}
+	return v
+}
+
+// TestIdleBackoffPacesNoopViews (ROADMAP PR 2 discovery): an idle cluster
+// without pacing burns views as fast as the no-op round trips complete —
+// thousands per second on loopback — while with IdleBackoff every view
+// entry waits for a batch before the no-op filler goes out. The idle view
+// rate must collapse; a loaded cluster must keep committing unaffected.
+func TestIdleBackoffPacesNoopViews(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time integration test")
+	}
+	const spin = 2 * time.Second
+	run := func(backoff time.Duration) types.View {
+		cl, err := runtime.NewCluster(runtime.ClusterConfig{
+			N: 4, Instances: 1, IdleBackoff: backoff, // no Source: permanently idle
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(spin)
+		cl.Stop()
+		return maxView(cl)
+	}
+
+	paced := run(25 * time.Millisecond)
+	unpaced := run(0)
+	t.Logf("idle views after %v: unpaced=%d paced=%d", spin, unpaced, paced)
+	// A paced view costs ≥25 ms, so 2 s admits ≤ ~80 views; the unpaced
+	// cluster clears hundreds even on slow CI hosts. Require a 4x gap (the
+	// typical gap is >50x) and an absolute ceiling on the paced rate.
+	if paced > types.View(2*spin/(25*time.Millisecond)) {
+		t.Errorf("paced idle cluster reached view %d, want ≤ %d", paced, 2*spin/(25*time.Millisecond))
+	}
+	if unpaced < 4*paced {
+		t.Errorf("unpaced cluster reached view %d vs paced %d — pacing made no difference", unpaced, paced)
+	}
+
+	// Loaded cluster with pacing enabled: batches keep proposing immediately
+	// (NextBatch non-empty skips the backoff), so commits are unaffected.
+	src := newQueueSource(1, 50, 5)
+	done := make(chan struct{}, 128)
+	cl, err := runtime.NewCluster(runtime.ClusterConfig{
+		N: 4, Instances: 1, Source: src, IdleBackoff: 25 * time.Millisecond,
+		OnDone: func(types.Digest) { done <- struct{}{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	deadline := time.After(20 * time.Second)
+	for completed := 0; completed < 10; {
+		select {
+		case <-done:
+			completed++
+		case <-deadline:
+			t.Fatalf("loaded paced cluster completed only %d batches before deadline", completed)
+		}
+	}
+}

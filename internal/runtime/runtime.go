@@ -28,6 +28,17 @@ type Transport interface {
 	Register(id types.NodeID, recv func(from types.NodeID, msg types.Message))
 }
 
+// Broadcaster is optionally implemented by transports that can deliver one
+// message to many peers from a single serialization. The TCP transport
+// implements it (transport.Bcast): the payload is encoded once into a
+// pooled buffer shared by every peer queue, and only the per-peer HMAC is
+// computed per destination. Node.Broadcast uses it when available and falls
+// back to per-peer Send otherwise (the in-process LocalTransport never
+// serializes at all).
+type Broadcaster interface {
+	Bcast(from types.NodeID, to []types.NodeID, msg types.Message)
+}
+
 // BatchSource supplies client batches to proposing primaries; it must be
 // safe for concurrent use.
 type BatchSource interface {
@@ -53,6 +64,8 @@ type Node struct {
 	id     types.NodeID
 	n, f   int
 	trans  Transport
+	bcast  Broadcaster    // non-nil when trans supports encode-once broadcast
+	peers  []types.NodeID // every replica id except our own (broadcast set)
 	crypto crypto.Provider
 	src    BatchSource
 	exec   Executor
@@ -119,6 +132,15 @@ func NewNode(cfg NodeConfig) *Node {
 		done:        make(chan struct{}),
 		verifier:    crypto.NewPoolVerifier(cfg.Crypto, cfg.VerifyWorkers),
 		preVerified: cfg.PreVerified,
+	}
+	if bc, ok := cfg.Transport.(Broadcaster); ok {
+		n.bcast = bc
+	}
+	n.peers = make([]types.NodeID, 0, cfg.N-1)
+	for i := 0; i < cfg.N; i++ {
+		if types.NodeID(i) != cfg.ID {
+			n.peers = append(n.peers, types.NodeID(i))
+		}
 	}
 	cfg.Transport.Register(cfg.ID, n.receive)
 	return n
@@ -266,13 +288,16 @@ func (n *Node) Send(to types.NodeID, msg types.Message) {
 	n.trans.Send(n.id, to, msg)
 }
 
-// Broadcast implements protocol.Context.
+// Broadcast implements protocol.Context. On transports implementing
+// Broadcaster the message is serialized exactly once for all n−1 peers
+// (encode-once); otherwise it falls back to per-peer Send.
 func (n *Node) Broadcast(msg types.Message) {
-	for i := 0; i < n.n; i++ {
-		if types.NodeID(i) == n.id {
-			continue
-		}
-		n.trans.Send(n.id, types.NodeID(i), msg)
+	if n.bcast != nil {
+		n.bcast.Bcast(n.id, n.peers, msg)
+		return
+	}
+	for _, to := range n.peers {
+		n.trans.Send(n.id, to, msg)
 	}
 }
 

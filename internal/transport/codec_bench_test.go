@@ -1,0 +1,206 @@
+package transport_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/transport"
+	"spotless/internal/types"
+)
+
+// The gob baseline reproduces the seed wire codec exactly: a fresh encoder
+// and decoder per message (connections came and went, and the seed's
+// transport.Encode/Decode were per-call), so every frame re-transmitted gob
+// type descriptors and paid reflection on both ends. It exists only as the
+// benchmark baseline.
+
+func init() {
+	for _, m := range codecMessages() {
+		gob.Register(m)
+	}
+}
+
+type gobEnvelope struct {
+	Msg types.Message
+}
+
+func gobEncode(msg types.Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobEnvelope{Msg: msg}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(payload []byte) (types.Message, error) {
+	var env gobEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.Msg, nil
+}
+
+// benchBatch builds a 100-txn batch (the paper's ResilientDB batch size,
+// §6.1) so Propose/PrePrepare/Request benchmarks carry realistic payloads.
+func benchBatch() *types.Batch {
+	txns := make([]types.Transaction, 100)
+	for i := range txns {
+		txns[i] = types.Transaction{
+			Client: types.ClientIDBase, Seq: uint64(i), Op: types.OpWrite,
+			Key: uint64(i * 7), Value: []byte("value-0123456789-0123456789-0123456"),
+		}
+	}
+	return &types.Batch{ID: types.ComputeBatchID(txns), Txns: txns, Submitted: 12345}
+}
+
+// benchCodecMessages is the representative hot-path set: the Propose and
+// Sync fast path (the acceptance targets), the Ask recovery message, a
+// certificate-heavy HSProposal, a state-transfer chunk, and the client
+// reply.
+func benchCodecMessages() []types.Message {
+	sig := func(i int32) types.Signature {
+		return types.Signature{Signer: types.NodeID(i), Bytes: bytes.Repeat([]byte{byte(i + 1)}, 64)}
+	}
+	sigs := func(k int) []types.Signature {
+		out := make([]types.Signature, k)
+		for i := range out {
+			out[i] = sig(int32(i))
+		}
+		return out
+	}
+	return []types.Message{
+		&types.Propose{Instance: 2, View: 77, Batch: benchBatch(),
+			Parent: types.Justification{Kind: types.JustCert, ParentView: 76,
+				ParentDigest: types.Digest{1, 2, 3}, Cert: sigs(11)},
+			Sig: sig(3)},
+		&types.Sync{Instance: 2, View: 77, Claim: types.Claim{View: 77, Digest: types.Digest{4, 5}},
+			CP:  []types.CPEntry{{View: 76, Digest: types.Digest{6}}, {View: 75, Digest: types.Digest{7}}},
+			Sig: sig(1)},
+		&types.Ask{Instance: 2, View: 77, Claim: types.Claim{View: 77, Digest: types.Digest{4, 5}}},
+		&types.HSProposal{View: 77, Block: types.Digest{8}, Parent: types.Digest{9},
+			Batch: benchBatch(), Justify: types.QC{View: 76, Block: types.Digest{9}, Sigs: sigs(11)}},
+		&types.StateChunk{
+			Cert:     types.CheckpointCert{Height: 640, StateHash: types.Digest{10}, Sigs: sigs(11)},
+			ExecHash: types.Digest{11}, LedgerResume: types.Digest{12},
+			Anchors: []types.Anchor{{View: 630, Digest: types.Digest{13}}},
+			Blocks: func() []types.BlockRecord {
+				out := make([]types.BlockRecord, 64)
+				for i := range out {
+					out[i] = types.BlockRecord{Height: uint64(640 + i), Instance: 2, View: types.View(630 + i)}
+				}
+				return out
+			}(),
+		},
+		&types.Inform{Replica: 2, BatchID: types.Digest{14}, Results: types.Digest{15}},
+	}
+}
+
+// BenchmarkCodec measures one encode+decode round trip per op, binary codec
+// vs the seed's gob baseline, for the hot-path message set. The CI smoke
+// step runs it with -benchtime=1x so a codec arm that breaks (or a message
+// that stops round-tripping) surfaces there too. Acceptance floor for this
+// refactor: ≥5x faster and ≥10x fewer allocations than gob for Propose and
+// Sync.
+func BenchmarkCodec(b *testing.B) {
+	for _, m := range benchCodecMessages() {
+		name := reflect.TypeOf(m).Elem().Name()
+		b.Run("binary/"+name, func(b *testing.B) {
+			var buf []byte
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = types.AppendMessage(buf[:0], m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := types.DecodeMessage(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(buf)))
+		})
+		b.Run("gob/"+name, func(b *testing.B) {
+			var n int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				payload, err := gobEncode(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := gobDecode(payload); err != nil {
+					b.Fatal(err)
+				}
+				n = len(payload)
+			}
+			b.SetBytes(int64(n))
+		})
+	}
+}
+
+// BenchmarkTCPLoopback is the end-to-end throughput drill: b.N Sync
+// messages through the full wire path — pooled serialization, per-peer
+// HMAC, length-delimited framing, write coalescing, MAC verification and
+// decode on the reader — over a real loopback socket.
+func BenchmarkTCPLoopback(b *testing.B) {
+	ring := crypto.NewKeyring([]byte("bench-loopback"), []types.NodeID{0, 1})
+	p0, _ := ring.Provider(0)
+	p1, _ := ring.Provider(1)
+
+	var received atomic.Int64
+	recv := transport.New(transport.Config{ID: 1, Listen: "127.0.0.1:0", Crypto: p1, QueueDepth: 1 << 14})
+	recv.Register(1, func(from types.NodeID, msg types.Message) { received.Add(1) })
+	if err := recv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer recv.Close()
+
+	send := transport.New(transport.Config{ID: 0, Peers: map[types.NodeID]string{1: recv.Addr()}, Crypto: p0, QueueDepth: 1 << 14})
+	if err := send.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer send.Close()
+
+	msg := &types.Sync{Instance: 0, View: 1, Claim: types.Claim{View: 1, Digest: types.Digest{1}},
+		CP:  []types.CPEntry{{View: 1, Digest: types.Digest{2}}},
+		Sig: types.Signature{Signer: 0, Bytes: bytes.Repeat([]byte{3}, 64)}}
+	payload, _ := transport.Encode(msg)
+	b.SetBytes(int64(len(payload)))
+
+	// Wait for the dial to land so the first sends are not shed.
+	deadline := time.Now().Add(5 * time.Second)
+	for received.Load() == 0 {
+		send.Send(0, 1, msg)
+		if time.Now().After(deadline) {
+			b.Fatal("loopback connection never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	warm := received.Load()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send.Send(0, 1, msg)
+		if i%4096 == 4095 {
+			// Backpressure: stay within the queue depth so the asynchronous
+			// shed path doesn't turn the benchmark lossy.
+			for received.Load()-warm < int64(i)-8192 {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+	for received.Load()-warm < int64(b.N) {
+		if sheds := send.Stats().QueueSheds; sheds > 0 {
+			b.Fatalf("benchmark shed %d frames (raise QueueDepth)", sheds)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	if st := send.Stats(); st.Encodes < uint64(b.N) {
+		b.Fatalf("expected ≥%d serializations, saw %d", b.N, st.Encodes)
+	}
+}

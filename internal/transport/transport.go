@@ -1,20 +1,35 @@
 // Package transport is the TCP wire layer for multi-process deployments:
-// gob-encoded, length-delimited frames authenticated with pairwise HMACs
-// (the MAC channel of §2), per-peer send queues with ResilientDB-style
-// write coalescing, and automatic reconnection. Every connection opens with
-// a Hello identifying its owner; connections are bidirectional, so clients
-// receive Informs over the connections they dialed.
+// binary length-delimited frames (the hand-rolled codec of internal/types)
+// authenticated with pairwise HMACs (the MAC channel of §2), sync.Pool-backed
+// frame buffers, an encode-once broadcast fan-out, per-peer send queues with
+// ResilientDB-style write coalescing, and automatic reconnection. Every
+// connection opens with a fixed 8-byte hello identifying its owner;
+// connections are bidirectional, so clients receive Informs over the
+// connections they dialed.
+//
+// Frame layout (all integers little-endian):
+//
+//	u32  frame length (bytes after this field; capped at MaxFrameSize)
+//	u32  sender id
+//	u8   MAC length, then the MAC bytes
+//	     payload — one WireKind tag byte + fixed-layout message body
+//	     (types.AppendMessage / types.DecodeMessage)
+//
+// A broadcast serializes its payload exactly once: every peer queue shares
+// one pooled, reference-counted buffer and only the per-peer HMAC differs
+// (Bcast; threaded from runtime.Node.Broadcast). Drop and failure paths that
+// the seed handled with silent returns are counted and exposed via Stats.
 package transport
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spotless/internal/crypto"
@@ -22,62 +37,87 @@ import (
 	"spotless/internal/types"
 )
 
-func init() {
-	gob.Register(&types.Propose{})
-	gob.Register(&types.Sync{})
-	gob.Register(&types.Ask{})
-	gob.Register(&types.PrePrepare{})
-	gob.Register(&types.Prepare{})
-	gob.Register(&types.PbftCommit{})
-	gob.Register(&types.ViewChange{})
-	gob.Register(&types.NewPView{})
-	gob.Register(&types.Complaint{})
-	gob.Register(&types.HSProposal{})
-	gob.Register(&types.HSVote{})
-	gob.Register(&types.HSNewView{})
-	gob.Register(&types.NarwhalBatch{})
-	gob.Register(&types.NarwhalAck{})
-	gob.Register(&types.NarwhalCert{})
-	gob.Register(&types.Checkpoint{})
-	gob.Register(&types.FetchState{})
-	gob.Register(&types.StateChunk{})
-	gob.Register(&types.Request{})
-	gob.Register(&types.Inform{})
-}
+// MaxFrameSize bounds one frame in both directions: inbound, a forged
+// length prefix can never force a larger allocation; outbound, Send/Bcast
+// drop (and count as encode failures) payloads that would exceed it, since
+// receivers kill the whole connection on an oversized frame. A full
+// StateChunk at the default fetch cap is ~100 KiB; the margin covers large
+// batches.
+const MaxFrameSize = 16 << 20
 
-// envelope wraps a message so gob can encode the interface value.
-type envelope struct {
-	Msg types.Message
-}
+// maxPayloadSize is the largest payload that fits a MaxFrameSize frame with
+// the sender and MAC header fields.
+const maxPayloadSize = MaxFrameSize - 4 - 1 - 255
 
-// frame is the wire unit: the gob-encoded envelope plus its HMAC.
-type frame struct {
-	From    types.NodeID
-	Payload []byte
-	MAC     []byte
-}
+// helloMagic opens every connection, followed by the owner's u32 id.
+var helloMagic = [4]byte{'S', 'P', 'L', '2'}
 
-// hello opens every connection.
-type hello struct {
-	ID types.NodeID
-}
-
-// Encode serializes a message to its wire payload.
+// Encode serializes a message to its wire payload (kind tag + binary body).
+// Hot paths serialize into pooled buffers instead (Send/Bcast); Encode is
+// the allocation-per-call convenience form.
 func Encode(msg types.Message) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(envelope{Msg: msg}); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return types.AppendMessage(nil, msg)
 }
 
 // Decode deserializes a wire payload.
 func Decode(payload []byte) (types.Message, error) {
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
-		return nil, err
+	return types.DecodeMessage(payload)
+}
+
+// payloadBuf is a pooled, reference-counted frame payload. The encode-once
+// broadcast enqueues one buffer on every peer queue with refs preset to the
+// fan-out; each writer (or shed path) releases once, and the last release
+// returns the buffer to the pool.
+type payloadBuf struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+var payloadPool = sync.Pool{New: func() any { return new(payloadBuf) }}
+
+func getPayload() *payloadBuf {
+	pb := payloadPool.Get().(*payloadBuf)
+	pb.b = pb.b[:0]
+	return pb
+}
+
+func (pb *payloadBuf) release() {
+	if pb.refs.Add(-1) == 0 {
+		payloadPool.Put(pb)
 	}
-	return env.Msg, nil
+}
+
+// frame is one queued wire unit: the shared payload plus its per-peer HMAC.
+type frame struct {
+	from    types.NodeID
+	mac     []byte
+	payload *payloadBuf
+}
+
+// Stats is a snapshot of the transport's serialization and drop counters.
+// Every path that used to fail with a silent return/continue is counted.
+type Stats struct {
+	// Encodes counts successful payload serializations — exactly one per
+	// Send and one per Bcast regardless of fan-out (the encode-once
+	// invariant; asserted by TestBcastEncodesOnce).
+	Encodes uint64
+	// EncodeFailures counts messages dropped because serialization failed
+	// (a message type not registered with the codec) or because the payload
+	// would exceed MaxFrameSize (receivers drop the connection on oversized
+	// frames, so they are never emitted).
+	EncodeFailures uint64
+	// QueueSheds counts frames dropped on full per-peer send queues (§2
+	// asynchronous network model: shed, never block).
+	QueueSheds uint64
+	// MACRejections counts inbound frames whose HMAC failed verification.
+	MACRejections uint64
+	// DecodeFailures counts inbound payloads the binary codec rejected,
+	// plus malformed frame headers (forged length, MAC length leaving no
+	// payload) that tear the connection down.
+	DecodeFailures uint64
+	// IngressDrops counts decoded messages dropped by the declared ingress
+	// signature checks.
+	IngressDrops uint64
 }
 
 // Config parameterizes a TCP transport endpoint.
@@ -120,6 +160,14 @@ type TCP struct {
 
 	connMu sync.Mutex
 	conns  []net.Conn // every accepted connection (closed on shutdown)
+
+	// Observability counters (see Stats).
+	encodes     atomic.Uint64
+	encodeFails atomic.Uint64
+	queueSheds  atomic.Uint64
+	macRejects  atomic.Uint64
+	decodeFails atomic.Uint64
+	ingressDrop atomic.Uint64
 }
 
 type peer struct {
@@ -172,6 +220,18 @@ func (t *TCP) SetIngress(iv protocol.IngressVerifier, v crypto.Verifier) {
 	defer t.mu.Unlock()
 	t.cfg.Ingress = iv
 	t.cfg.Verifier = v
+}
+
+// Stats returns a snapshot of the transport's counters.
+func (t *TCP) Stats() Stats {
+	return Stats{
+		Encodes:        t.encodes.Load(),
+		EncodeFailures: t.encodeFails.Load(),
+		QueueSheds:     t.queueSheds.Load(),
+		MACRejections:  t.macRejects.Load(),
+		DecodeFailures: t.decodeFails.Load(),
+		IngressDrops:   t.ingressDrop.Load(),
+	}
 }
 
 // screen applies the declared ingress checks for one inbound message; it
@@ -269,26 +329,90 @@ func (t *TCP) Close() {
 	t.wg.Wait()
 }
 
-// Send implements runtime.Transport.
-func (t *TCP) Send(from, to types.NodeID, msg types.Message) {
+// peerFor resolves a destination to its queue owner.
+func (t *TCP) peerFor(to types.NodeID) *peer {
 	t.mu.RLock()
 	p := t.dialed[to]
 	if p == nil {
 		p = t.accepted[to]
 	}
 	t.mu.RUnlock()
+	return p
+}
+
+// Send implements runtime.Transport: serialize into a pooled buffer, MAC,
+// and enqueue on the destination's writer.
+func (t *TCP) Send(from, to types.NodeID, msg types.Message) {
+	p := t.peerFor(to)
 	if p == nil {
 		return // destination unknown (e.g. client not connected yet)
 	}
-	payload, err := Encode(msg)
-	if err != nil {
+	pb := getPayload()
+	b, err := types.AppendMessage(pb.b, msg)
+	if err != nil || len(b) > maxPayloadSize {
+		// Oversized frames would make every receiver tear down the shared
+		// connection (readLoop's forged-length guard) and the retrying
+		// sender flap the link forever — drop at the source instead.
+		t.encodeFails.Add(1)
+		pb.b = b
+		pb.refs.Store(1)
+		pb.release()
 		return
 	}
-	f := frame{From: from, Payload: payload, MAC: t.cfg.Crypto.MAC(to, payload)}
+	pb.b = b
+	t.encodes.Add(1)
+	pb.refs.Store(1)
+	t.enqueue(p, frame{from: from, mac: t.cfg.Crypto.MAC(to, pb.b), payload: pb})
+}
+
+// Bcast is the encode-once broadcast fan-out (runtime.Broadcaster): the
+// payload is serialized exactly once, every connected peer's queue shares
+// the one pooled buffer, and only the per-peer HMAC is computed per
+// destination. Unknown destinations are skipped like Send skips them.
+func (t *TCP) Bcast(from types.NodeID, to []types.NodeID, msg types.Message) {
+	t.mu.RLock()
+	peers := make([]*peer, 0, len(to))
+	for _, id := range to {
+		if id == t.cfg.ID {
+			continue
+		}
+		p := t.dialed[id]
+		if p == nil {
+			p = t.accepted[id]
+		}
+		if p != nil {
+			peers = append(peers, p)
+		}
+	}
+	t.mu.RUnlock()
+	if len(peers) == 0 {
+		return
+	}
+	pb := getPayload()
+	b, err := types.AppendMessage(pb.b, msg)
+	if err != nil || len(b) > maxPayloadSize {
+		t.encodeFails.Add(1) // see Send: never emit a frame receivers must reject
+		pb.b = b
+		pb.refs.Store(1)
+		pb.release()
+		return
+	}
+	pb.b = b
+	t.encodes.Add(1)
+	pb.refs.Store(int32(len(peers)))
+	for _, p := range peers {
+		t.enqueue(p, frame{from: from, mac: t.cfg.Crypto.MAC(p.id, pb.b), payload: pb})
+	}
+}
+
+// enqueue places a frame on a peer queue, shedding (and releasing the
+// payload reference) on overflow per the asynchronous network model (§2).
+func (t *TCP) enqueue(p *peer, f frame) {
 	select {
 	case p.queue <- f:
 	default:
-		// Queue overflow: shed, per the asynchronous network model (§2).
+		t.queueSheds.Add(1)
+		f.payload.release()
 	}
 }
 
@@ -313,8 +437,10 @@ func (t *TCP) dialLoop(p *peer) {
 		}
 		p.setConn(conn)
 		w := bufio.NewWriterSize(conn, 128<<10)
-		enc := gob.NewEncoder(w)
-		if err := enc.Encode(hello{ID: t.cfg.ID}); err != nil || w.Flush() != nil {
+		var hb [8]byte
+		copy(hb[:4], helloMagic[:])
+		binary.LittleEndian.PutUint32(hb[4:], uint32(t.cfg.ID))
+		if _, err := w.Write(hb[:]); err != nil || w.Flush() != nil {
 			conn.Close()
 			continue
 		}
@@ -325,19 +451,33 @@ func (t *TCP) dialLoop(p *peer) {
 			defer t.wg.Done()
 			t.readFrames(c, p.id)
 		}(conn)
-		t.writeFrames(conn, w, enc, p)
+		t.writeFrames(w, p)
 		conn.Close()
 	}
 }
 
-// writeFrames drains the peer queue until the connection breaks.
-func (t *TCP) writeFrames(conn net.Conn, w *bufio.Writer, enc *gob.Encoder, p *peer) {
+// writeFrames drains the peer queue until the connection breaks, releasing
+// each frame's payload reference after its bytes are buffered.
+func (t *TCP) writeFrames(w *bufio.Writer, p *peer) {
+	var hdr [4 + 4 + 1]byte
 	for {
 		select {
 		case <-t.done:
 			return
 		case f := <-p.queue:
-			if err := enc.Encode(&f); err != nil {
+			n := 4 + 1 + len(f.mac) + len(f.payload.b)
+			binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+			binary.LittleEndian.PutUint32(hdr[4:], uint32(f.from))
+			hdr[8] = byte(len(f.mac))
+			_, err := w.Write(hdr[:])
+			if err == nil {
+				_, err = w.Write(f.mac)
+			}
+			if err == nil {
+				_, err = w.Write(f.payload.b)
+			}
+			f.payload.release()
+			if err != nil {
 				return
 			}
 			// Coalesce writes while the queue has backlog (§6.1 buffering).
@@ -381,72 +521,90 @@ func (t *TCP) acceptLoop() {
 func (t *TCP) serveInbound(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReaderSize(conn, 128<<10)
-	dec := gob.NewDecoder(r)
-	var h hello
-	if err := dec.Decode(&h); err != nil {
+	var hb [8]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil || [4]byte(hb[:4]) != helloMagic {
 		return
 	}
+	owner := types.NodeID(binary.LittleEndian.Uint32(hb[4:]))
 	t.mu.Lock()
-	p := t.accepted[h.ID]
-	if _, isDialed := t.dialed[h.ID]; !isDialed {
+	p := t.accepted[owner]
+	if _, isDialed := t.dialed[owner]; !isDialed {
 		if p == nil {
-			p = &peer{id: h.ID, queue: make(chan frame, t.cfg.QueueDepth)}
-			t.accepted[h.ID] = p
+			p = &peer{id: owner, queue: make(chan frame, t.cfg.QueueDepth)}
+			t.accepted[owner] = p
 		}
 		p.setConn(conn)
 		w := bufio.NewWriterSize(conn, 128<<10)
-		enc := gob.NewEncoder(w)
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			t.writeFrames(conn, w, enc, p)
+			t.writeFrames(w, p)
 		}()
 	}
 	t.mu.Unlock()
-	t.readDecoded(dec, h.ID)
+	t.readLoop(r, owner)
 }
 
-// readFrames decodes frames from an established connection.
+// readFrames decodes frames from an established outbound connection.
 func (t *TCP) readFrames(conn net.Conn, owner types.NodeID) {
-	r := bufio.NewReaderSize(conn, 128<<10)
-	dec := gob.NewDecoder(r)
-	t.readDecoded(dec, owner)
+	t.readLoop(bufio.NewReaderSize(conn, 128<<10), owner)
 }
 
-func (t *TCP) readDecoded(dec *gob.Decoder, owner types.NodeID) {
+// readLoop reads length-delimited frames from one connection. The scratch
+// buffer is reused across frames: MAC verification, decoding (which copies
+// variable-length fields), and ingress screening all complete before the
+// next frame overwrites it. MAC verification stays on this reader goroutine
+// — the per-frame HMAC (the §2 MAC channel) never touches the node's event
+// loop — and declared signature checks run on the shared verification pool;
+// failing messages are counted and dropped before the event loop sees them.
+func (t *TCP) readLoop(r *bufio.Reader, owner types.NodeID) {
+	var hdr [4]byte
+	var buf []byte
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
-			if !errors.Is(err, io.EOF) {
-				select {
-				case <-t.done:
-				default:
-				}
-			}
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return
 		}
-		if f.From != owner {
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		if n < 4+1+1 || n > MaxFrameSize {
+			t.decodeFails.Add(1)
+			return // malformed or forged length: drop the connection
+		}
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return
+		}
+		from := types.NodeID(binary.LittleEndian.Uint32(buf[0:]))
+		macLen := int(buf[4])
+		if 4+1+macLen >= n {
+			t.decodeFails.Add(1)
+			return // malformed: no payload left
+		}
+		mac := buf[5 : 5+macLen]
+		payload := buf[5+macLen:]
+		if from != owner {
 			continue // connections speak only for their owner
 		}
-		// MAC verification stays on this reader goroutine: the per-frame
-		// HMAC (the §2 MAC channel) never touches the node's event loop.
-		if err := t.cfg.Crypto.VerifyMAC(f.From, f.Payload, f.MAC); err != nil {
+		if err := t.cfg.Crypto.VerifyMAC(from, payload, mac); err != nil {
+			t.macRejects.Add(1)
 			continue
 		}
-		msg, err := Decode(f.Payload)
+		msg, err := types.DecodeMessage(payload)
 		if err != nil {
+			t.decodeFails.Add(1)
 			continue
 		}
-		// Declared signature checks run on the shared verification pool;
-		// failing messages are dropped before the event loop sees them.
-		if !t.screen(f.From, msg) {
+		if !t.screen(from, msg) {
+			t.ingressDrop.Add(1)
 			continue
 		}
 		t.mu.RLock()
 		recv := t.recv
 		t.mu.RUnlock()
 		if recv != nil {
-			recv(f.From, msg)
+			recv(from, msg)
 		}
 	}
 }

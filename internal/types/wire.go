@@ -1,0 +1,805 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"encoding/binary"
+)
+
+// ---------------------------------------------------------------------------
+// Binary wire codec
+//
+// Every registered wire message has a hand-rolled fixed-layout binary
+// encoding: a one-byte WireKind tag followed by the message body, all
+// integers little-endian, byte strings and slices length-prefixed with a
+// u32. Encoders append into caller-supplied buffers (AppendBinary /
+// AppendMessage) so the transport can serialize into pooled frame buffers
+// without per-message allocation; decoding is strict — truncated frames,
+// trailing bytes, forged lengths, non-canonical booleans, and unknown tags
+// all return ErrMalformed and never panic (FuzzDecode in
+// internal/transport enforces this).
+//
+// The layout replaces the seed's per-frame gob encoding, which re-sent gob
+// type descriptors and paid reflection on every frame; §6.1 of the paper
+// assumes lean 432 B control messages, and BenchmarkCodec (transport)
+// tracks the encode+decode advantage over the gob baseline.
+//
+// Wire compatibility: kind tags are append-only. Never renumber or reuse a
+// WireKind; add new messages at the end.
+// ---------------------------------------------------------------------------
+
+// WireKind tags a message type on the wire (the first payload byte).
+type WireKind uint8
+
+// Wire kind tags, one per registered message type. Append-only.
+const (
+	KindInvalid WireKind = iota
+	KindPropose
+	KindSync
+	KindAsk
+	KindPrePrepare
+	KindPrepare
+	KindPbftCommit
+	KindViewChange
+	KindNewPView
+	KindComplaint
+	KindHSProposal
+	KindHSVote
+	KindHSNewView
+	KindNarwhalBatch
+	KindNarwhalAck
+	KindNarwhalCert
+	KindCheckpoint
+	KindFetchState
+	KindStateChunk
+	KindRequest
+	KindInform
+
+	kindEnd // one past the last valid tag
+)
+
+// ErrMalformed reports a wire payload that cannot be decoded: truncated,
+// trailing garbage, forged length, or an unknown kind tag.
+var ErrMalformed = errors.New("types: malformed wire message")
+
+// MessageKind returns the wire tag of a message, or KindInvalid for a type
+// not registered with the codec.
+func MessageKind(m Message) WireKind {
+	switch m.(type) {
+	case *Propose:
+		return KindPropose
+	case *Sync:
+		return KindSync
+	case *Ask:
+		return KindAsk
+	case *PrePrepare:
+		return KindPrePrepare
+	case *Prepare:
+		return KindPrepare
+	case *PbftCommit:
+		return KindPbftCommit
+	case *ViewChange:
+		return KindViewChange
+	case *NewPView:
+		return KindNewPView
+	case *Complaint:
+		return KindComplaint
+	case *HSProposal:
+		return KindHSProposal
+	case *HSVote:
+		return KindHSVote
+	case *HSNewView:
+		return KindHSNewView
+	case *NarwhalBatch:
+		return KindNarwhalBatch
+	case *NarwhalAck:
+		return KindNarwhalAck
+	case *NarwhalCert:
+		return KindNarwhalCert
+	case *Checkpoint:
+		return KindCheckpoint
+	case *FetchState:
+		return KindFetchState
+	case *StateChunk:
+		return KindStateChunk
+	case *Request:
+		return KindRequest
+	case *Inform:
+		return KindInform
+	}
+	return KindInvalid
+}
+
+// AppendMessage appends the wire encoding of m — kind tag plus binary body —
+// to buf and returns the extended buffer. It is the encoder behind
+// transport.Encode and the encode-once broadcast path.
+func AppendMessage(buf []byte, m Message) ([]byte, error) {
+	switch v := m.(type) {
+	case *Propose:
+		return v.AppendBinary(append(buf, byte(KindPropose))), nil
+	case *Sync:
+		return v.AppendBinary(append(buf, byte(KindSync))), nil
+	case *Ask:
+		return v.AppendBinary(append(buf, byte(KindAsk))), nil
+	case *PrePrepare:
+		return v.AppendBinary(append(buf, byte(KindPrePrepare))), nil
+	case *Prepare:
+		return v.AppendBinary(append(buf, byte(KindPrepare))), nil
+	case *PbftCommit:
+		return v.AppendBinary(append(buf, byte(KindPbftCommit))), nil
+	case *ViewChange:
+		return v.AppendBinary(append(buf, byte(KindViewChange))), nil
+	case *NewPView:
+		return v.AppendBinary(append(buf, byte(KindNewPView))), nil
+	case *Complaint:
+		return v.AppendBinary(append(buf, byte(KindComplaint))), nil
+	case *HSProposal:
+		return v.AppendBinary(append(buf, byte(KindHSProposal))), nil
+	case *HSVote:
+		return v.AppendBinary(append(buf, byte(KindHSVote))), nil
+	case *HSNewView:
+		return v.AppendBinary(append(buf, byte(KindHSNewView))), nil
+	case *NarwhalBatch:
+		return v.AppendBinary(append(buf, byte(KindNarwhalBatch))), nil
+	case *NarwhalAck:
+		return v.AppendBinary(append(buf, byte(KindNarwhalAck))), nil
+	case *NarwhalCert:
+		return v.AppendBinary(append(buf, byte(KindNarwhalCert))), nil
+	case *Checkpoint:
+		return v.AppendBinary(append(buf, byte(KindCheckpoint))), nil
+	case *FetchState:
+		return v.AppendBinary(append(buf, byte(KindFetchState))), nil
+	case *StateChunk:
+		return v.AppendBinary(append(buf, byte(KindStateChunk))), nil
+	case *Request:
+		return v.AppendBinary(append(buf, byte(KindRequest))), nil
+	case *Inform:
+		return v.AppendBinary(append(buf, byte(KindInform))), nil
+	}
+	return buf, fmt.Errorf("types: message %T not registered with the wire codec", m)
+}
+
+// DecodeMessage decodes one wire payload produced by AppendMessage. The
+// whole buffer must be consumed; any violation returns ErrMalformed.
+func DecodeMessage(buf []byte) (Message, error) {
+	if len(buf) == 0 {
+		return nil, ErrMalformed
+	}
+	r := wireReader{buf: buf[1:]}
+	var m Message
+	switch WireKind(buf[0]) {
+	case KindPropose:
+		m = decodePropose(&r)
+	case KindSync:
+		m = decodeSync(&r)
+	case KindAsk:
+		m = decodeAsk(&r)
+	case KindPrePrepare:
+		m = decodePrePrepare(&r)
+	case KindPrepare:
+		m = decodePrepare(&r)
+	case KindPbftCommit:
+		m = decodePbftCommit(&r)
+	case KindViewChange:
+		m = decodeViewChange(&r)
+	case KindNewPView:
+		m = decodeNewPView(&r)
+	case KindComplaint:
+		m = decodeComplaint(&r)
+	case KindHSProposal:
+		m = decodeHSProposal(&r)
+	case KindHSVote:
+		m = decodeHSVote(&r)
+	case KindHSNewView:
+		m = decodeHSNewView(&r)
+	case KindNarwhalBatch:
+		m = decodeNarwhalBatch(&r)
+	case KindNarwhalAck:
+		m = decodeNarwhalAck(&r)
+	case KindNarwhalCert:
+		m = decodeNarwhalCert(&r)
+	case KindCheckpoint:
+		m = decodeCheckpoint(&r)
+	case KindFetchState:
+		m = decodeFetchState(&r)
+	case KindStateChunk:
+		m = decodeStateChunk(&r)
+	case KindRequest:
+		m = decodeRequest(&r)
+	case KindInform:
+		m = decodeInform(&r)
+	default:
+		return nil, ErrMalformed
+	}
+	if r.bad || len(r.buf) != 0 {
+		return nil, ErrMalformed
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Append helpers (encoding)
+// ---------------------------------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendBytes(b []byte, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func appendSig(b []byte, s Signature) []byte {
+	b = appendU32(b, uint32(s.Signer))
+	return appendBytes(b, s.Bytes)
+}
+
+func appendSigs(b []byte, sigs []Signature) []byte {
+	b = appendU32(b, uint32(len(sigs)))
+	for i := range sigs {
+		b = appendSig(b, sigs[i])
+	}
+	return b
+}
+
+func appendClaim(b []byte, c Claim) []byte {
+	b = appendU64(b, uint64(c.View))
+	b = append(b, c.Digest[:]...)
+	return appendBool(b, c.Empty)
+}
+
+func appendBatch(b []byte, batch *Batch) []byte {
+	if batch == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = append(b, batch.ID[:]...)
+	b = appendU64(b, uint64(batch.Submitted))
+	b = appendBool(b, batch.NoOp)
+	b = appendU32(b, uint32(len(batch.Txns)))
+	for i := range batch.Txns {
+		t := &batch.Txns[i]
+		b = appendU32(b, uint32(t.Client))
+		b = appendU64(b, t.Seq)
+		b = append(b, t.Op)
+		b = appendU64(b, t.Key)
+		b = appendBytes(b, t.Value)
+	}
+	return b
+}
+
+func appendQC(b []byte, qc *QC) []byte {
+	b = appendU64(b, uint64(qc.View))
+	b = append(b, qc.Block[:]...)
+	b = appendSigs(b, qc.Sigs)
+	return appendBool(b, qc.Genesis)
+}
+
+// ---------------------------------------------------------------------------
+// Reader (decoding)
+// ---------------------------------------------------------------------------
+
+// wireReader consumes a wire payload front to back. The first violation
+// (short buffer, forged count, non-canonical boolean) latches bad; all
+// subsequent reads return zero values, and DecodeMessage maps the latched
+// state to ErrMalformed.
+type wireReader struct {
+	buf   []byte
+	arena []byte // shared backing for decoded variable-length fields
+	bad   bool
+}
+
+// alloc carves n bytes out of the reader's arena, so a message's many
+// variable-length fields (a batch's 100 transaction values, a certificate's
+// n−f signatures) cost one backing allocation instead of one each. The
+// arena is sized by the remaining payload, which upper-bounds every
+// variable byte still to decode; the rare second arena strands the old
+// one's tail, but earlier slices stay valid.
+func (r *wireReader) alloc(n int) []byte {
+	if n > len(r.arena) {
+		r.arena = make([]byte, n+len(r.buf))
+	}
+	out := r.arena[:n:n]
+	r.arena = r.arena[n:]
+	return out
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.bad || n < 0 || len(r.buf) < n {
+		r.bad = true
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *wireReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) boolean() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.bad = true // non-canonical encoding
+		return false
+	}
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *wireReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *wireReader) digest() Digest {
+	var d Digest
+	copy(d[:], r.take(32))
+	return d
+}
+
+// count reads a u32 element count and bounds it by the bytes remaining:
+// each element occupies at least elemMin bytes, so a forged count can never
+// force an allocation larger than the (already length-capped) frame.
+func (r *wireReader) count(elemMin int) int {
+	n := int(r.u32())
+	if r.bad {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if n < 0 || n > len(r.buf)/elemMin {
+		r.bad = true
+		return 0
+	}
+	return n
+}
+
+// bytes reads a u32-length-prefixed byte string into an arena-backed copy
+// (the source buffer is transport-owned and reused across frames). Zero
+// length decodes as nil.
+func (r *wireReader) bytes() []byte {
+	n := r.count(1)
+	if n == 0 {
+		return nil
+	}
+	src := r.take(n)
+	if src == nil {
+		return nil
+	}
+	dst := r.alloc(n)
+	copy(dst, src)
+	return dst
+}
+
+func (r *wireReader) sig() Signature {
+	return Signature{Signer: NodeID(r.u32()), Bytes: r.bytes()}
+}
+
+// sigMinWire is the minimum wire footprint of one Signature (signer + empty
+// byte string), bounding forged signature counts.
+const sigMinWire = 4 + 4
+
+func (r *wireReader) sigs() []Signature {
+	n := r.count(sigMinWire)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Signature, n)
+	for i := range out {
+		out[i] = r.sig()
+	}
+	return out
+}
+
+func (r *wireReader) claim() Claim {
+	return Claim{View: View(r.u64()), Digest: r.digest(), Empty: r.boolean()}
+}
+
+// txnMinWire is the minimum wire footprint of one Transaction.
+const txnMinWire = 4 + 8 + 1 + 8 + 4
+
+func (r *wireReader) batch() *Batch {
+	switch r.u8() {
+	case 0:
+		return nil
+	case 1:
+	default:
+		r.bad = true
+		return nil
+	}
+	b := &Batch{
+		ID:        r.digest(),
+		Submitted: time.Duration(r.u64()),
+		NoOp:      r.boolean(),
+	}
+	n := r.count(txnMinWire)
+	if n > 0 {
+		b.Txns = make([]Transaction, n)
+		for i := range b.Txns {
+			t := &b.Txns[i]
+			t.Client = NodeID(r.u32())
+			t.Seq = r.u64()
+			t.Op = r.u8()
+			t.Key = r.u64()
+			t.Value = r.bytes()
+		}
+	}
+	if r.bad {
+		return nil
+	}
+	return b
+}
+
+func (r *wireReader) qc() QC {
+	return QC{View: View(r.u64()), Block: r.digest(), Sigs: r.sigs(), Genesis: r.boolean()}
+}
+
+// ---------------------------------------------------------------------------
+// SpotLess messages
+// ---------------------------------------------------------------------------
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (p *Propose) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(p.Instance))
+	b = appendU64(b, uint64(p.View))
+	b = appendBatch(b, p.Batch)
+	b = append(b, byte(p.Parent.Kind))
+	b = appendU64(b, uint64(p.Parent.ParentView))
+	b = append(b, p.Parent.ParentDigest[:]...)
+	b = appendSigs(b, p.Parent.Cert)
+	return appendSig(b, p.Sig)
+}
+
+func decodePropose(r *wireReader) Message {
+	p := &Propose{
+		Instance: int32(r.u32()),
+		View:     View(r.u64()),
+		Batch:    r.batch(),
+	}
+	p.Parent.Kind = JustKind(r.u8())
+	if p.Parent.Kind > JustClaim {
+		r.bad = true
+	}
+	p.Parent.ParentView = View(r.u64())
+	p.Parent.ParentDigest = r.digest()
+	p.Parent.Cert = r.sigs()
+	p.Sig = r.sig()
+	return p
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (s *Sync) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(s.Instance))
+	b = appendU64(b, uint64(s.View))
+	b = appendClaim(b, s.Claim)
+	b = appendU32(b, uint32(len(s.CP)))
+	for i := range s.CP {
+		b = appendU64(b, uint64(s.CP[i].View))
+		b = append(b, s.CP[i].Digest[:]...)
+	}
+	b = appendBool(b, s.Retransmit)
+	return appendSig(b, s.Sig)
+}
+
+func decodeSync(r *wireReader) Message {
+	s := &Sync{
+		Instance: int32(r.u32()),
+		View:     View(r.u64()),
+		Claim:    r.claim(),
+	}
+	if n := r.count(8 + 32); n > 0 {
+		s.CP = make([]CPEntry, n)
+		for i := range s.CP {
+			s.CP[i] = CPEntry{View: View(r.u64()), Digest: r.digest()}
+		}
+	}
+	s.Retransmit = r.boolean()
+	s.Sig = r.sig()
+	return s
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (a *Ask) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(a.Instance))
+	b = appendU64(b, uint64(a.View))
+	return appendClaim(b, a.Claim)
+}
+
+func decodeAsk(r *wireReader) Message {
+	return &Ask{Instance: int32(r.u32()), View: View(r.u64()), Claim: r.claim()}
+}
+
+// ---------------------------------------------------------------------------
+// Pbft / RCC messages
+// ---------------------------------------------------------------------------
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *PrePrepare) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Instance))
+	b = appendU64(b, uint64(m.PView))
+	b = appendU64(b, m.Seq)
+	return appendBatch(b, m.Batch)
+}
+
+func decodePrePrepare(r *wireReader) Message {
+	return &PrePrepare{Instance: int32(r.u32()), PView: View(r.u64()), Seq: r.u64(), Batch: r.batch()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *Prepare) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Instance))
+	b = appendU64(b, uint64(m.PView))
+	b = appendU64(b, m.Seq)
+	return append(b, m.Digest[:]...)
+}
+
+func decodePrepare(r *wireReader) Message {
+	return &Prepare{Instance: int32(r.u32()), PView: View(r.u64()), Seq: r.u64(), Digest: r.digest()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *PbftCommit) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Instance))
+	b = appendU64(b, uint64(m.PView))
+	b = appendU64(b, m.Seq)
+	return append(b, m.Digest[:]...)
+}
+
+func decodePbftCommit(r *wireReader) Message {
+	return &PbftCommit{Instance: int32(r.u32()), PView: View(r.u64()), Seq: r.u64(), Digest: r.digest()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *ViewChange) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Instance))
+	b = appendU64(b, uint64(m.NewPView))
+	return appendU64(b, m.LastSeq)
+}
+
+func decodeViewChange(r *wireReader) Message {
+	return &ViewChange{Instance: int32(r.u32()), NewPView: View(r.u64()), LastSeq: r.u64()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *NewPView) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Instance))
+	b = appendU64(b, uint64(m.PView))
+	return appendU64(b, m.StartSeq)
+}
+
+func decodeNewPView(r *wireReader) Message {
+	return &NewPView{Instance: int32(r.u32()), PView: View(r.u64()), StartSeq: r.u64()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *Complaint) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Instance))
+	return appendU64(b, m.Round)
+}
+
+func decodeComplaint(r *wireReader) Message {
+	return &Complaint{Instance: int32(r.u32()), Round: r.u64()}
+}
+
+// ---------------------------------------------------------------------------
+// HotStuff / Narwhal-HS messages
+// ---------------------------------------------------------------------------
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *HSProposal) AppendBinary(b []byte) []byte {
+	b = appendU64(b, uint64(m.View))
+	b = append(b, m.Block[:]...)
+	b = append(b, m.Parent[:]...)
+	b = appendBatch(b, m.Batch)
+	b = appendU32(b, uint32(len(m.Refs)))
+	for i := range m.Refs {
+		b = append(b, m.Refs[i][:]...)
+	}
+	return appendQC(b, &m.Justify)
+}
+
+func decodeHSProposal(r *wireReader) Message {
+	m := &HSProposal{
+		View:   View(r.u64()),
+		Block:  r.digest(),
+		Parent: r.digest(),
+		Batch:  r.batch(),
+	}
+	if n := r.count(32); n > 0 {
+		m.Refs = make([]Digest, n)
+		for i := range m.Refs {
+			m.Refs[i] = r.digest()
+		}
+	}
+	m.Justify = r.qc()
+	return m
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *HSVote) AppendBinary(b []byte) []byte {
+	b = appendU64(b, uint64(m.View))
+	b = append(b, m.Block[:]...)
+	return appendSig(b, m.Sig)
+}
+
+func decodeHSVote(r *wireReader) Message {
+	return &HSVote{View: View(r.u64()), Block: r.digest(), Sig: r.sig()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *HSNewView) AppendBinary(b []byte) []byte {
+	b = appendU64(b, uint64(m.View))
+	return appendQC(b, &m.Justify)
+}
+
+func decodeHSNewView(r *wireReader) Message {
+	return &HSNewView{View: View(r.u64()), Justify: r.qc()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *NarwhalBatch) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Origin))
+	return appendBatch(b, m.Batch)
+}
+
+func decodeNarwhalBatch(r *wireReader) Message {
+	return &NarwhalBatch{Origin: NodeID(r.u32()), Batch: r.batch()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *NarwhalAck) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Origin))
+	b = append(b, m.BatchID[:]...)
+	return appendSig(b, m.Sig)
+}
+
+func decodeNarwhalAck(r *wireReader) Message {
+	return &NarwhalAck{Origin: NodeID(r.u32()), BatchID: r.digest(), Sig: r.sig()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *NarwhalCert) AppendBinary(b []byte) []byte {
+	b = append(b, m.BatchID[:]...)
+	return appendSigs(b, m.Sigs)
+}
+
+func decodeNarwhalCert(r *wireReader) Message {
+	return &NarwhalCert{BatchID: r.digest(), Sigs: r.sigs()}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing & state transfer
+// ---------------------------------------------------------------------------
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *Checkpoint) AppendBinary(b []byte) []byte {
+	b = appendU64(b, m.Height)
+	b = append(b, m.StateHash[:]...)
+	return appendSig(b, m.Sig)
+}
+
+func decodeCheckpoint(r *wireReader) Message {
+	return &Checkpoint{Height: r.u64(), StateHash: r.digest(), Sig: r.sig()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *FetchState) AppendBinary(b []byte) []byte {
+	return appendU64(b, m.Have)
+}
+
+func decodeFetchState(r *wireReader) Message {
+	return &FetchState{Have: r.u64()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *StateChunk) AppendBinary(b []byte) []byte {
+	b = appendU64(b, m.Cert.Height)
+	b = append(b, m.Cert.StateHash[:]...)
+	b = appendSigs(b, m.Cert.Sigs)
+	b = append(b, m.ExecHash[:]...)
+	b = append(b, m.LedgerResume[:]...)
+	b = appendU32(b, uint32(len(m.Anchors)))
+	for i := range m.Anchors {
+		b = appendU64(b, uint64(m.Anchors[i].View))
+		b = append(b, m.Anchors[i].Digest[:]...)
+	}
+	b = appendU32(b, uint32(len(m.Blocks)))
+	for i := range m.Blocks {
+		blk := &m.Blocks[i]
+		b = appendU64(b, blk.Height)
+		b = append(b, blk.Prev[:]...)
+		b = appendU32(b, uint32(blk.Instance))
+		b = appendU64(b, uint64(blk.View))
+		b = append(b, blk.BatchID[:]...)
+		b = append(b, blk.Proposal[:]...)
+		b = append(b, blk.Results[:]...)
+		b = append(b, blk.Hash[:]...)
+	}
+	return b
+}
+
+// blockRecordWire is the exact wire footprint of one BlockRecord.
+const blockRecordWire = 8 + 32 + 4 + 8 + 32 + 32 + 32 + 32
+
+func decodeStateChunk(r *wireReader) Message {
+	m := &StateChunk{}
+	m.Cert.Height = r.u64()
+	m.Cert.StateHash = r.digest()
+	m.Cert.Sigs = r.sigs()
+	m.ExecHash = r.digest()
+	m.LedgerResume = r.digest()
+	if n := r.count(8 + 32); n > 0 {
+		m.Anchors = make([]Anchor, n)
+		for i := range m.Anchors {
+			m.Anchors[i] = Anchor{View: View(r.u64()), Digest: r.digest()}
+		}
+	}
+	if n := r.count(blockRecordWire); n > 0 {
+		m.Blocks = make([]BlockRecord, n)
+		for i := range m.Blocks {
+			blk := &m.Blocks[i]
+			blk.Height = r.u64()
+			blk.Prev = r.digest()
+			blk.Instance = int32(r.u32())
+			blk.View = View(r.u64())
+			blk.BatchID = r.digest()
+			blk.Proposal = r.digest()
+			blk.Results = r.digest()
+			blk.Hash = r.digest()
+		}
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Client traffic
+// ---------------------------------------------------------------------------
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *Request) AppendBinary(b []byte) []byte {
+	return appendBatch(b, m.Batch)
+}
+
+func decodeRequest(r *wireReader) Message {
+	return &Request{Batch: r.batch()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *Inform) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Replica))
+	b = append(b, m.BatchID[:]...)
+	return append(b, m.Results[:]...)
+}
+
+func decodeInform(r *wireReader) Message {
+	return &Inform{Replica: NodeID(r.u32()), BatchID: r.digest(), Results: r.digest()}
+}
