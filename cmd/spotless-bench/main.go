@@ -23,9 +23,10 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		quick = flag.Bool("quick", false, "CI-sized sweeps (n ≤ 32) instead of paper scale (n = 128)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		quick    = flag.Bool("quick", false, "CI-sized sweeps (n ≤ 32) instead of paper scale (n = 128)")
+		baseline = flag.String("baseline", "", "write the perf baseline (instance-parallel sweeps + core-loop allocs) as JSON to this file and exit")
 	)
 	flag.Parse()
 
@@ -33,6 +34,23 @@ func main() {
 		for _, f := range bench.Figures {
 			fmt.Printf("%-8s %s\n", f.ID, f.Title)
 		}
+		return
+	}
+
+	if *baseline != "" {
+		start := time.Now()
+		rep, err := bench.CollectBaseline()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "baseline collection failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteFile(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline written to %s (%d sim + %d runtime points, core loop %.0f allocs/op, %s)\n",
+			*baseline, len(rep.SimInstanceParallel), len(rep.RuntimeInstanceParallel),
+			rep.CoreLoop.AllocsPerOp, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

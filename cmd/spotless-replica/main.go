@@ -78,6 +78,7 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-interval", 128, "checkpoint/GC/state-transfer interval in delivered batches (0 disables)")
 		fetchCap  = flag.Int("checkpoint-fetch-cap", 512, "max ledger blocks per state-transfer chunk")
 		idleWait  = flag.Duration("idle-backoff", 25*time.Millisecond, "pace view entry when no client batches are pending (0 disables; keep below -timeout)")
+		instWkrs  = flag.Int("instance-workers", 1, "event-loop goroutines hosting the m consensus instances (plus one ordering stage); 1 keeps the classic single loop")
 	)
 	flag.Parse()
 
@@ -123,6 +124,9 @@ func main() {
 		// goroutines + the shared pool (SetIngress below); the node must
 		// not verify a second time.
 		PreVerified: true,
+		// Instance-parallel core: shard the m instances over this many
+		// event-loop goroutines behind the serialized ordering stage.
+		Workers: *instWkrs,
 	})
 	// Client Requests arrive through the same transport; intercept them
 	// before protocol dispatch. A retransmitted request whose batch already

@@ -25,13 +25,25 @@
 //
 // # Verification pipeline
 //
-// Protocol state machines are single-threaded and never verify signatures
-// inline: protocols declare signature work up front
+// Protocol state machines are serialized per shard and never verify
+// signatures inline: protocols declare signature work up front
 // (protocol.IngressVerifier) and substrates run the checks off the event
 // loop, so state machines consume only pre-verified messages.
 // State-dependent checks (SpotLess's lazily verified certificates, §3.4)
 // go through Context.VerifyAsync under the stale-tag discipline documented
 // in internal/protocol.
+//
+// # Instance-parallel core
+//
+// The SpotLess replica implements protocol.ShardedProtocol: each of its m
+// concurrent consensus instances is an independent shard, and the
+// cross-instance total order, batch dedup, checkpointing, and execution
+// live on one serialized ordering stage. Substrates configured with
+// instance workers (runtime.NodeConfig.Workers, the -instance-workers
+// flag, simnet.Config.InstanceWorkers) dispatch the shards concurrently —
+// per-instance mailboxes and goroutines on the runtime, per-lane modelled
+// cores on the simulator; the default remains the classic single event
+// loop. The threading model is documented in docs/ARCHITECTURE.md.
 //
 // # Checkpointing and state transfer
 //

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"spotless/internal/core"
+	"spotless/internal/crypto"
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// This file produces the committed perf baseline (BENCH_PR4.json): commit
+// throughput and delivery latency of the instance-parallel core on both
+// substrates, plus the allocation budget of the ordering stage's hot loop —
+// the numbers future PRs regress against.
+
+// BaselinePoint is one (m × workers) measurement.
+type BaselinePoint struct {
+	M            int     `json:"m"`
+	Workers      int     `json:"workers"`
+	KTxnPerSec   float64 `json:"ktxn_per_sec"`
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	Batches      uint64  `json:"batches"`
+
+	// TCP saturation counters (runtime points only; see transport.Stats).
+	QueueSheds     uint64 `json:"queue_sheds,omitempty"`
+	IngressDrops   uint64 `json:"ingress_drops,omitempty"`
+	EncodeFailures uint64 `json:"encode_failures,omitempty"`
+	MACRejections  uint64 `json:"mac_rejections,omitempty"`
+	DecodeFailures uint64 `json:"decode_failures,omitempty"`
+}
+
+// CoreLoopStats is the ordering-stage microbenchmark: one committed
+// proposal handed off and drained through the (view, instance) total order.
+type CoreLoopStats struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Instances   int     `json:"instances"`
+}
+
+// BaselineReport is the schema of BENCH_PR4.json.
+type BaselineReport struct {
+	Schema    string `json:"schema"`
+	Generated string `json:"generated_by"`
+	Host      struct {
+		GOOS      string `json:"goos"`
+		GOARCH    string `json:"goarch"`
+		NumCPU    int    `json:"num_cpu"`
+		GoVersion string `json:"go_version"`
+	} `json:"host"`
+	// Simulator points: virtual time on modelled cores (one core per
+	// lane), deterministic and host-independent. workers=1 is the seed's
+	// single event loop.
+	SimInstanceParallel []BaselinePoint `json:"sim_instance_parallel"`
+	// Runtime points: wall-clock over TCP loopback with real crypto and
+	// execution; scale with the host's core count.
+	RuntimeInstanceParallel []BaselinePoint `json:"runtime_instance_parallel"`
+	CoreLoop                CoreLoopStats   `json:"core_loop"`
+}
+
+func simPoint(res Result) BaselinePoint {
+	return BaselinePoint{
+		M: res.Instances, Workers: res.InstanceWorkers,
+		KTxnPerSec:   res.Throughput / 1000,
+		AvgLatencyMs: float64(res.AvgLatency.Microseconds()) / 1000,
+		Batches:      res.Batches,
+	}
+}
+
+// CollectBaseline measures every baseline point. The runtime sweep takes a
+// few wall-clock seconds per point.
+func CollectBaseline() (BaselineReport, error) {
+	var rep BaselineReport
+	rep.Schema = "spotless-bench-baseline/v1"
+	rep.Generated = "spotless-bench -baseline"
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.NumCPU = runtime.NumCPU()
+	rep.Host.GoVersion = runtime.Version()
+
+	for _, m := range []int{2, 8} {
+		for _, w := range []int{1, 2, 8} {
+			if w > m {
+				continue
+			}
+			rep.SimInstanceParallel = append(rep.SimInstanceParallel, simPoint(Run(InstParOptions(8, m, w))))
+		}
+	}
+	for _, w := range []int{1, 8} {
+		res, err := RunRuntime(RuntimeOptions{
+			N: 4, Instances: 8, InstanceWorkers: w,
+			Warmup: time.Second, Measure: 3 * time.Second,
+		})
+		if err != nil {
+			return rep, err
+		}
+		p := simPoint(res)
+		p.QueueSheds = res.NetQueueSheds
+		p.IngressDrops = res.NetIngressDrops
+		p.EncodeFailures = res.NetEncodeFailures
+		p.MACRejections = res.NetMACRejections
+		p.DecodeFailures = res.NetDecodeFailures
+		rep.RuntimeInstanceParallel = append(rep.RuntimeInstanceParallel, p)
+	}
+	rep.CoreLoop = measureCoreLoop()
+	return rep, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r BaselineReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baselineCtx is the minimal protocol.Context for driving the ordering
+// stage directly (no network, no timers, deliveries discarded).
+type baselineCtx struct{ prov crypto.Provider }
+
+func (c *baselineCtx) ID() types.NodeID                          { return 0 }
+func (c *baselineCtx) N() int                                    { return 4 }
+func (c *baselineCtx) F() int                                    { return 1 }
+func (c *baselineCtx) Now() time.Duration                        { return 0 }
+func (c *baselineCtx) Send(types.NodeID, types.Message)          {}
+func (c *baselineCtx) Broadcast(types.Message)                   {}
+func (c *baselineCtx) SetTimer(time.Duration, protocol.TimerTag) {}
+func (c *baselineCtx) VerifyAsync(protocol.VerifyJob)            {}
+func (c *baselineCtx) Crypto() crypto.Provider                   { return c.prov }
+func (c *baselineCtx) Deliver(types.Commit)                      {}
+func (c *baselineCtx) NextBatch(int32) *types.Batch              { return nil }
+func (c *baselineCtx) Logf(string, ...any)                       {}
+
+// measureCoreLoop mirrors core's BenchmarkOrderingDrain for the committed
+// baseline: m instances hand off committed proposals round-robin, each
+// drained through the total order (the min-heap over ring buffers).
+func measureCoreLoop() CoreLoopStats {
+	const m = 8
+	const ops = 200000
+	ctx := &baselineCtx{prov: crypto.NewSimProvider(0, crypto.CostModel{}, nil)}
+	batches := make([]types.Batch, ops)
+	for i := range batches {
+		batches[i].ID[8] = byte(i)
+		batches[i].ID[9] = byte(i >> 8)
+		batches[i].ID[10] = byte(i >> 16)
+	}
+	run := func(r *core.Replica) func() {
+		i := 0
+		view := types.View(0)
+		return func() {
+			if i%m == 0 {
+				view++
+			}
+			r.InjectCommit(int32(i%m), view, &batches[i], batches[i].ID)
+			i++
+		}
+	}
+	allocs := testing.AllocsPerRun(ops-1, run(core.New(ctx, core.DefaultConfig(4, m))))
+
+	step := run(core.New(ctx, core.DefaultConfig(4, m)))
+	startAt := time.Now()
+	for i := 0; i < ops; i++ {
+		step()
+	}
+	elapsed := time.Since(startAt)
+	return CoreLoopStats{
+		AllocsPerOp: allocs,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / ops,
+		Instances:   m,
+	}
+}

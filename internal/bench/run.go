@@ -64,6 +64,14 @@ type Options struct {
 	// the seed: deliveries now charge a MAC and batches verify fully).
 	VerifyCores int
 
+	// InstanceWorkers > 1 selects the simulator's instance-parallel model
+	// (simnet.Config.InstanceWorkers): each replica's m instances execute
+	// on per-shard lanes — one modelled core each — behind a serialized
+	// ordering lane, mirroring runtime -instance-workers. 1 models the
+	// classic single event loop (every handler serialized on one lane);
+	// 0 keeps the calibrated aggregate-capacity model.
+	InstanceWorkers int
+
 	// Failure / attack injection.
 	Failures int             // number of faulty replicas
 	FailAt   time.Duration   // when they fail (0: from the start)
@@ -106,6 +114,17 @@ type Result struct {
 	// ReviveRecovery is the time from ReviveAt until the last revived
 	// replica executed its first post-revival batch (0: never recovered).
 	ReviveRecovery time.Duration
+
+	// TCP transport saturation counters aggregated across replicas — the
+	// drop paths of transport.Stats that would otherwise stay silent
+	// during saturated perf runs. Populated by the runtime-substrate
+	// harness (RunRuntime); always zero on simulator runs.
+	NetEncodes        uint64
+	NetEncodeFailures uint64
+	NetQueueSheds     uint64
+	NetMACRejections  uint64
+	NetDecodeFailures uint64
+	NetIngressDrops   uint64
 }
 
 // oneWayDelayMs is the one-way propagation between the paper's regions
@@ -195,6 +214,7 @@ func Run(o Options) Result {
 	if o.VerifyCores > 0 {
 		scfg.Costs.Cores = o.VerifyCores
 	}
+	scfg.InstanceWorkers = o.InstanceWorkers
 	if o.BandwidthMbps > 0 {
 		scfg.BandwidthMbps = o.BandwidthMbps
 	}

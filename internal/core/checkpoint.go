@@ -143,7 +143,7 @@ func (r *Replica) maybeCheckpoint() {
 	// dedup decisions stay identical cluster-wide — and a replica that
 	// later installs this checkpoint starts with the same (empty) window,
 	// keeping its delivered heights aligned with the veterans'.
-	r.seenBatch = make(map[types.Digest]bool)
+	r.ord.seenBatch = make(map[types.Digest]bool)
 	msg := &types.Checkpoint{Height: h, StateHash: stateHash,
 		Sig: r.ctx.Crypto().Sign(types.CheckpointBytes(h, stateHash))}
 	r.ckpt.own = msg
@@ -250,7 +250,8 @@ func (r *Replica) stabilize(cert types.CheckpointCert, execHash, resume types.Di
 		}
 	}
 	for i, in := range r.insts {
-		in.gcToAnchor(anchors[i])
+		in, a := in, anchors[i]
+		r.post(in.id, func() { in.gcToAnchor(a) })
 	}
 	if r.cfg.Host != nil {
 		r.cfg.Host.TruncateBelow(cert.Height)
@@ -457,6 +458,7 @@ func (r *Replica) installState(chunk *types.StateChunk) {
 		}
 	}
 	r.Delivered = h
+	r.deliveredMirror.Store(h)
 	r.ckpt.execHash = chunk.ExecHash
 	copy(r.ckpt.anchors, chunk.Anchors)
 	r.ckpt.stable = chunk.Cert
@@ -477,24 +479,24 @@ func (r *Replica) installState(chunk *types.StateChunk) {
 	}
 	// The dedup window restarts at every checkpoint cut cluster-wide (see
 	// maybeCheckpoint); starting empty here matches the veterans exactly.
-	r.seenBatch = make(map[types.Digest]bool)
+	r.ord.seenBatch = make(map[types.Digest]bool)
 	// Advance every frontier and drop queued commits the checkpoint covers
 	// before any instance resumes delivering, so a drain triggered by one
 	// instance's install cannot re-deliver another's pre-checkpoint tail.
+	// (Queues are view-ascending, so covered commits form a prefix.)
 	for i, a := range chunk.Anchors {
-		if a.View > r.frontiers[i] {
-			r.frontiers[i] = a.View
+		if a.View > r.ord.frontiers[i] {
+			r.ord.frontiers[i] = a.View
 		}
-		q := r.queues[i][:0]
-		for _, oc := range r.queues[i] {
-			if oc.view > a.View {
-				q = append(q, oc)
-			}
+		for !r.ord.rings[i].empty() && r.ord.rings[i].front().view <= a.View {
+			r.ord.rings[i].pop()
 		}
-		r.queues[i] = q
 	}
+	r.ord.recomputeMin()
+	r.ord.rebuildHeap()
 	for i, a := range chunk.Anchors {
-		r.insts[i].installAnchor(a)
+		in, a := r.insts[i], a
+		r.post(in.id, func() { in.installAnchor(a) })
 	}
 	r.ctx.Logf("installed stable checkpoint at height %d", h)
 	r.drain()
@@ -505,7 +507,9 @@ func (r *Replica) installState(chunk *types.StateChunk) {
 func (r *Replica) StableHeight() uint64 { return r.ckpt.stableMirror.Load() }
 
 // StateFootprint sums retained consensus bookkeeping across instances: the
-// proposal-map and view-map entry counts the checkpoint GC bounds.
+// proposal-map and view-map entry counts the checkpoint GC bounds. It reads
+// instance-shard state directly and is therefore only safe while events are
+// serialized (the simulator between Run calls, or a stopped runtime node).
 func (r *Replica) StateFootprint() (props, views int) {
 	for _, in := range r.insts {
 		props += len(in.props)

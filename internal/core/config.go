@@ -95,7 +95,9 @@ type Config struct {
 // StateHost is the execution-layer integration surface of the checkpoint
 // subsystem. The runtime's replica executor implements it over the
 // blockchain ledger; substrates without durable state leave Config.Host nil.
-// All methods are invoked on the replica's event loop.
+// All methods are invoked on the replica's ordering stage — the single
+// event loop when instance workers are disabled — and therefore never race
+// Context.Deliver, which the ordering stage also owns.
 type StateHost interface {
 	// StateDigest returns the digest of the durable state after height
 	// delivered batches (the ledger's chain-resume hash); it is folded into

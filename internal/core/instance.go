@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"spotless/internal/crypto"
@@ -36,6 +37,12 @@ type proposal struct {
 	condCommitted bool
 	committed     bool
 	delivered     bool
+	// claimQuorum records that n−f distinct replicas claimed this proposal
+	// in its own view — the evidence tier above the f+1 conditional-prepare
+	// adoption. Established by the local claim tally, by n−f collected sync
+	// votes, or by a verified embedded certificate; the commit rule requires
+	// it of the three-consecutive chain's tip (see maybeCommitChain).
+	claimQuorum bool
 
 	// Async certificate verification (the recovery path of §3.4): at most
 	// one cert job is in flight per proposal, and a rejected certificate
@@ -74,6 +81,9 @@ type Instance struct {
 	view      types.View
 	state     int
 	viewStart time.Duration
+	// viewMirror mirrors view for off-loop readers (CurrentView): operator
+	// polling and tests observe a live replica without racing the shard.
+	viewMirror atomic.Uint64
 
 	genesis *proposal
 	props   map[types.Digest]*proposal
@@ -133,7 +143,7 @@ func certFingerprint(cert []types.Signature) uint64 {
 }
 
 func newInstance(r *Replica, id int32) *Instance {
-	g := &proposal{known: true, condPrepared: true, condCommitted: true, committed: true, delivered: true}
+	g := &proposal{known: true, condPrepared: true, condCommitted: true, committed: true, delivered: true, claimQuorum: true}
 	inst := &Instance{
 		r:          r,
 		id:         id,
@@ -203,6 +213,7 @@ func (in *Instance) start() {
 
 func (in *Instance) enterView(v types.View) {
 	in.view = v
+	in.viewMirror.Store(uint64(v))
 	in.state = stRecording
 	in.viewStart = in.r.ctx.Now()
 	in.r.ctx.SetTimer(in.tR, protocol.TimerTag{Kind: protocol.TimerRecording, Instance: in.id, View: v})
@@ -516,6 +527,9 @@ func (in *Instance) onVerified(tag protocol.TimerTag, ok bool) {
 	} else {
 		in.retryPending()
 	}
+	// A valid certificate is n−f signed claims for the parent in its view:
+	// exactly the claim quorum the tightened commit rule asks of a tip.
+	in.markClaimQuorum(job.parent)
 }
 
 // sendSync broadcasts our Sync for view v with the given claim and records
@@ -613,9 +627,17 @@ func (in *Instance) recordSync(from types.NodeID, msg *types.Sync) {
 			// proposals.
 			if msg.Claim.View == p.view && msg.Sig.Signer == from && p.syncVotes != nil {
 				p.syncVotes[from] = msg.Sig
-				if len(p.syncVotes) >= in.quorum() && p.view > in.certHead.view {
-					in.certHead = p
+				if len(p.syncVotes) >= in.quorum() {
+					if p.view > in.certHead.view {
+						in.certHead = p
+					}
+					in.markClaimQuorum(p)
 				}
+			}
+			// n−f distinct claims (sender-bound or relayed) prove the claim
+			// quorum the tightened commit rule requires of a chain tip.
+			if msg.Claim.View == v && p.view == v && s.claimCounts[msg.Claim.Digest] >= in.quorum() {
+				in.markClaimQuorum(p)
 			}
 		}
 		// CP endorsements: f+1 distinct endorsers conditionally prepare the
@@ -700,6 +722,7 @@ func (in *Instance) checkTransitions() {
 	for d, c := range s.claimCounts {
 		if c >= q {
 			p := in.getOrCreate(d, v)
+			in.markClaimQuorum(p)
 			if !p.condPrepared {
 				in.condPrepare(p)
 			}
@@ -864,13 +887,40 @@ func (in *Instance) deriveStates(p *proposal) {
 			in.lock = parent
 		}
 	}
-	// Commit rule: u = w+1 = v+2 (three consecutive views).
+	in.maybeCommitChain(p)
+	in.maybeDeliver()
+}
+
+// markClaimQuorum records n−f-claim evidence for a proposal and re-evaluates
+// the commit rule with it as chain tip — the quorum can complete after the
+// proposal was already conditionally prepared through the f+1 CP adoption,
+// and the commit must then fire without waiting for a fresh condPrepare.
+func (in *Instance) markClaimQuorum(p *proposal) {
+	if p.claimQuorum {
+		return
+	}
+	p.claimQuorum = true
+	in.maybeCommitChain(p)
+}
+
+// maybeCommitChain applies the commit rule with p as the chain tip:
+// u = w+1 = v+2 (three consecutive views, Definition 3.3), tightened per the
+// paper's safety argument to require the tip to hold an n−f claim quorum. A
+// merely f+1-CP-adopted tip no longer commits its grandparent — without the
+// quorum, a transient fork of no-op proposals could commit at some replicas
+// while the canonical chain skips it (PR 2 ROADMAP discovery).
+func (in *Instance) maybeCommitChain(p *proposal) {
+	if !p.claimQuorum || !p.condPrepared || !p.known {
+		return
+	}
+	parent := p.parent
+	if parent == nil || !parent.known {
+		return
+	}
 	gp := parent.parent
-	if gp != nil && parent.known &&
-		p.view == parent.view+1 && parent.view == gp.view+1 {
+	if gp != nil && p.view == parent.view+1 && parent.view == gp.view+1 {
 		in.commit(gp)
 	}
-	in.maybeDeliver()
 }
 
 // commit finalizes a proposal and its entire ancestor chain.
@@ -908,7 +958,10 @@ func (in *Instance) maybeDeliver() {
 		}
 		next.delivered = true
 		in.lastDeliver = next.view
-		in.r.onCommitted(in.id, next)
+		// Hand off by value: the ordering stage must not share the mutable
+		// proposal bookkeeping (prune may nil fields later), only the
+		// immutable batch and identifiers.
+		in.r.onCommitted(in.id, orderedCommit{view: next.view, batch: next.batch, dig: next.digest})
 	}
 }
 
@@ -977,6 +1030,7 @@ func (in *Instance) installAnchor(a types.Anchor) {
 	p.known = true
 	p.condPrepared, p.condCommitted = true, true
 	p.committed, p.delivered = true, true
+	p.claimQuorum = true // the checkpoint certificate stands in for the quorums
 	if in.lastDeliver < a.View {
 		in.lastDeliver = a.View
 	}
@@ -1110,9 +1164,10 @@ func (in *Instance) onTimer(tag protocol.TimerTag) {
 		// Replica-level piggyback (once per heartbeat, not per instance):
 		// re-advertise the newest checkpoint attestation when the cluster
 		// idles, so a restarted replica can still discover the stable
-		// frontier (see readvertiseCheckpoint).
+		// frontier (see readvertiseCheckpoint — ordering-shard state, hence
+		// the post).
 		if in.id == 0 {
-			in.r.readvertiseCheckpoint()
+			in.r.post(protocol.OrderingShard, in.r.readvertiseCheckpoint)
 		}
 		in.r.ctx.SetTimer(in.r.cfg.RetransmitInterval, protocol.TimerTag{Kind: protocol.TimerRetransmit, Instance: in.id})
 	}

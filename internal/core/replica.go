@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"spotless/internal/crypto"
 	"spotless/internal/protocol"
@@ -13,25 +14,41 @@ import (
 // Replica is one SpotLess replica hosting m concurrent chained consensus
 // instances (§4.1). It implements protocol.Protocol and can therefore run on
 // the simulator, the in-process runtime, or the TCP transport.
+//
+// It also implements protocol.ShardedProtocol: each instance is one shard
+// (all its proposals, views, syncs, and certificate jobs are strictly
+// shard-local), and the cross-instance state — the total-order merge of
+// ordering.go plus the checkpoint manager of checkpoint.go — lives on the
+// serialized ordering stage. On a sharding substrate the instances run
+// concurrently and hand commits to the ordering stage through the bound
+// ShardPoster; on a serializing substrate every handoff runs inline and
+// the replica behaves exactly as the single-event-loop original.
 type Replica struct {
 	ctx   protocol.Context
 	cfg   Config
 	insts []*Instance
 
-	// Total-order layer (§4.1, Figure 6): committed proposals are ordered
-	// by (view, instance); execution of view v waits until every instance
-	// passed view v.
-	frontiers []types.View      // highest delivered committed view per instance
-	queues    [][]orderedCommit // committed, not yet globally ordered
-	seenBatch map[types.Digest]bool
+	// poster routes cross-shard handoffs when a sharding substrate bound
+	// one (BindShards); nil means every event is already serialized and
+	// handoffs run inline.
+	poster protocol.ShardPoster
+
+	// ord is the total-order layer (§4.1, Figure 6): committed proposals
+	// are ordered by (view, instance); execution of view v waits until
+	// every instance passed view v. Ordering-shard state (see ordering.go).
+	ord ordering
 
 	// ckpt is the checkpoint + state-transfer manager (see checkpoint.go);
-	// inert unless Config.CheckpointInterval > 0.
+	// inert unless Config.CheckpointInterval > 0. Ordering-shard state.
 	ckpt ckptState
 
-	// Stats exposed for tests and the harness.
+	// Stats exposed for tests and the harness. Written on the ordering
+	// stage; concurrent readers (operator polling a live sharded node) use
+	// DeliveredCount instead of the plain fields.
 	Delivered uint64 // globally ordered non-noop batches
 	NoOps     uint64
+
+	deliveredMirror atomic.Uint64
 }
 
 type orderedCommit struct {
@@ -49,11 +66,9 @@ func New(ctx protocol.Context, cfg Config) *Replica {
 		cfg.Instances = 1
 	}
 	r := &Replica{
-		ctx:       ctx,
-		cfg:       cfg,
-		frontiers: make([]types.View, cfg.Instances),
-		queues:    make([][]orderedCommit, cfg.Instances),
-		seenBatch: make(map[types.Digest]bool),
+		ctx: ctx,
+		cfg: cfg,
+		ord: newOrdering(cfg.Instances),
 		ckpt: ckptState{
 			anchors: make([]types.Anchor, cfg.Instances),
 			tallies: make(map[uint64]map[types.NodeID]attest),
@@ -71,8 +86,10 @@ func New(ctx protocol.Context, cfg Config) *Replica {
 // Instance exposes instance state to tests.
 func (r *Replica) Instance(i int32) *Instance { return r.insts[i] }
 
-// CurrentView returns the view of instance i (testing/inspection).
-func (in *Instance) CurrentView() types.View { return in.view }
+// CurrentView returns the view of instance i. Safe to call from outside
+// the event loops (operator polling, live tests); it reads an atomic
+// mirror updated at every view entry.
+func (in *Instance) CurrentView() types.View { return types.View(in.viewMirror.Load()) }
 
 // Lock returns the view of the instance's locked proposal (testing).
 func (in *Instance) LockView() types.View { return in.lock.view }
@@ -80,12 +97,62 @@ func (in *Instance) LockView() types.View { return in.lock.view }
 // LastCommittedView returns the highest committed view of the instance.
 func (in *Instance) LastCommittedView() types.View { return in.lastCommit.view }
 
-// Start implements protocol.Protocol: all instances enter view 1.
+// Start implements protocol.Protocol: all instances enter view 1 — each on
+// its own shard when a sharding substrate bound a poster.
 func (r *Replica) Start() {
 	for _, in := range r.insts {
-		in.start()
+		in := in
+		r.post(in.id, in.start)
 	}
 }
+
+// --- protocol.ShardedProtocol ---
+
+// ShardCount implements protocol.ShardedProtocol: one shard per instance.
+func (r *Replica) ShardCount() int { return r.cfg.Instances }
+
+// InstanceOf implements protocol.ShardedProtocol, mapping per-instance
+// protocol messages to their shard and everything else — checkpoint
+// attestations, state transfer, and malformed instance ids (dropped by the
+// nil-instance guard wherever they run) — to the ordering stage. Stateless:
+// it reads only construction-time configuration.
+func (r *Replica) InstanceOf(msg types.Message) int32 {
+	var inst int32
+	switch m := msg.(type) {
+	case *types.Propose:
+		inst = m.Instance
+	case *types.Sync:
+		inst = m.Instance
+	case *types.Ask:
+		inst = m.Instance
+	default:
+		return protocol.OrderingShard
+	}
+	if inst < 0 || int(inst) >= r.cfg.Instances {
+		return protocol.OrderingShard
+	}
+	return inst
+}
+
+// BindShards implements protocol.ShardedProtocol: cross-shard handoffs run
+// through post from now on.
+func (r *Replica) BindShards(p protocol.ShardPoster) { r.poster = p }
+
+// post schedules fn serialized with the given shard's events: through the
+// bound poster on a sharding substrate, inline when every event is already
+// serialized (the classic single event loop, the simulator's default model,
+// and direct-drive tests).
+func (r *Replica) post(shard int32, fn func()) {
+	if r.poster != nil {
+		r.poster.PostShard(shard, fn)
+		return
+	}
+	fn()
+}
+
+// DeliveredCount reports the globally ordered non-noop batch count. Safe to
+// call from outside the event loops (operator polling, benchmarks).
+func (r *Replica) DeliveredCount() uint64 { return r.deliveredMirror.Load() }
 
 // HandleMessage implements protocol.Protocol, dispatching by instance.
 func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {
@@ -185,6 +252,7 @@ func (r *Replica) HandleVerified(tag protocol.TimerTag, ok bool) {
 
 var (
 	_ protocol.Protocol        = (*Replica)(nil)
+	_ protocol.ShardedProtocol = (*Replica)(nil)
 	_ protocol.IngressVerifier = (*Replica)(nil)
 	_ protocol.VerifyConsumer  = (*Replica)(nil)
 )
@@ -208,87 +276,6 @@ func (r *Replica) noopBatch(instance int32, v types.View) *types.Batch {
 	binary.LittleEndian.PutUint64(buf[4:], uint64(v))
 	id := sha256.Sum256(buf[:])
 	return &types.Batch{ID: id, NoOp: true}
-}
-
-// onCommitted receives committed proposals from an instance in chain order
-// and applies the global (view, instance) total order of §4.1 before
-// delivering to the execution layer.
-func (r *Replica) onCommitted(inst int32, p *proposal) {
-	if p.view <= r.frontiers[inst] {
-		r.ctx.Logf("spotless: instance %d delivered non-monotonic view %d ≤ %d", inst, p.view, r.frontiers[inst])
-		return
-	}
-	r.queues[inst] = append(r.queues[inst], orderedCommit{view: p.view, batch: p.batch, dig: p.digest})
-	r.frontiers[inst] = p.view
-	r.drain()
-}
-
-// drain executes the total order: repeatedly deliver the smallest
-// (view, instance) committed proposal whose view every instance has passed.
-func (r *Replica) drain() {
-	for {
-		minF := r.frontiers[0]
-		for _, f := range r.frontiers[1:] {
-			if f < minF {
-				minF = f
-			}
-		}
-		best := -1
-		var bestView types.View
-		for i := range r.queues {
-			if len(r.queues[i]) == 0 {
-				continue
-			}
-			v := r.queues[i][0].view
-			if v > minF {
-				continue
-			}
-			if best == -1 || v < bestView {
-				best = i
-				bestView = v
-			}
-		}
-		if best == -1 {
-			return
-		}
-		oc := r.queues[best][0]
-		r.queues[best] = r.queues[best][1:]
-		r.deliver(int32(best), oc)
-	}
-}
-
-func (r *Replica) deliver(inst int32, oc orderedCommit) {
-	if oc.batch == nil || oc.batch.NoOp {
-		r.NoOps++
-		return
-	}
-	if r.seenBatch[oc.batch.ID] {
-		return // duplicate proposal of the same batch (Byzantine primary)
-	}
-	r.seenBatch[oc.batch.ID] = true
-	if len(r.seenBatch) > 1<<17 {
-		r.seenBatch = make(map[types.Digest]bool) // bounded dedup window
-	}
-	// Note the window semantics under checkpointing: the map also restarts
-	// at every checkpoint cut (maybeCheckpoint/installState), narrowing
-	// dedup to roughly one interval. The reset point sits at the same
-	// position of the executed sequence on every correct replica — and a
-	// rejoiner starts with the same empty window — so dedup decisions, and
-	// therefore delivered heights, stay identical cluster-wide; a batch
-	// replayed across a cut executes again *consistently* (at-least-once
-	// across cuts), which is the trade-off for a transferable window. The
-	// executor reply cache keeps answering client retransmissions either
-	// way.
-	// Checkpoint accounting covers exactly the executed sequence (deduped
-	// non-noops): it is what the ledger chains and what all correct
-	// replicas observe identically. The raw drain interleave is NOT hashed
-	// — transiently forked no-op proposals can commit at some replicas and
-	// not others (they never carry client batches, so execution and
-	// ledgers are unaffected), and hashing them would split attestations.
-	r.noteDrained(inst, oc)
-	r.Delivered++
-	r.ctx.Deliver(types.Commit{Instance: inst, View: oc.view, Batch: oc.batch, Proposal: oc.dig})
-	r.maybeCheckpoint()
 }
 
 // String describes the replica (debugging).

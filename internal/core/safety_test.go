@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"spotless/internal/core"
+	"spotless/internal/crypto"
 	"spotless/internal/loadgen"
+	"spotless/internal/protocol"
 	"spotless/internal/simnet"
 	"spotless/internal/types"
 )
@@ -185,6 +187,112 @@ func TestAttackSafetyAndLiveness(t *testing.T) {
 	}
 }
 
+// --- tightened commit-trigger regression (PR 2 ROADMAP discovery) ---
+
+// stubContext drives one replica deterministically through HandleMessage,
+// recording sends and deliveries. Unlike the simulator it lets the test
+// craft the exact adversarial message schedule that reproduced the
+// fork-committed no-op deviation.
+type stubContext struct {
+	id      types.NodeID
+	n       int
+	prov    crypto.Provider
+	commits []types.Commit
+}
+
+func newStubContext(id types.NodeID, n int) *stubContext {
+	return &stubContext{id: id, n: n, prov: crypto.NewSimProvider(id, crypto.CostModel{}, nil)}
+}
+
+func (c *stubContext) ID() types.NodeID                          { return c.id }
+func (c *stubContext) N() int                                    { return c.n }
+func (c *stubContext) F() int                                    { return (c.n - 1) / 3 }
+func (c *stubContext) Now() time.Duration                        { return 0 }
+func (c *stubContext) Send(types.NodeID, types.Message)          {}
+func (c *stubContext) Broadcast(types.Message)                   {}
+func (c *stubContext) SetTimer(time.Duration, protocol.TimerTag) {}
+func (c *stubContext) VerifyAsync(protocol.VerifyJob)            {}
+func (c *stubContext) Crypto() crypto.Provider                   { return c.prov }
+func (c *stubContext) Deliver(cm types.Commit)                   { c.commits = append(c.commits, cm) }
+func (c *stubContext) NextBatch(int32) *types.Batch              { return nil }
+func (c *stubContext) Logf(string, ...any)                       {}
+
+// TestCommitRequiresTipClaimQuorum: a three-consecutive chain whose tip is
+// only conditionally prepared through the f+1 CP adoption must NOT commit
+// the grandparent — that is the transient-fork deviation from the paper's
+// safety argument — while the commit must still fire the moment the tip
+// gathers its n−f claim quorum.
+func TestCommitRequiresTipClaimQuorum(t *testing.T) {
+	const n = 7 // f = 2, quorum = 5, weak = 3
+	ctx := newStubContext(0, n)
+	cfg := core.DefaultConfig(n, 1)
+	r := core.New(ctx, cfg)
+	r.Start()
+
+	sign := func(id types.NodeID) types.Signature { return types.Signature{Signer: id} }
+	propose := func(v types.View, batchSeed byte, parent types.Justification) *types.Propose {
+		p := &types.Propose{
+			Instance: 0, View: v,
+			Batch:  &types.Batch{ID: types.Digest{batchSeed}},
+			Parent: parent,
+		}
+		p.Sig = sign(types.NodeID(uint64(v) % n)) // PrimaryOf(0, v, n)
+		return p
+	}
+	sync := func(from types.NodeID, v types.View, claim types.Claim, cp []types.CPEntry) {
+		r.HandleMessage(from, &types.Sync{Instance: 0, View: v, Claim: claim, CP: cp, Sig: sign(from)})
+	}
+	claimOf := func(v types.View, d types.Digest) types.Claim { return types.Claim{View: v, Digest: d} }
+
+	// Views 1 and 2 proceed normally: full claim quorums (own claim + 4).
+	p1 := propose(1, 1, types.Justification{Kind: types.JustGenesis})
+	d1 := p1.Digest()
+	r.HandleMessage(1, p1)
+	for _, from := range []types.NodeID{1, 2, 3, 4} {
+		sync(from, 1, claimOf(1, d1), nil)
+	}
+	p2 := propose(2, 2, types.Justification{Kind: types.JustClaim, ParentView: 1, ParentDigest: d1})
+	d2 := p2.Digest()
+	r.HandleMessage(2, p2)
+	for _, from := range []types.NodeID{1, 2, 3, 4} {
+		sync(from, 2, claimOf(2, d2), nil)
+	}
+	if got := r.Instance(0).CurrentView(); got != 3 {
+		t.Fatalf("setup: expected view 3, at %d", got)
+	}
+
+	// View 3: the tip P3 is accepted (own claim) and then conditionally
+	// prepared through f+1 CP endorsements — claims from 1, 2 plus a CP-only
+	// endorsement from 4 — which is NOT an n−f claim quorum (3 claims < 5).
+	p3 := propose(3, 3, types.Justification{Kind: types.JustClaim, ParentView: 2, ParentDigest: d2})
+	d3 := p3.Digest()
+	r.HandleMessage(3, p3)
+	cp3 := []types.CPEntry{{View: 3, Digest: d3}}
+	sync(1, 3, claimOf(3, d3), cp3)
+	sync(2, 3, claimOf(3, d3), cp3)
+	sync(4, 3, types.Claim{View: 3, Empty: true}, cp3)
+
+	if got := r.Instance(0).LastCommittedView(); got != 0 {
+		t.Fatalf("CP-adopted tip committed its grandparent: lastCommit view %d (the pre-tightening deviation)", got)
+	}
+	if len(ctx.commits) != 0 {
+		t.Fatalf("delivered %d commits without a tip claim quorum", len(ctx.commits))
+	}
+
+	// Completing the claim quorum (own + 1, 2, 3, 5 = 5) must commit P1 —
+	// the late-quorum path re-triggers the commit rule on an already
+	// conditionally prepared tip.
+	sync(3, 3, claimOf(3, d3), nil)
+	sync(5, 3, claimOf(3, d3), nil)
+
+	if got := r.Instance(0).LastCommittedView(); got != 1 {
+		t.Fatalf("claim quorum on the tip did not commit the grandparent: lastCommit view %d", got)
+	}
+	if len(ctx.commits) != 1 || ctx.commits[0].Batch.ID != p1.Batch.ID {
+		t.Fatalf("expected exactly P1's batch delivered, got %d commits", len(ctx.commits))
+	}
+}
+
 // TestTotalOrderAcrossInstances: with m instances the (view, instance)
 // order is identical on every replica.
 func TestTotalOrderAcrossInstances(t *testing.T) {
@@ -212,6 +320,42 @@ func TestTotalOrderAcrossInstances(t *testing.T) {
 	_ = s
 	if col.BatchesDone == 0 {
 		t.Fatal("no batches completed")
+	}
+	if err := log.checkPrefixConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.perNode[0]) < 8 {
+		t.Fatalf("replica 0 delivered too little: %d", len(log.perNode[0]))
+	}
+}
+
+// TestInstanceParallelTotalOrder: the simulator's instance-parallel model
+// (per-shard lanes + cross-shard posts) preserves the cluster-wide
+// (view, instance) total order and keeps committing — the virtual-time
+// counterpart of the runtime's sharded-dispatch race tests.
+func TestInstanceParallelTotalOrder(t *testing.T) {
+	n, m := 4, 4
+	scfg := simnet.DefaultConfig(n)
+	scfg.BaseHandlerCost = time.Microsecond
+	scfg.InstanceWorkers = m
+	sim := simnet.New(scfg)
+	log := newDeliveryLog()
+	sim.SetDeliverHook(log.hook)
+	src := loadgen.NewSource(m, 4, loadgen.DefaultWorkload(5))
+	sim.SetBatchSource(src)
+	col := loadgen.NewCollector(sim.Context(simnet.ClientNode), src, 1, 0)
+	col.MeasureEnd = time.Hour
+	sim.SetProtocol(simnet.ClientNode, col)
+	for i := 0; i < n; i++ {
+		cfg := core.DefaultConfig(n, m)
+		cfg.InitialRecordingTimeout = 20 * time.Millisecond
+		cfg.InitialCertifyTimeout = 20 * time.Millisecond
+		sim.SetProtocol(types.NodeID(i), core.New(sim.Context(types.NodeID(i)), cfg))
+	}
+	sim.Start()
+	sim.Run(time.Second)
+	if col.BatchesDone == 0 {
+		t.Fatal("no batches completed under the instance-parallel model")
 	}
 	if err := log.checkPrefixConsistency(); err != nil {
 		t.Fatal(err)

@@ -121,6 +121,26 @@ func (s *Source) release(id types.Digest, now time.Duration) (meta *batchMeta, o
 	return m, true
 }
 
+// BatchMeta is the completion record of a released batch, for harnesses
+// that drive the closed loop themselves (the runtime TCP benchmark).
+type BatchMeta struct {
+	Instance  int32
+	Submitted time.Duration
+	Txns      int
+}
+
+// Release completes one batch and replenishes its instance's credit — the
+// exported counterpart of the Collector's internal step. Not safe for
+// concurrent use; callers serialize (the Collector runs on the client
+// node's event loop, the runtime bench under its client mutex).
+func (s *Source) Release(id types.Digest, now time.Duration) (BatchMeta, bool) {
+	m, ok := s.release(id, now)
+	if !ok {
+		return BatchMeta{}, false
+	}
+	return BatchMeta{Instance: m.instance, Submitted: m.submitted, Txns: m.txns}, true
+}
+
 // TimelinePoint is one bucket of the throughput timeline (Figure 12).
 type TimelinePoint struct {
 	At   time.Duration

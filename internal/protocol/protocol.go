@@ -8,7 +8,10 @@
 //
 // Protocols are single-threaded event-driven state machines: the substrate
 // serializes all calls into a protocol instance, so protocol code never
-// locks.
+// locks. Protocols that additionally implement ShardedProtocol opt into a
+// relaxed, per-shard serialization: substrates may then run events of
+// different instance shards concurrently, with cross-shard interaction
+// confined to the ShardPoster handoff (see ShardedProtocol).
 package protocol
 
 import (
@@ -133,6 +136,58 @@ type Protocol interface {
 	HandleMessage(from types.NodeID, msg types.Message)
 	// HandleTimer processes one expired timer.
 	HandleTimer(tag TimerTag)
+}
+
+// OrderingShard is the shard identifier of a sharded protocol's serialized
+// cross-instance stage (total ordering, checkpointing, state transfer).
+const OrderingShard int32 = -1
+
+// ShardedProtocol is implemented by protocols whose event handling
+// partitions into independent per-instance shards plus one serialized
+// ordering stage — SpotLess's m concurrent consensus instances merged by
+// the deterministic (view, instance) total order (§4.1, Figure 6).
+//
+// The single-threaded contract above is relaxed per shard: a substrate may
+// invoke HandleMessage / HandleTimer / HandleVerified concurrently for
+// events belonging to DIFFERENT shards, provided all events of one shard
+// stay serialized and FIFO. The protocol in turn guarantees that handling
+// an event touches only the state of the shard that owns it; every
+// cross-shard interaction goes through the ShardPoster bound with
+// BindShards. Substrates that keep the classic single event loop simply
+// never call BindShards and nothing changes.
+//
+// Event-to-shard routing:
+//
+//   - messages: InstanceOf(msg) names the owning instance shard, or
+//     OrderingShard for cross-instance messages (checkpoint attestations,
+//     state transfer);
+//   - timers and VerifyAsync completions: TimerTag.Instance carries the
+//     shard (negative values route to the ordering stage).
+type ShardedProtocol interface {
+	Protocol
+	// ShardCount reports the number of instance shards (m). The ordering
+	// stage is one additional, implicit shard.
+	ShardCount() int
+	// InstanceOf maps an inbound message to the instance shard owning it,
+	// or OrderingShard. Like IngressJob it is invoked concurrently with
+	// event handling and must be stateless (construction-time
+	// configuration only).
+	InstanceOf(msg types.Message) int32
+	// BindShards is invoked once, before Start, by substrates that will
+	// dispatch shards concurrently. The protocol must route every
+	// cross-shard handoff (e.g. instance commits feeding the ordering
+	// stage) through post from then on. Substrates that serialize all
+	// events never call it.
+	BindShards(post ShardPoster)
+}
+
+// ShardPoster schedules a function to run serialized with the events of
+// one shard (an instance id, or OrderingShard). Posts from one shard to
+// another are FIFO per (source, target) pair and must never be shed —
+// protocols key liveness-critical handoffs (commit delivery, checkpoint
+// garbage collection) on them.
+type ShardPoster interface {
+	PostShard(shard int32, fn func())
 }
 
 // Quorum returns the n−f quorum size.

@@ -187,3 +187,65 @@ func TestVerifyAsyncQuorumSemantics(t *testing.T) {
 		}
 	}
 }
+
+// TestShardPosterFIFO: the sharded-dispatch contract on the simulation
+// substrate — cross-shard posts of one source execute on the target shard
+// in posting order (the ordering stage's monotonic frontier guard depends
+// on it), and posts issued inside a handler run as their own events, never
+// reentrantly.
+func TestShardPosterFIFO(t *testing.T) {
+	cfg := simnet.DefaultConfig(2)
+	cfg.InstanceWorkers = 2
+	sim := simnet.New(cfg)
+
+	p := &shardedProbe{m: 2}
+	p.ctx = sim.Context(0)
+	sim.SetProtocol(0, p)
+	if p.post == nil {
+		t.Fatal("substrate did not bind the ShardPoster before Start")
+	}
+	sim.Start()
+	sim.Run(time.Second)
+
+	if p.reentrant {
+		t.Fatal("a cross-shard post executed reentrantly inside its posting handler")
+	}
+	if len(p.order) != 8 {
+		t.Fatalf("executed %d posts, want 8", len(p.order))
+	}
+	for i, got := range p.order {
+		if got != i {
+			t.Fatalf("posts reordered: position %d ran post %d (order %v)", i, got, p.order)
+		}
+	}
+}
+
+// shardedProbe posts a numbered sequence from its Start handler to the
+// ordering shard and records execution order.
+type shardedProbe struct {
+	ctx       protocol.Context
+	m         int
+	post      protocol.ShardPoster
+	order     []int
+	inHandler bool
+	reentrant bool
+}
+
+func (p *shardedProbe) ShardCount() int                           { return p.m }
+func (p *shardedProbe) InstanceOf(types.Message) int32            { return protocol.OrderingShard }
+func (p *shardedProbe) BindShards(post protocol.ShardPoster)      { p.post = post }
+func (p *shardedProbe) HandleMessage(types.NodeID, types.Message) {}
+func (p *shardedProbe) HandleTimer(protocol.TimerTag)             {}
+func (p *shardedProbe) Start() {
+	p.inHandler = true
+	for i := 0; i < 8; i++ {
+		i := i
+		p.post.PostShard(protocol.OrderingShard, func() {
+			if p.inHandler {
+				p.reentrant = true
+			}
+			p.order = append(p.order, i)
+		})
+	}
+	p.inHandler = false
+}

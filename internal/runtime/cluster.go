@@ -293,8 +293,12 @@ type ClusterConfig struct {
 	// no-op views per second, while loaded ones are unaffected. 0 keeps the
 	// unpaced behaviour. Keep it below the 100 ms recording timeout.
 	IdleBackoff time.Duration
-	Tune        func(i int, cfg *core.Config)
-	OnDone      func(types.Digest)
+	// InstanceWorkers > 1 shards each replica's m consensus instances over
+	// that many event-loop goroutines behind a serialized ordering stage
+	// (runtime.NodeConfig.Workers). ≤ 1 keeps the single event loop.
+	InstanceWorkers int
+	Tune            func(i int, cfg *core.Config)
+	OnDone          func(types.Digest)
 }
 
 // NewCluster builds and starts an n-replica SpotLess cluster in-process.
@@ -358,6 +362,7 @@ func (c *Cluster) buildReplica(i int) error {
 	node := NewNode(NodeConfig{
 		ID: id, N: c.N, F: c.F,
 		Transport: c.Transport, Crypto: prov, Source: c.src, Executor: exec,
+		Workers: c.cfg.InstanceWorkers,
 	})
 	ccfg := core.DefaultConfig(c.N, c.cfg.Instances)
 	ccfg.InitialRecordingTimeout = 100 * time.Millisecond

@@ -77,6 +77,19 @@ type Node struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
+	// Instance sharding (protocol.ShardedProtocol + NodeConfig.Workers > 1):
+	// events are routed to per-shard mailboxes — workers instance mailboxes
+	// plus one ordering mailbox (the last element) — each drained by its own
+	// goroutine, so the m consensus instances process messages, timers, and
+	// verification completions concurrently while the ordering stage stays
+	// serialized. router is published atomically because transport reader
+	// goroutines race SetProtocol (a restarted replica registers while peers
+	// are already sending); events received before the router exists land in
+	// inbox and are forwarded by the ordering loop.
+	shards  []*mbox
+	router  atomic.Pointer[shardRef]
+	workers int
+
 	// Verification pipeline: inbound messages whose protocol declares
 	// signature checks (protocol.IngressVerifier) are verified on this
 	// bounded worker pool before they are posted to the event loop, so the
@@ -95,6 +108,79 @@ type Node struct {
 // goroutines.
 type ingressRef struct{ iv protocol.IngressVerifier }
 
+// shardRef wraps the sharded-dispatch routing state for atomic publication.
+type shardRef struct{ sp protocol.ShardedProtocol }
+
+// mbox is one shard's mailbox: a buffered channel with a FIFO overflow
+// queue. Loss-tolerant events (inbound messages) are posted with tryPost
+// and shed when the channel is full; loss-intolerant events (commit
+// handoffs, verification completions, timers) use postOrdered, which spills
+// to the overflow queue instead — preserving per-mailbox FIFO, which the
+// ordering stage's monotonic frontier guard depends on (a reordered commit
+// handoff would read as a chain gap) — and a single drainer goroutine
+// forwards the overflow without ever blocking the posting shard's loop.
+type mbox struct {
+	ch       chan event
+	mu       sync.Mutex
+	overflow []event
+	spilling bool
+}
+
+func (mb *mbox) tryPost(ev event) bool {
+	// Overflow-queue contents must stay ahead of fresh events.
+	mb.mu.Lock()
+	clear := !mb.spilling && len(mb.overflow) == 0
+	mb.mu.Unlock()
+	if !clear {
+		return false
+	}
+	select {
+	case mb.ch <- ev:
+		return true
+	default:
+		return false
+	}
+}
+
+func (mb *mbox) postOrdered(ev event, done <-chan struct{}) {
+	mb.mu.Lock()
+	if !mb.spilling && len(mb.overflow) == 0 {
+		select {
+		case mb.ch <- ev:
+			mb.mu.Unlock()
+			return
+		default:
+		}
+	}
+	mb.overflow = append(mb.overflow, ev)
+	if !mb.spilling {
+		mb.spilling = true
+		go mb.drainOverflow(done)
+	}
+	mb.mu.Unlock()
+}
+
+func (mb *mbox) drainOverflow(done <-chan struct{}) {
+	for {
+		mb.mu.Lock()
+		if len(mb.overflow) == 0 {
+			mb.overflow = nil // release the backing array after a burst
+			mb.spilling = false
+			mb.mu.Unlock()
+			return
+		}
+		ev := mb.overflow[0]
+		mb.overflow[0] = event{} // release the popped payload/closure
+		mb.overflow = mb.overflow[1:]
+		mb.mu.Unlock()
+		select {
+		case mb.ch <- ev:
+		case <-done:
+			return
+		}
+	}
+}
+
 // NodeConfig parameterizes a runtime node.
 type NodeConfig struct {
 	ID        types.NodeID
@@ -112,6 +198,13 @@ type NodeConfig struct {
 	// ingress screening to avoid verifying twice. VerifyAsync still uses
 	// the node's pool.
 	PreVerified bool
+	// Workers enables instance-parallel dispatch for protocols implementing
+	// protocol.ShardedProtocol: up to Workers mailbox+goroutine pairs host
+	// the protocol's instance shards (instance i on mailbox i mod workers)
+	// and one more hosts the serialized ordering stage. ≤ 1 keeps the
+	// classic single event loop (the default); non-sharded protocols always
+	// use the single loop regardless.
+	Workers int
 }
 
 // NewNode creates a node; attach the protocol with SetProtocol, then Start.
@@ -132,6 +225,7 @@ func NewNode(cfg NodeConfig) *Node {
 		done:        make(chan struct{}),
 		verifier:    crypto.NewPoolVerifier(cfg.Crypto, cfg.VerifyWorkers),
 		preVerified: cfg.PreVerified,
+		workers:     cfg.Workers,
 	}
 	if bc, ok := cfg.Transport.(Broadcaster); ok {
 		n.bcast = bc
@@ -148,9 +242,24 @@ func NewNode(cfg NodeConfig) *Node {
 
 // SetProtocol attaches the hosted protocol (before Start). Protocols
 // implementing protocol.IngressVerifier get their inbound signature checks
-// screened on the node's verification pool from this point on.
+// screened on the node's verification pool from this point on. With
+// NodeConfig.Workers > 1 and a protocol implementing
+// protocol.ShardedProtocol, per-shard mailboxes are set up and the protocol
+// is bound to the node's cross-shard poster.
 func (n *Node) SetProtocol(p protocol.Protocol) {
 	n.proto = p
+	if sp, ok := p.(protocol.ShardedProtocol); ok && n.workers > 1 && sp.ShardCount() > 1 {
+		w := n.workers
+		if sp.ShardCount() < w {
+			w = sp.ShardCount()
+		}
+		n.shards = make([]*mbox, w+1) // last = ordering stage
+		for i := range n.shards {
+			n.shards[i] = &mbox{ch: make(chan event, cap(n.inbox))}
+		}
+		sp.BindShards(n)
+		n.router.Store(&shardRef{sp: sp})
+	}
 	if iv, ok := p.(protocol.IngressVerifier); ok && !n.preVerified {
 		n.ingress.Store(&ingressRef{iv: iv})
 	}
@@ -160,12 +269,43 @@ func (n *Node) SetProtocol(p protocol.Protocol) {
 // in TCP deployments).
 func (n *Node) Verifier() *crypto.PoolVerifier { return n.verifier }
 
-// Start launches the event loop and invokes Protocol.Start.
+// Start launches the event loop (or the per-shard loops) and invokes
+// Protocol.Start.
 func (n *Node) Start() {
 	n.start = time.Now()
+	if n.shards != nil {
+		for i, mb := range n.shards {
+			n.wg.Add(1)
+			go n.shardLoop(mb, i == len(n.shards)-1)
+		}
+		// Protocol.Start runs on the ordering mailbox; a sharded protocol
+		// fans its per-instance starts out through PostShard itself.
+		n.orderingMailbox().postOrdered(event{kind: 2, fn: n.proto.Start}, n.done)
+		return
+	}
 	n.wg.Add(1)
 	go n.loop()
 	n.post(event{kind: 2, fn: n.proto.Start})
+}
+
+// orderingMailbox returns the ordering stage's mailbox (sharded mode only).
+func (n *Node) orderingMailbox() *mbox { return n.shards[len(n.shards)-1] }
+
+// shardMailbox maps a shard id to its mailbox (instance i on worker
+// i mod workers; negative ids on the ordering mailbox).
+func (n *Node) shardMailbox(shard int32) *mbox {
+	if shard < 0 {
+		return n.orderingMailbox()
+	}
+	return n.shards[int(shard)%(len(n.shards)-1)]
+}
+
+// PostShard implements protocol.ShardPoster: fn runs serialized with the
+// target shard's events, FIFO per mailbox, never shed. The overflow path
+// never blocks the posting shard's loop — a blocking send could deadlock
+// two shards posting into each other's full mailboxes.
+func (n *Node) PostShard(shard int32, fn func()) {
+	n.shardMailbox(shard).postOrdered(event{kind: 2, fn: fn}, n.done)
 }
 
 // Stop terminates the event loop and releases the verification pool. It is
@@ -193,10 +333,29 @@ func (n *Node) receive(from types.NodeID, msg types.Message) {
 					n.badSigs.Add(1)
 					return
 				}
-				n.post(event{kind: 0, from: from, msg: msg})
+				n.postMessage(from, msg)
 			})
 			return
 		}
+	}
+	n.postMessage(from, msg)
+}
+
+// postMessage routes one inbound (pre-verified) message to its shard
+// mailbox, or to the single-loop inbox. Messages are loss-tolerant: a full
+// mailbox sheds them (the dropped counter) rather than blocking the
+// transport.
+func (n *Node) postMessage(from types.NodeID, msg types.Message) {
+	if ref := n.router.Load(); ref != nil {
+		mb := n.shardMailbox(ref.sp.InstanceOf(msg))
+		if !mb.tryPost(event{kind: 0, from: from, msg: msg}) {
+			select {
+			case <-n.done:
+			default:
+				n.dropped.Add(1)
+			}
+		}
+		return
 	}
 	n.post(event{kind: 0, from: from, msg: msg})
 }
@@ -247,18 +406,52 @@ func (n *Node) loop() {
 		case <-n.done:
 			return
 		case ev := <-n.inbox:
-			switch ev.kind {
-			case 0:
-				n.proto.HandleMessage(ev.from, ev.msg)
-			case 1:
-				n.proto.HandleTimer(ev.tag)
-			case 2:
-				ev.fn()
-			case 3:
-				if vc, ok := n.proto.(protocol.VerifyConsumer); ok {
-					vc.HandleVerified(ev.tag, ev.ok)
+			n.dispatch(ev)
+		}
+	}
+}
+
+// shardLoop drains one shard mailbox. The ordering loop additionally
+// forwards stragglers from inbox: events posted by transport goroutines in
+// the window before SetProtocol published the router.
+func (n *Node) shardLoop(mb *mbox, ordering bool) {
+	defer n.wg.Done()
+	for {
+		if ordering {
+			select {
+			case <-n.done:
+				return
+			case ev := <-mb.ch:
+				n.dispatch(ev)
+			case ev := <-n.inbox:
+				if ev.kind == 0 {
+					n.postMessage(ev.from, ev.msg)
+				} else {
+					n.dispatch(ev)
 				}
 			}
+			continue
+		}
+		select {
+		case <-n.done:
+			return
+		case ev := <-mb.ch:
+			n.dispatch(ev)
+		}
+	}
+}
+
+func (n *Node) dispatch(ev event) {
+	switch ev.kind {
+	case 0:
+		n.proto.HandleMessage(ev.from, ev.msg)
+	case 1:
+		n.proto.HandleTimer(ev.tag)
+	case 2:
+		ev.fn()
+	case 3:
+		if vc, ok := n.proto.(protocol.VerifyConsumer); ok {
+			vc.HandleVerified(ev.tag, ev.ok)
 		}
 	}
 }
@@ -282,7 +475,7 @@ func (n *Node) Now() time.Duration { return time.Since(n.start) }
 // Send implements protocol.Context.
 func (n *Node) Send(to types.NodeID, msg types.Message) {
 	if to == n.id {
-		n.post(event{kind: 0, from: n.id, msg: msg})
+		n.postMessage(n.id, msg)
 		return
 	}
 	n.trans.Send(n.id, to, msg)
@@ -301,17 +494,30 @@ func (n *Node) Broadcast(msg types.Message) {
 	}
 }
 
-// SetTimer implements protocol.Context.
+// SetTimer implements protocol.Context. Sharded timers route to the shard
+// named by the tag and never shed (adaptive view timers are the liveness
+// backbone); single-loop behaviour is unchanged.
 func (n *Node) SetTimer(d time.Duration, tag protocol.TimerTag) {
-	time.AfterFunc(d, func() { n.post(event{kind: 1, tag: tag}) })
+	time.AfterFunc(d, func() {
+		if n.router.Load() != nil {
+			n.shardMailbox(tag.Instance).postOrdered(event{kind: 1, tag: tag}, n.done)
+			return
+		}
+		n.post(event{kind: 1, tag: tag})
+	})
 }
 
 // VerifyAsync implements protocol.Context: the job runs on the node's
-// verification pool and its completion is posted back to the event loop,
+// verification pool and its completion is posted back to the event loop —
+// or, sharded, to the mailbox of the shard named by the job's tag —
 // honouring the completion-ordering contract (never reentrant, exactly
 // once, correlated by tag).
 func (n *Node) VerifyAsync(job protocol.VerifyJob) {
 	n.verifier.VerifyBatchAsync(job.Checks, job.Quorum, func(ok bool) {
+		if n.router.Load() != nil {
+			n.shardMailbox(job.Tag.Instance).postOrdered(event{kind: 3, tag: job.Tag, ok: ok}, n.done)
+			return
+		}
 		n.postCompletion(event{kind: 3, tag: job.Tag, ok: ok})
 	})
 }

@@ -33,6 +33,19 @@ type Config struct {
 	Seed  int64 // RNG seed (deterministic runs)
 	Cores int   // CPU cores per replica (paper: 16)
 
+	// InstanceWorkers ≥ 1 switches replicas hosting a
+	// protocol.ShardedProtocol to the instance-parallel execution model:
+	// events are routed to per-shard lanes (instance i on lane i mod
+	// workers, the ordering stage on its own lane), each lane is one
+	// dedicated modelled core executing its handlers serially, and lanes
+	// run concurrently — so the modelled-cores charger reflects true
+	// instance parallelism, mirroring runtime.NodeConfig.Workers. Clamped
+	// to Cores. InstanceWorkers == 1 models the classic single event loop:
+	// every handler, ordering included, serializes on one core. The
+	// default (0) keeps the calibrated aggregate-capacity model: handlers
+	// pipeline at work/Cores regardless of instance.
+	InstanceWorkers int
+
 	BandwidthMbps       float64 // egress bandwidth per replica
 	ClientBandwidthMbps float64 // egress bandwidth of the aggregate client node
 
@@ -100,6 +113,7 @@ const (
 	evFlush
 	evFn
 	evVerified // VerifyAsync completion
+	evShardFn  // cross-shard post of a sharded protocol (dest = target lane)
 )
 
 type event struct {
@@ -140,6 +154,13 @@ type simNode struct {
 	egressFreeAt time.Duration
 	execFreeAt   time.Duration
 
+	// Instance-parallel model (Config.InstanceWorkers > 1 and a sharded
+	// protocol): per-lane busy clocks — workers instance lanes plus the
+	// ordering lane (last). Each lane is one dedicated modelled core
+	// running its handlers serially; nil selects the aggregate model.
+	lanes []time.Duration
+	sp    protocol.ShardedProtocol
+
 	buffers []outBuffer // indexed by destination node index
 	down    bool
 	// gen counts protocol incarnations (Restart): timers and verification
@@ -174,6 +195,7 @@ type Simulation struct {
 	pendingTimer []pendingTimer
 	pendingDeliv []types.Commit
 	pendingVerif []pendingVerified
+	pendingPosts []pendingPost
 }
 
 type pendingSend struct {
@@ -189,6 +211,11 @@ type pendingTimer struct {
 type pendingVerified struct {
 	tag protocol.TimerTag
 	ok  bool
+}
+
+type pendingPost struct {
+	lane int
+	fn   func()
 }
 
 // BatchSource supplies client batches to proposing primaries (§5). The
@@ -249,7 +276,73 @@ func New(cfg Config) *Simulation {
 // SetProtocol attaches the protocol instance hosted by replica i (or the
 // client node when id == ClientNode).
 func (s *Simulation) SetProtocol(id types.NodeID, p protocol.Protocol) {
-	s.node(id).proto = p
+	s.attach(s.node(id), p)
+}
+
+// attach installs a protocol on a node and, when the instance-parallel
+// model is enabled and the protocol shards, sets up the per-shard lanes and
+// binds the cross-shard poster (mirroring runtime.Node.SetProtocol).
+func (s *Simulation) attach(n *simNode, p protocol.Protocol) {
+	n.proto = p
+	n.lanes, n.sp = nil, nil
+	if s.cfg.InstanceWorkers > 0 {
+		if sp, ok := p.(protocol.ShardedProtocol); ok {
+			w := s.cfg.InstanceWorkers
+			if sp.ShardCount() < w {
+				w = sp.ShardCount()
+			}
+			// A lane is one dedicated modelled core, and the ordering lane
+			// is one more — instance lanes + ordering must fit in Cores.
+			if n.cores-1 < w {
+				w = n.cores - 1
+			}
+			n.sp = sp
+			if w <= 1 {
+				// The single-event-loop model: one lane carries every
+				// handler, the ordering stage included.
+				n.lanes = make([]time.Duration, 1)
+			} else {
+				n.lanes = make([]time.Duration, w+1) // last = ordering lane
+			}
+			sp.BindShards(n.ctx)
+		}
+	}
+}
+
+// laneOf maps a shard id to the node's lane index.
+func (n *simNode) laneOf(shard int32) int {
+	w := len(n.lanes) - 1
+	if w == 0 {
+		return 0 // single-loop model: everything on one lane
+	}
+	if shard < 0 {
+		return w
+	}
+	return int(shard) % w
+}
+
+// orderingLane is where protocol lifecycle handlers (Start) run.
+func (n *simNode) orderingLane() int {
+	if n.lanes == nil {
+		return 0
+	}
+	return len(n.lanes) - 1
+}
+
+// msgLane routes one inbound message to its lane.
+func (n *simNode) msgLane(msg types.Message) int {
+	if n.sp == nil {
+		return 0
+	}
+	return n.laneOf(n.sp.InstanceOf(msg))
+}
+
+// tagLane routes a timer or verification completion to its lane.
+func (n *simNode) tagLane(tag protocol.TimerTag) int {
+	if n.sp == nil {
+		return 0
+	}
+	return n.laneOf(tag.Instance)
 }
 
 // SetBatchSource wires the client-load source used by NextBatch.
@@ -290,8 +383,8 @@ func (s *Simulation) Restart(id types.NodeID, build func(ctx protocol.Context) p
 	n.down = false
 	n.gen++
 	p := build(n.ctx)
-	n.proto = p
-	s.runHandler(n, func() { p.Start() })
+	s.attach(n, p)
+	s.runHandler(n, n.orderingLane(), func() { p.Start() })
 }
 
 // BlockLink drops all traffic from a to b (network partition injection).
@@ -326,7 +419,7 @@ func (s *Simulation) Start() {
 		}
 		node := n
 		s.push(event{at: 0, kind: evFn, fn: func() {
-			s.runHandler(node, func() { node.proto.Start() })
+			s.runHandler(node, node.orderingLane(), func() { node.proto.Start() })
 		}})
 	}
 }
@@ -361,7 +454,7 @@ func (s *Simulation) dispatch(ev event) {
 		}
 		s.stats.TimersFired++
 		tag := ev.tag
-		s.runHandler(n, func() { n.proto.HandleTimer(tag) })
+		s.runHandler(n, n.tagLane(tag), func() { n.proto.HandleTimer(tag) })
 	case evDeliver:
 		n := s.nodes[ev.node]
 		if n.down || n.proto == nil {
@@ -370,7 +463,7 @@ func (s *Simulation) dispatch(ev event) {
 		from := ev.from
 		for _, m := range ev.msgs {
 			msg := m
-			s.runHandler(n, func() {
+			s.runHandler(n, n.msgLane(msg), func() {
 				// Ingress verification stage: MAC plus any declared
 				// signature checks, charged as parallel CPU work ahead of
 				// the protocol handler (see screen). Failing messages are
@@ -394,7 +487,13 @@ func (s *Simulation) dispatch(ev event) {
 			return
 		}
 		tag, verdict := ev.tag, ev.ok
-		s.runHandler(n, func() { vc.HandleVerified(tag, verdict) })
+		s.runHandler(n, n.tagLane(tag), func() { vc.HandleVerified(tag, verdict) })
+	case evShardFn:
+		n := s.nodes[ev.node]
+		if n.down || n.proto == nil || ev.gen != n.gen {
+			return
+		}
+		s.runHandler(n, int(ev.dest), ev.fn)
 	case evFlush:
 		n := s.nodes[ev.node]
 		buf := &n.buffers[ev.dest]
@@ -430,9 +529,20 @@ func (s *Simulation) screen(n *simNode, from types.NodeID, msg types.Message) bo
 // latency is its critical-path service time (s.charge); its capacity
 // consumption is its aggregate work (s.work), which exceeds the latency
 // when verification batches ran on parallel virtual cores.
-func (s *Simulation) runHandler(n *simNode, fn func()) {
+//
+// Under the aggregate model (lanes == nil) handlers queue behind the
+// node-wide capacity clock and pipeline at work/cores. Under the
+// instance-parallel model each lane is one dedicated modelled core: the
+// handler queues behind its own lane only and occupies it for its full
+// critical path, so lanes — instances — run concurrently exactly like the
+// runtime's per-shard goroutines.
+func (s *Simulation) runHandler(n *simNode, lane int, fn func()) {
 	start := s.now
-	if n.cpuBusyUntil > start {
+	if n.lanes != nil {
+		if n.lanes[lane] > start {
+			start = n.lanes[lane]
+		}
+	} else if n.cpuBusyUntil > start {
 		start = n.cpuBusyUntil
 	}
 	s.cur = n
@@ -443,11 +553,16 @@ func (s *Simulation) runHandler(n *simNode, fn func()) {
 	s.pendingTimer = s.pendingTimer[:0]
 	s.pendingDeliv = s.pendingDeliv[:0]
 	s.pendingVerif = s.pendingVerif[:0]
+	s.pendingPosts = s.pendingPosts[:0]
 
 	fn()
 
 	finish := start + s.charge // latency: full critical-path service time
-	n.cpuBusyUntil = start + s.work/time.Duration(n.cores)
+	if n.lanes != nil {
+		n.lanes[lane] = finish
+	} else {
+		n.cpuBusyUntil = start + s.work/time.Duration(n.cores)
+	}
 	s.cur = nil
 
 	for _, d := range s.pendingDeliv {
@@ -458,6 +573,9 @@ func (s *Simulation) runHandler(n *simNode, fn func()) {
 	}
 	for _, v := range s.pendingVerif {
 		s.push(event{at: finish, kind: evVerified, node: n.idx, tag: v.tag, ok: v.ok, gen: n.gen})
+	}
+	for _, p := range s.pendingPosts {
+		s.push(event{at: finish, kind: evShardFn, node: n.idx, dest: int32(p.lane), gen: n.gen, fn: p.fn})
 	}
 	for _, snd := range s.pendingSends {
 		s.enqueueSend(n, snd.to, snd.msg, finish)
@@ -484,8 +602,14 @@ func (s *Simulation) execute(n *simNode, c types.Commit, at time.Duration) {
 		return // no-ops are not executed nor reported (§5)
 	}
 	inform := &types.Inform{Replica: n.id, BatchID: c.Batch.ID}
-	// Charge the per-transaction bookkeeping to the core pool.
-	n.cpuBusyUntil += time.Duration(txns) * s.cfg.PerTxnCPU / time.Duration(n.cores)
+	// Charge the per-transaction bookkeeping to the core pool (aggregate
+	// model) or to the ordering lane's dedicated core (lane model — the
+	// ordering stage is what hands batches to execution).
+	if n.lanes != nil {
+		n.lanes[len(n.lanes)-1] += time.Duration(txns) * s.cfg.PerTxnCPU
+	} else {
+		n.cpuBusyUntil += time.Duration(txns) * s.cfg.PerTxnCPU / time.Duration(n.cores)
+	}
 	s.enqueueSendSized(n, ClientNode, inform, types.InformWireSize(txns), done)
 }
 
@@ -613,6 +737,21 @@ type nodeCtx struct {
 
 var _ protocol.Context = (*nodeCtx)(nil)
 var _ crypto.ParallelCharger = (*nodeCtx)(nil)
+var _ protocol.ShardPoster = (*nodeCtx)(nil)
+
+// PostShard implements protocol.ShardPoster for the instance-parallel
+// model: the posted function runs as its own event on the target shard's
+// lane at the posting handler's finish time — the virtual-time counterpart
+// of the runtime's cross-shard mailbox post. FIFO per (source, target) is
+// preserved by the event heap's stable sequence numbers.
+func (c *nodeCtx) PostShard(shard int32, fn func()) {
+	lane := c.n.laneOf(shard)
+	if c.inHandler() {
+		c.s.pendingPosts = append(c.s.pendingPosts, pendingPost{lane: lane, fn: fn})
+		return
+	}
+	c.s.push(event{at: c.s.now, kind: evShardFn, node: c.n.idx, dest: int32(lane), gen: c.n.gen, fn: fn})
+}
 
 func (c *nodeCtx) ID() types.NodeID { return c.n.id }
 func (c *nodeCtx) N() int           { return c.s.cfg.N }
