@@ -27,8 +27,28 @@ func main() {
 		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		quick    = flag.Bool("quick", false, "CI-sized sweeps (n ≤ 32) instead of paper scale (n = 128)")
 		baseline = flag.String("baseline", "", "write the perf baseline (instance-parallel sweeps + core-loop allocs) as JSON to this file and exit")
+
+		safetyDrill = flag.Int("safety-drill", 0, "run the seeded adversary safety drill over this many seeds (n=4, m=4; ledger diff with a block-level dump on divergence) and exit non-zero on any fork")
+		safetySeed  = flag.Int64("safety-seed-base", 1, "first adversary seed of the -safety-drill sweep")
+		safetyOld   = flag.Bool("safety-legacy", false, "point the -safety-drill at the pre-refactor resolution rules (negative control: divergence is the expected outcome)")
 	)
 	flag.Parse()
+
+	if *safetyDrill > 0 {
+		start := time.Now()
+		res := bench.RunSafetyDrill(bench.SafetyDrillOptions{
+			Seeds: *safetyDrill, SeedBase: *safetySeed, Legacy: *safetyOld,
+		})
+		fmt.Print(res.String())
+		fmt.Printf("(drill completed in %s)\n", time.Since(start).Round(time.Millisecond))
+		if !*safetyOld && len(res.Divergent) > 0 {
+			os.Exit(1) // strict rules must never fork
+		}
+		if *safetyOld && len(res.Divergent) == 0 {
+			fmt.Println("note: the legacy sweep found no fork in this seed range; try -safety-seed-base 8")
+		}
+		return
+	}
 
 	if *list {
 		for _, f := range bench.Figures {

@@ -45,6 +45,22 @@
 // cores on the simulator; the default remains the classic single event
 // loop. The threading model is documented in docs/ARCHITECTURE.md.
 //
+// # Safe view resolution
+//
+// The commit rule follows the paper's Lemma 3.4 quorum-intersection
+// argument, re-derived in internal/core/resolution.go: each view advances
+// through an explicit resolution state machine (proposed → claimed →
+// resolved{batch|∅} → committed), a proposal is certified by n−f claims in
+// its own view, locks rise only to parents of certified proposals, rule A3
+// unlocks only over a certified parent, and a proposal commits only when
+// all three links of its consecutive view triple are certified. Resolving
+// a view as ∅ demands a full n−f ∅-claim quorum — the intersection
+// evidence that no conflicting tip can certify in that view. The seeded
+// adversary drill (internal/simnet/adversary.go, spotless-bench
+// -safety-drill) replays targeted message schedules deterministically and
+// checks ledgers block-for-block; core.Config.UnsafeLegacyResolution
+// retains the pre-derivation rules solely as the drill's negative control.
+//
 // # Checkpointing and state transfer
 //
 // Every K delivered batches replicas exchange signed checkpoints; n−f

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSafetyDrillStrictSweep: across a sweep of seeded adversary schedules
+// (targeted delay/drop/partition rules plus periodic equivocation), honest
+// ledgers never diverge block-for-block under the strict resolution rules —
+// the Lemma 3.4 acceptance criterion, scaled for CI. The full bar
+// (≥ 50 seeds) runs outside -short and via `spotless-bench -safety-drill`.
+func TestSafetyDrillStrictSweep(t *testing.T) {
+	seeds := 16
+	if testing.Short() {
+		seeds = 4
+	}
+	res := RunSafetyDrill(SafetyDrillOptions{Seeds: seeds})
+	if len(res.Divergent) != 0 {
+		for _, d := range res.Divergent {
+			t.Log(d.Report)
+		}
+		t.Fatalf("%d of %d adversary seeds diverged under the strict resolution rules", len(res.Divergent), seeds)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("the drill delivered nothing — the adversary profiles wedged every seed")
+	}
+}
+
+// TestSafetyDrillLegacyReproducesFork: the same harness pointed at the
+// pre-refactor resolution rules reproduces the PR 4 ROADMAP divergence
+// deterministically — seed 8 forks on every run, on any host (one replica's
+// ledger permanently skips real batches another replica delivered). This is
+// the negative control proving the drill can see the deviation the
+// refactor closed; TestLegacyA3ForksLedger in internal/core pins the
+// message-level A3 path.
+func TestSafetyDrillLegacyReproducesFork(t *testing.T) {
+	o := SafetyDrillOptions{Seeds: 1, SeedBase: 8}
+	o.Legacy = true
+	legacy := RunSafetyDrill(o)
+	if len(legacy.Divergent) == 0 {
+		t.Fatal("legacy rules no longer fork on seed 8 — the negative control lost its deviation")
+	}
+	if !strings.Contains(legacy.Divergent[0].Report, "diverge") {
+		t.Fatalf("divergence report is not readable: %q", legacy.Divergent[0].Report)
+	}
+	o.Legacy = false
+	if strict := RunSafetyDrill(o); len(strict.Divergent) != 0 {
+		t.Fatalf("strict rules diverge on the legacy repro seed:\n%s", strict.Divergent[0].Report)
+	}
+}

@@ -81,6 +81,18 @@ type Config struct {
 	// or backups will claim(∅) before the paced proposal arrives.
 	IdleBackoff time.Duration
 
+	// UnsafeLegacyResolution restores the seed's view-resolution rules —
+	// bare A3 (any conditionally prepared parent above the lock unlocks),
+	// the unknown-claim echo, the tip-only commit quorum, and the
+	// conditionally-committed lock raise — which together admit the
+	// fork-commit path the Lemma 3.4 re-derivation closes (resolution.go):
+	// one replica can commit a real-batch proposal at a view another
+	// replica resolves as ∅, diverging the ledgers. UNSAFE; retained
+	// solely as the deterministic safety drill's negative control
+	// (bench.RunSafetyDrill, TestLegacyA3ForksLedger) so the closed
+	// deviation stays demonstrable. Never set it in a deployment.
+	UnsafeLegacyResolution bool
+
 	// FastPath enables the geo-scale optimization of §6.1: the primary of
 	// view v+1 broadcasts its proposal optimistically as soon as it accepts
 	// the view-v proposal, without waiting for the 2f+1 votes. Acceptance

@@ -1,0 +1,239 @@
+package core_test
+
+import (
+	"testing"
+
+	"spotless/internal/core"
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// This file pins the A3 fork-commit path (ROADMAP PR 4 discovery) as a
+// deterministic message schedule: under the seed's view-resolution rules
+// (Config.UnsafeLegacyResolution) a replica that holds n−f claim quorums
+// for a chain P1 ← P2 ← P3 abandons it for a conflicting branch whose links
+// never gathered any claim quorum — rule A3 unlocked on a merely
+// conditionally prepared parent — and finally COMMITS the conflicting
+// branch, delivering a batch the canonical chain skips. Under the strict
+// rules (the Lemma 3.4 re-derivation in resolution.go) the same schedule is
+// refused at the first unsound vote.
+//
+// The schedule models one Byzantine peer (replica 1: crafted CP sets and
+// claims for the conflicting branch) plus message delay/loss toward the
+// replica under test — within the f = 1 fault budget of n = 4.
+
+// forkHarness drives replica 0 of an n=4 cluster through the fork schedule.
+type forkHarness struct {
+	t   *testing.T
+	r   *core.Replica
+	ctx *stubContext
+}
+
+func newForkHarness(t *testing.T, legacy bool) *forkHarness {
+	ctx := newStubContext(0, 4)
+	cfg := core.DefaultConfig(4, 1)
+	cfg.UnsafeLegacyResolution = legacy
+	r := core.New(ctx, cfg)
+	r.Start()
+	return &forkHarness{t: t, r: r, ctx: ctx}
+}
+
+func (h *forkHarness) propose(v types.View, batchSeed byte, parentView types.View, parentDigest types.Digest) *types.Propose {
+	kind := types.JustClaim
+	if parentView == 0 {
+		kind = types.JustGenesis
+	}
+	p := &types.Propose{
+		Instance: 0, View: v,
+		Batch:  &types.Batch{ID: types.Digest{batchSeed}},
+		Parent: types.Justification{Kind: kind, ParentView: parentView, ParentDigest: parentDigest},
+	}
+	p.Sig = types.Signature{Signer: core.PrimaryOf(0, v, 4)}
+	return p
+}
+
+func (h *forkHarness) sync(from types.NodeID, v types.View, claim types.Claim, cp []types.CPEntry) {
+	h.r.HandleMessage(from, &types.Sync{Instance: 0, View: v, Claim: claim, CP: cp,
+		Sig: types.Signature{Signer: from}})
+}
+
+func (h *forkHarness) claimedDigest(v types.View, d types.Digest) bool {
+	for _, m := range h.ctx.sent {
+		if s, ok := m.(*types.Sync); ok && s.View == v && !s.Claim.Empty && s.Claim.Digest == d {
+			return true
+		}
+	}
+	return false
+}
+
+// ownProposalAt returns the digest of the proposal replica 0 itself
+// broadcast for view v (it is the primary of views ≡ 0 mod 4).
+func (h *forkHarness) ownProposalAt(v types.View) (types.Digest, bool) {
+	for _, m := range h.ctx.sent {
+		if p, ok := m.(*types.Propose); ok && p.View == v {
+			return p.Digest(), true
+		}
+	}
+	return types.Digest{}, false
+}
+
+// runForkSchedule drives the schedule up to the conflicting vote and
+// returns the digest of the conflicting proposal X7.
+func (h *forkHarness) runForkSchedule() (x7 *types.Propose, jBatch, xBatch types.Digest) {
+	in := h.r.Instance(0)
+
+	// Views 1–3: the canonical chain P1 ← P2 ← P3, every link certified
+	// (n−f = 3 claims). The triple commits P1; the lock reaches P2.
+	p1 := h.propose(1, 0xA1, 0, types.Digest{})
+	h.r.HandleMessage(1, p1)
+	for _, from := range []types.NodeID{1, 2} {
+		h.sync(from, 1, types.Claim{View: 1, Digest: p1.Digest()}, nil)
+	}
+	p2 := h.propose(2, 0xA2, 1, p1.Digest())
+	h.r.HandleMessage(2, p2)
+	for _, from := range []types.NodeID{1, 2} {
+		h.sync(from, 2, types.Claim{View: 2, Digest: p2.Digest()}, nil)
+	}
+	p3 := h.propose(3, 0xA3, 2, p2.Digest())
+	h.r.HandleMessage(3, p3)
+	for _, from := range []types.NodeID{1, 2} {
+		h.sync(from, 3, types.Claim{View: 3, Digest: p3.Digest()}, nil)
+	}
+	if got := in.CurrentView(); got != 4 {
+		h.t.Fatalf("setup: want view 4 after the certified chain, got %d", got)
+	}
+	if got := in.LastCommittedView(); got != 1 {
+		h.t.Fatalf("setup: the 1,2,3 triple must commit P1, lastCommit at %d", got)
+	}
+	if got := in.LockView(); got != 2 {
+		h.t.Fatalf("setup: lock must sit on P2, got view %d", got)
+	}
+
+	// View 4 resolves ∅ at replica 0: its own no-op proposal (it is the
+	// primary) reaches nobody, and 1, 2, 3 claim ∅.
+	for _, from := range []types.NodeID{1, 2, 3} {
+		h.sync(from, 4, types.Claim{View: 4, Empty: true}, nil)
+	}
+	if got := in.CurrentView(); got != 5 {
+		h.t.Fatalf("setup: want view 5 after the ∅-quorum, got %d", got)
+	}
+
+	// View 5: the conflicting branch root J5 extends P1, bypassing the
+	// certified P2 ← P3 — replica 0 rightly refuses to claim it (A2 and A3
+	// both fail: the parent sits below the lock). But crafted CP sets from
+	// 2 and 3 conditionally prepare it (f+1 endorsements, one honest
+	// endorser of evidence at most), and the view resolves ∅.
+	j5 := h.propose(5, 0xB5, 1, p1.Digest())
+	h.r.HandleMessage(1, j5)
+	cp5 := []types.CPEntry{{View: 5, Digest: j5.Digest()}}
+	h.sync(1, 5, types.Claim{View: 5, Digest: j5.Digest()}, cp5)
+	h.sync(2, 5, types.Claim{View: 5, Empty: true}, cp5)
+	h.sync(3, 5, types.Claim{View: 5, Empty: true}, cp5)
+	if h.claimedDigest(5, j5.Digest()) {
+		h.t.Fatal("replica claimed J5 although its parent bypasses the lock")
+	}
+	// Recording timeout: replica 0 claims ∅, completing the view-5 quorum.
+	h.r.HandleTimer(protocol.TimerTag{Kind: protocol.TimerRecording, Instance: 0, View: 5})
+	// View 6 resolves ∅ too.
+	for _, from := range []types.NodeID{1, 2, 3} {
+		h.sync(from, 6, types.Claim{View: 6, Empty: true}, nil)
+	}
+	if got := in.CurrentView(); got != 7 {
+		h.t.Fatalf("setup: want view 7, got %d", got)
+	}
+
+	// View 7: X7 extends J5 — a parent above the lock (view 5 > 2) that is
+	// conditionally prepared but holds NO claim quorum. This is the A3
+	// decision point: the bare view comparison accepts, the strict rule
+	// demands certification and refuses.
+	x7p := h.propose(7, 0xB7, 5, j5.Digest())
+	h.r.HandleMessage(3, x7p)
+	return x7p, j5.Batch.ID, x7p.Batch.ID
+}
+
+// TestLegacyA3ForksLedger: under the seed rules the schedule walks all the
+// way to a fork commit — the replica votes for the conflicting branch,
+// helps certify it, and delivers the branch's batch while its own certified
+// chain P2 ← P3 is silently abandoned. This is the regression pin for the
+// pre-refactor behaviour (the safety drill's negative control).
+func TestLegacyA3ForksLedger(t *testing.T) {
+	h := newForkHarness(t, true)
+	in := h.r.Instance(0)
+	x7, jBatch, xBatch := h.runForkSchedule()
+
+	if !h.claimedDigest(7, x7.Digest()) {
+		t.Fatal("legacy rules must claim X7 (bare A3: parent view above the lock)")
+	}
+	// Peers 1 and 2 claim X7 as well: certified, view 8 opens. Replica 0
+	// is the view-8 primary and extends the branch with its own no-op.
+	for _, from := range []types.NodeID{1, 2} {
+		h.sync(from, 7, types.Claim{View: 7, Digest: x7.Digest()}, nil)
+	}
+	if got := in.CurrentView(); got != 8 {
+		t.Fatalf("want view 8 after X7 certifies, got %d", got)
+	}
+	p8, ok := h.ownProposalAt(8)
+	if !ok {
+		t.Fatal("replica 0 (primary of view 8) did not propose on the conflicting branch")
+	}
+	for _, from := range []types.NodeID{1, 2} {
+		h.sync(from, 8, types.Claim{View: 8, Digest: p8}, nil)
+	}
+	// View 9: the branch tip X9 completes the consecutive triple 7,8,9.
+	x9 := h.propose(9, 0xB9, 8, p8)
+	h.r.HandleMessage(1, x9)
+	for _, from := range []types.NodeID{1, 2} {
+		h.sync(from, 9, types.Claim{View: 9, Digest: x9.Digest()}, nil)
+	}
+
+	// The fork committed: the conflicting branch delivered its batches
+	// while the certified P2 ← P3 chain is gone from the ledger.
+	var delivered []types.Digest
+	for _, c := range h.ctx.commits {
+		delivered = append(delivered, c.Batch.ID)
+	}
+	wantForked := []types.Digest{{0xA1}, jBatch, xBatch}
+	if len(delivered) < len(wantForked) {
+		t.Fatalf("legacy schedule delivered %d batches, want the forked chain %v", len(delivered), wantForked)
+	}
+	for i, want := range wantForked {
+		if delivered[i] != want {
+			t.Fatalf("legacy delivery %d: got %x want %x", i, delivered[i][:4], want[:4])
+		}
+	}
+	// The abandoned chain held real claim quorums at this very replica —
+	// another correct replica may have committed it (views 2 and 3 resolved
+	// to P2/P3, not ∅): ledgers diverge block-for-block from height 1.
+	if delivered[1] == (types.Digest{0xA2}) {
+		t.Fatal("schedule no longer forks: P2 delivered second")
+	}
+}
+
+// TestStrictA3RefusesUncertifiedBranch: the same schedule under the strict
+// rules stops at the A3 decision point — X7's parent holds no claim quorum,
+// so the replica never votes for the conflicting branch and never delivers
+// anything beyond the canonical P1.
+func TestStrictA3RefusesUncertifiedBranch(t *testing.T) {
+	h := newForkHarness(t, false)
+	x7, jBatch, _ := h.runForkSchedule()
+
+	if h.claimedDigest(7, x7.Digest()) {
+		t.Fatal("strict A3 must refuse X7: its parent is conditionally prepared but holds no claim quorum")
+	}
+	// Even with two peers claiming X7, replica 0 abstains; the branch can
+	// reach at most 2 < n−f claims here and never certifies or commits.
+	for _, from := range []types.NodeID{1, 2} {
+		h.sync(from, 7, types.Claim{View: 7, Digest: x7.Digest()}, nil)
+	}
+	if h.claimedDigest(7, x7.Digest()) {
+		t.Fatal("strict rules echoed the conflicting claim")
+	}
+	for _, c := range h.ctx.commits {
+		if c.Batch.ID == jBatch {
+			t.Fatal("strict rules delivered the conflicting branch's batch")
+		}
+	}
+	if got := len(h.ctx.commits); got != 1 {
+		t.Fatalf("strict rules delivered %d batches, want exactly the canonical P1", got)
+	}
+}

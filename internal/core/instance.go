@@ -70,6 +70,10 @@ type viewState struct {
 	pending     *types.Propose
 	echoed      bool
 	asked       bool
+	// phase is the view's resolution phase (see resolution.go): the
+	// explicit proposed → claimed → resolved{batch|∅} → committed ladder
+	// every safety-relevant transition is recorded against.
+	phase resPhase
 }
 
 // Instance is one chained consensus instance of SpotLess (§3). All methods
@@ -89,13 +93,21 @@ type Instance struct {
 	props   map[types.Digest]*proposal
 	views   map[types.View]*viewState
 
-	lock        *proposal // Plock: highest conditionally committed (§3.3)
+	// lock is Plock (§3.3). Re-derived against Lemma 3.4 (resolution.go):
+	// it rises only through raiseLock — to the parent of a certified
+	// proposal, or to a checkpoint anchor. Under UnsafeLegacyResolution it
+	// instead follows the seed's conditionally-committed rule.
+	lock        *proposal
 	certHead    *proposal // highest proposal with n−f collected sync votes (E1)
 	cpHead      *proposal // highest proposal with n−f CP endorsements (E2)
 	lastCommit  *proposal // highest committed proposal
 	lastDeliver types.View
 
 	cpList []*proposal // conditionally prepared proposals (CP set source)
+	// certTips holds certified proposals whose commit triple has not
+	// completed; every certification event re-evaluates them (the triple's
+	// links can certify in any order — see maybeCommitChains).
+	certTips []*proposal
 
 	// Adaptive timers (§3.5).
 	tR, tA           time.Duration
@@ -371,6 +383,7 @@ func (in *Instance) onPropose(msg *types.Propose) {
 		} else {
 			p.parent = in.getOrCreate(msg.Parent.ParentDigest, msg.Parent.ParentView)
 		}
+		in.advancePhase(v, resProposed)
 		in.linkKnown(p)
 	}
 	// S3: only proposals for the current view are voted on now; buffer ahead.
@@ -385,30 +398,26 @@ func (in *Instance) onPropose(msg *types.Propose) {
 }
 
 // tryAccept applies S4 and the acceptance rules A1–A3 and, on success,
-// broadcasts our Sync claim for the proposal.
+// broadcasts our Sync claim for the proposal. Proposals whose evidence may
+// still arrive — an unprepared or uncertified parent — are buffered and
+// retried when the evidence lands (condPrepare/certify → retryPending);
+// an embedded certificate is fanned out for asynchronous verification.
 func (in *Instance) tryAccept(p *proposal, msg *types.Propose) {
 	s := in.vs(p.view)
 	if s.ownSync != nil {
 		return // one claim per view
 	}
-	parent := p.parent
-	if parent == nil {
+	if p.parent == nil {
 		return // parent severed by checkpoint GC: a fork below the stable frontier
 	}
-	// S4 / A1: the parent must be conditionally prepared; a valid embedded
-	// certificate conditionally prepares it (§3.3). Certificate signatures
-	// are checked off the event loop as one fanned-out batch job: the
-	// proposal is buffered and acceptance resumes when the completion
-	// arrives (onVerified → condPrepare → retryPending).
-	if !parent.condPrepared {
-		s.pending = msg // A1 may be satisfied later (CP votes, cert)
-		if msg.Parent.Kind == types.JustCert {
-			in.requestCertVerify(parent, msg.Parent)
+	ok, wait := in.claimable(p)
+	if !ok {
+		if wait {
+			s.pending = msg
+			if msg.Parent.Kind == types.JustCert {
+				in.requestCertVerify(p.parent, msg.Parent)
+			}
 		}
-		return
-	}
-	// A2 (safety rule) or A3 (liveness rule).
-	if !in.safeToExtend(parent) {
 		return
 	}
 	if in.r.cfg.Behavior.Mode == AttackSubvert && !in.r.isAccomplice(msg.Sig.Signer) {
@@ -452,12 +461,65 @@ func (in *Instance) proposeFast(v types.View, parent *proposal) {
 	in.onPropose(msg) // buffers as pending until we enter view v
 }
 
-// safeToExtend checks A2 ∨ A3 for a prospective parent.
-func (in *Instance) safeToExtend(parent *proposal) bool {
-	if parent.view > in.lock.view { // A3: liveness rule
-		return true
+// claimable evaluates the acceptance rules for a proposal p against its
+// parent (which must be linked). ok reports whether p may be claimed now;
+// wait reports that the blocking evidence may still arrive — the caller
+// buffers p and retryPending re-evaluates when it does.
+//
+// Strict mode (the Lemma 3.4 re-derivation, see resolution.go):
+//
+//	S4': the declared parent view must match the parent we hold — a
+//	     justification lying about its parent's view could otherwise dodge
+//	     the consecutive-view rule that feeds the commit triple.
+//	A1:  the parent is conditionally prepared (unchanged: the adoption
+//	     ladder of §3.3 carries liveness, not commit safety).
+//	ACV: a parent in the directly preceding view must be certified —
+//	     claims on commit-triple shapes must carry quorum evidence.
+//	A2:  Plock ∈ {parent} ∪ precedes(parent) (unchanged), or
+//	A3:  the parent is certified in a view above Plock (strengthened from
+//	     the seed's bare view comparison).
+//
+// UnsafeLegacyResolution restores the seed rules: A1 plus (A2 ∨ bare A3).
+func (in *Instance) claimable(p *proposal) (ok, wait bool) {
+	parent := p.parent
+	if parent == nil {
+		return false, false
 	}
-	// A2: safety rule — Plock ∈ {parent} ∪ precedes(parent).
+	if in.r.cfg.UnsafeLegacyResolution {
+		if !parent.condPrepared {
+			return false, true // A1 may be satisfied later (CP votes, cert)
+		}
+		return in.lockCompatible(parent) || parent.view > in.lock.view, false
+	}
+	// S4': declared-parent consistency. A mismatch can also mean the claim
+	// that first referenced the parent carried a stale view; the parent's
+	// payload corrects it (linkKnown → retryPending).
+	if parent != in.genesis && parent.view != p.parentView {
+		return false, true
+	}
+	if !parent.condPrepared {
+		return false, true // A1 may be satisfied later (CP votes, cert)
+	}
+	// ACV: consecutive-view claims require a certified parent. The steady
+	// state satisfies it for free — entering view v+1 through view v's
+	// claim quorum is exactly the parent's certification.
+	if p.view == parent.view+1 && !parent.claimQuorum {
+		return false, true
+	}
+	if in.lockCompatible(parent) { // A2
+		return true, false
+	}
+	if parent.view > in.lock.view { // A3: certified parent above the lock
+		if parent.claimQuorum {
+			return true, false
+		}
+		return false, true // certification may still arrive
+	}
+	return false, false
+}
+
+// lockCompatible checks A2: Plock ∈ {parent} ∪ precedes(parent).
+func (in *Instance) lockCompatible(parent *proposal) bool {
 	for q := parent; q != nil; q = q.parent {
 		if q == in.lock {
 			return true
@@ -527,9 +589,10 @@ func (in *Instance) onVerified(tag protocol.TimerTag, ok bool) {
 	} else {
 		in.retryPending()
 	}
-	// A valid certificate is n−f signed claims for the parent in its view:
-	// exactly the claim quorum the tightened commit rule asks of a tip.
-	in.markClaimQuorum(job.parent)
+	// A valid certificate is n−f signed claims for the parent in its own
+	// view: exactly the certification the commit rule and the strengthened
+	// A3/ACV acceptance rules require.
+	in.certify(job.parent)
 }
 
 // sendSync broadcasts our Sync for view v with the given claim and records
@@ -540,6 +603,7 @@ func (in *Instance) sendSync(v types.View, claim types.Claim, retransmit bool) {
 	msg := &types.Sync{Instance: in.id, View: v, Claim: claim, CP: cp, Retransmit: retransmit, Sig: sig}
 	s := in.vs(v)
 	s.ownSync = msg
+	in.advancePhase(v, resClaimed)
 
 	if in.r.cfg.Behavior.Mode == AttackEquivocate && !claim.Empty {
 		// A3: conflicting concurring votes — empty claim to the victims.
@@ -613,9 +677,15 @@ func (in *Instance) recordSync(from types.NodeID, msg *types.Sync) {
 	s := in.vs(v)
 	if _, dup := s.syncs[from]; !dup {
 		s.syncs[from] = msg
+		// A claim is evidence only for its own view: a Sync of view v
+		// carrying a claim for some other view must not enter view v's
+		// tallies — a flood of mismatched claims could otherwise resolve a
+		// view (∅ or batch) with evidence that belongs to neither.
 		if msg.Claim.Empty {
-			s.emptyCount++
-		} else {
+			if msg.Claim.View == v {
+				s.emptyCount++
+			}
+		} else if msg.Claim.View == v {
 			s.claimCounts[msg.Claim.Digest]++
 			p := in.getOrCreate(msg.Claim.Digest, msg.Claim.View)
 			// Only sender-bound signatures become certificate material:
@@ -631,13 +701,13 @@ func (in *Instance) recordSync(from types.NodeID, msg *types.Sync) {
 					if p.view > in.certHead.view {
 						in.certHead = p
 					}
-					in.markClaimQuorum(p)
+					in.certify(p)
 				}
 			}
-			// n−f distinct claims (sender-bound or relayed) prove the claim
-			// quorum the tightened commit rule requires of a chain tip.
-			if msg.Claim.View == v && p.view == v && s.claimCounts[msg.Claim.Digest] >= in.quorum() {
-				in.markClaimQuorum(p)
+			// n−f distinct claims in the proposal's own view certify it —
+			// the quorum the commit rule requires of every triple link.
+			if p.view == v && s.claimCounts[msg.Claim.Digest] >= in.quorum() {
+				in.certify(p)
 			}
 		}
 		// CP endorsements: f+1 distinct endorsers conditionally prepare the
@@ -693,20 +763,32 @@ func (in *Instance) checkTransitions() {
 	s := in.vs(v)
 	q := in.quorum()
 
-	// f+1 matching claims: echo the claim even without the proposal
-	// (restoration of liveness, §3.3) and fetch the payload via Ask.
+	// f+1 matching claims: echo the claim and fetch the payload via Ask
+	// (restoration of liveness, §3.3). The echo passes through the same
+	// acceptance rules as a direct claim: a claim we cannot check — the
+	// proposal is unknown, or its parent lacks the required evidence —
+	// is never echoed, only fetched; the claim follows through tryAccept
+	// once the payload arrives. The seed echoed unknown claims on the f+1
+	// backing alone, which let a locked replica complete a claim quorum
+	// for a chain conflicting with its own lock (the fork-commit path);
+	// UnsafeLegacyResolution retains that behaviour for the safety drill.
 	if s.ownSync == nil && !s.echoed {
-		for d, c := range s.claimCounts {
-			if c >= in.weak() {
-				p := in.getOrCreate(d, v)
-				if in.acceptableByClaim(p) {
-					s.echoed = true
-					in.sendSync(v, types.Claim{View: v, Digest: d}, false)
-					if !p.known {
-						in.askFor(p, v)
-					}
-					break
+		for _, d := range in.weakClaims(s) {
+			p := in.getOrCreate(d, v)
+			if p.view != v {
+				continue // a claim naming an out-of-view digest is not a view-v claim
+			}
+			if in.echoAcceptable(p) {
+				s.echoed = true
+				in.sendSync(v, types.Claim{View: v, Digest: d}, false)
+				if !p.known {
+					in.askFor(p, v)
 				}
+				break
+			}
+			if !p.known && !s.asked {
+				s.asked = true
+				in.askFor(p, v)
 			}
 		}
 	}
@@ -718,11 +800,15 @@ func (in *Instance) checkTransitions() {
 		in.r.ctx.SetTimer(in.tA, protocol.TimerTag{Kind: protocol.TimerCertifying, Instance: in.id, View: v})
 	}
 
-	// n−f matching claims: conditionally prepare and advance (lines 10–11).
+	// n−f matching claims: the view resolves to the certified proposal;
+	// conditionally prepare it and advance (lines 10–11).
 	for d, c := range s.claimCounts {
 		if c >= q {
 			p := in.getOrCreate(d, v)
-			in.markClaimQuorum(p)
+			if p.view != v {
+				continue
+			}
+			in.certify(p)
 			if !p.condPrepared {
 				in.condPrepare(p)
 			}
@@ -739,23 +825,55 @@ func (in *Instance) checkTransitions() {
 			return
 		}
 	}
-	// n−f matching empty claims: the view failed for everyone; advance.
+	// n−f matching empty claims: the view resolved ∅ for everyone — the
+	// quorum-intersection evidence that no conflicting tip can certify in
+	// this view (resolution.go) — and the instance advances.
 	if s.emptyCount >= q && in.view == v {
+		in.resolveEmpty(v)
 		in.enterView(v + 1)
 	}
 }
 
-// acceptableByClaim applies the acceptance rules to a claim-only proposal:
-// if we know it, the full rules; if not, we rely on f+1 honest endorsers
-// (§3.3 allows echoing a claim backed by f+1 Syncs).
-func (in *Instance) acceptableByClaim(p *proposal) bool {
+// weakClaims returns the digests holding ≥ f+1 claims in deterministic
+// order (count descending, then digest bytes): claim tallies live in a map,
+// and iterating it on a message-emitting path would make the echo choice —
+// and therefore the whole simulation — nondeterministic under equivocation.
+func (in *Instance) weakClaims(s *viewState) []types.Digest {
+	out := make([]types.Digest, 0, 2)
+	for d, c := range s.claimCounts {
+		if c >= in.weak() {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ci, cj := s.claimCounts[out[i]], s.claimCounts[out[j]]; ci != cj {
+			return ci > cj
+		}
+		return string(out[i][:]) < string(out[j][:])
+	})
+	return out
+}
+
+// echoAcceptable applies the acceptance rules to a claim-backed proposal.
+// Strict mode echoes only claims it can fully check; the legacy mode trusts
+// the f+1 backing for unknown proposals (§3.3's original reading — unsound,
+// see checkTransitions).
+func (in *Instance) echoAcceptable(p *proposal) bool {
 	if in.r.cfg.Behavior.Mode == AttackSubvert {
 		return false
 	}
-	if !p.known {
-		return true
+	if in.r.cfg.UnsafeLegacyResolution {
+		if !p.known {
+			return true
+		}
+		ok, _ := in.claimable(p)
+		return ok
 	}
-	return p.parent != nil && p.parent.condPrepared && in.safeToExtend(p.parent)
+	if !p.known || p.parent == nil {
+		return false
+	}
+	ok, _ := in.claimable(p)
+	return ok
 }
 
 // askFor requests the full proposal behind a claim from up to f+1 replicas
@@ -850,10 +968,31 @@ func (in *Instance) condPrepare(p *proposal) {
 }
 
 // linkKnown is called when a placeholder proposal gains its payload; it
-// resolves deferred state implications and unblocks pending accepts.
+// resolves deferred state implications and unblocks pending accepts. A
+// certified placeholder's lock raise and commit evaluation were deferred
+// until its parent link became known — they run now.
 func (in *Instance) linkKnown(p *proposal) {
 	if p.condPrepared {
 		in.deriveStates(p)
+	}
+	if p.claimQuorum && !in.r.cfg.UnsafeLegacyResolution {
+		if p.parent != nil {
+			in.raiseLock(p.parent)
+		}
+		in.maybeCommitChains()
+	}
+	// Commit propagation across a healed chain link: if p was committed
+	// while still a placeholder, the commit walk stopped at its nil parent
+	// pointer and p's ancestors stayed unmarked. Extend the commitment now
+	// that the ancestry is known — without this, the delivery walk reads
+	// the uncommitted ancestors as ∅-resolved gaps and permanently skips
+	// their batches on this replica alone: the block-for-block ledger
+	// divergence of the PR 4 ROADMAP discovery (the drill's seed-8 shape;
+	// legacy mode reproduces it, which is what the drill's negative
+	// control pins).
+	if !in.r.cfg.UnsafeLegacyResolution &&
+		p.committed && p.parent != nil && !p.parent.committed {
+		in.commit(p.parent)
 	}
 	in.retryPending()
 	in.maybeDeliver()
@@ -883,32 +1022,32 @@ func (in *Instance) deriveStates(p *proposal) {
 	}
 	if parent != in.genesis && !parent.condCommitted {
 		parent.condCommitted = true
-		if parent.view > in.lock.view {
-			in.lock = parent
+		// The seed raised Plock here — on conditional commitment, whose
+		// evidence floor is a single honest endorser. Strict resolution
+		// raises the lock only at the certification choke point
+		// (resolution.go); the conditionally-committed label itself
+		// remains the CP-set and state-progression marker of §3.3.
+		if in.r.cfg.UnsafeLegacyResolution {
+			in.raiseLock(parent)
 		}
 	}
-	in.maybeCommitChain(p)
+	if in.r.cfg.UnsafeLegacyResolution {
+		in.maybeCommitChain(p)
+	} else {
+		in.maybeCommitChains()
+	}
 	in.maybeDeliver()
 }
 
-// markClaimQuorum records n−f-claim evidence for a proposal and re-evaluates
-// the commit rule with it as chain tip — the quorum can complete after the
-// proposal was already conditionally prepared through the f+1 CP adoption,
-// and the commit must then fire without waiting for a fresh condPrepare.
-func (in *Instance) markClaimQuorum(p *proposal) {
-	if p.claimQuorum {
-		return
-	}
-	p.claimQuorum = true
-	in.maybeCommitChain(p)
-}
-
 // maybeCommitChain applies the commit rule with p as the chain tip:
-// u = w+1 = v+2 (three consecutive views, Definition 3.3), tightened per the
-// paper's safety argument to require the tip to hold an n−f claim quorum. A
-// merely f+1-CP-adopted tip no longer commits its grandparent — without the
-// quorum, a transient fork of no-op proposals could commit at some replicas
-// while the canonical chain skips it (PR 2 ROADMAP discovery).
+// u = w+1 = v+2 (three consecutive views, Definition 3.3). Strict
+// resolution requires ALL THREE links of the triple to be certified — the
+// three quorums Lemma 3.4's intersection argument stands on — and the
+// declared parent views to match the links we hold (a justification lying
+// about its parent's view must not assemble a triple). The legacy rule —
+// the PR 4 state, kept as the safety drill's negative control — asks a
+// claim quorum of the tip only, leaving the middle and base links on
+// conditional-prepare evidence that one honest endorser can carry.
 func (in *Instance) maybeCommitChain(p *proposal) {
 	if !p.claimQuorum || !p.condPrepared || !p.known {
 		return
@@ -918,9 +1057,18 @@ func (in *Instance) maybeCommitChain(p *proposal) {
 		return
 	}
 	gp := parent.parent
-	if gp != nil && p.view == parent.view+1 && parent.view == gp.view+1 {
-		in.commit(gp)
+	if gp == nil || p.view != parent.view+1 || parent.view != gp.view+1 {
+		return
 	}
+	if !in.r.cfg.UnsafeLegacyResolution {
+		if !parent.claimQuorum || !gp.claimQuorum {
+			return // the triple's quorums are not complete yet
+		}
+		if p.parentView != parent.view || parent.parentView != gp.view {
+			return // declared links disagree with the chain we hold
+		}
+	}
+	in.commit(gp)
 }
 
 // commit finalizes a proposal and its entire ancestor chain.
@@ -935,6 +1083,7 @@ func (in *Instance) commit(p *proposal) {
 	}
 	for i := len(chain) - 1; i >= 0; i-- {
 		chain[i].committed = true
+		in.advancePhase(chain[i].view, resCommitted)
 		if chain[i].view > in.lastCommit.view {
 			in.lastCommit = chain[i]
 		}
@@ -976,6 +1125,15 @@ func (in *Instance) nextCommittedAfter(v types.View) (candidate, blocked *propos
 		}
 		if !q.known {
 			return nil, q // cannot certify chain continuity yet
+		}
+		if !q.committed && !in.r.cfg.UnsafeLegacyResolution {
+			// An uncommitted link below the committed head: commitment has
+			// not propagated down this part of the chain yet (a healed
+			// placeholder link; linkKnown is about to extend it). A view
+			// counts as ∅-resolved only when the committed chain itself
+			// jumps over it — never because a chain member is still
+			// catching up, which would skip its batch for good.
+			return nil, q
 		}
 	}
 	return candidate, nil
@@ -1059,7 +1217,9 @@ func (in *Instance) gcToAnchor(a types.Anchor) {
 		in.gcFloor = a.View
 	}
 	if in.lock.view < a.View {
-		in.lock = anchor
+		// The checkpoint certificate stands in for the per-view quorums:
+		// the anchor is committed, so locking on it is grounded evidence.
+		in.raiseLock(anchor)
 	}
 	if in.certHead.view < a.View {
 		in.certHead = anchor
@@ -1102,6 +1262,16 @@ func (in *Instance) gcToAnchor(a types.Anchor) {
 		}
 	}
 	in.cpList = keep
+	tips := in.certTips[:0]
+	for _, p := range in.certTips {
+		if p.view >= horizon && !p.committed {
+			tips = append(tips, p)
+		}
+	}
+	for i := len(tips); i < len(in.certTips); i++ {
+		in.certTips[i] = nil
+	}
+	in.certTips = tips
 }
 
 // ---------------------------------------------------------------------------

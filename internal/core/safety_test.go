@@ -198,18 +198,21 @@ type stubContext struct {
 	n       int
 	prov    crypto.Provider
 	commits []types.Commit
+	sent    []types.Message // every Send/Broadcast payload, in order
 }
 
 func newStubContext(id types.NodeID, n int) *stubContext {
 	return &stubContext{id: id, n: n, prov: crypto.NewSimProvider(id, crypto.CostModel{}, nil)}
 }
 
-func (c *stubContext) ID() types.NodeID                          { return c.id }
-func (c *stubContext) N() int                                    { return c.n }
-func (c *stubContext) F() int                                    { return (c.n - 1) / 3 }
-func (c *stubContext) Now() time.Duration                        { return 0 }
-func (c *stubContext) Send(types.NodeID, types.Message)          {}
-func (c *stubContext) Broadcast(types.Message)                   {}
+func (c *stubContext) ID() types.NodeID   { return c.id }
+func (c *stubContext) N() int             { return c.n }
+func (c *stubContext) F() int             { return (c.n - 1) / 3 }
+func (c *stubContext) Now() time.Duration { return 0 }
+func (c *stubContext) Send(_ types.NodeID, m types.Message) {
+	c.sent = append(c.sent, m)
+}
+func (c *stubContext) Broadcast(m types.Message)                 { c.sent = append(c.sent, m) }
 func (c *stubContext) SetTimer(time.Duration, protocol.TimerTag) {}
 func (c *stubContext) VerifyAsync(protocol.VerifyJob)            {}
 func (c *stubContext) Crypto() crypto.Provider                   { return c.prov }

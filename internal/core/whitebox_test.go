@@ -233,39 +233,54 @@ func TestCPSetCarriesCondPrepared(t *testing.T) {
 	}
 }
 
-// TestWeakQuorumEchoAndAsk: f+1 matching claims make a replica echo the
-// claim and fetch the unknown proposal via Ask (§3.3).
-func TestWeakQuorumEchoAndAsk(t *testing.T) {
+// TestWeakQuorumAsksThenClaims: f+1 matching claims for an unknown proposal
+// make a replica fetch the payload via Ask — but never echo a claim it
+// cannot check against the acceptance rules. The seed echoed on the f+1
+// backing alone, which let a locked replica complete a claim quorum for a
+// chain conflicting with its own lock (the fork-commit path closed by the
+// Lemma 3.4 re-derivation; see resolution.go). Once the payload arrives,
+// the claim follows through the ordinary acceptance path, and liveness is
+// restored one Ask round-trip later.
+func TestWeakQuorumAsksThenClaims(t *testing.T) {
 	r, ctx := newTestReplica()
 	p1 := buildProposal(0, 1, types.Justification{Kind: types.JustGenesis}, 1)
 	d := p1.Digest()
 	// Replica 0 never receives P1 — only f+1 = 2 matching claims.
 	r.HandleMessage(1, syncFor(0, 1, 1, d, nil))
 	r.HandleMessage(2, syncFor(0, 2, 1, d, nil))
-	var echoed, asked bool
-	for _, m := range ctx.sent {
-		switch s := m.(type) {
-		case *types.Sync:
-			if s.View == 1 && !s.Claim.Empty && s.Claim.Digest == d {
-				echoed = true
-			}
-		case *types.Ask:
-			if s.Claim.Digest == d {
-				asked = true
+	scan := func() (echoed, asked bool) {
+		for _, m := range ctx.sent {
+			switch s := m.(type) {
+			case *types.Sync:
+				if s.View == 1 && !s.Claim.Empty && s.Claim.Digest == d {
+					echoed = true
+				}
+			case *types.Ask:
+				if s.Claim.Digest == d {
+					asked = true
+				}
 			}
 		}
+		return
 	}
-	if !echoed {
-		t.Error("replica did not echo the f+1-backed claim")
+	echoed, asked := scan()
+	if echoed {
+		t.Error("replica echoed a claim for a proposal it cannot check")
 	}
 	if !asked {
 		t.Error("replica did not Ask for the unknown proposal")
 	}
-	// A third claim completes n−f = 3: the unknown proposal becomes
-	// conditionally prepared and the view advances.
+	// The Ask is answered: the payload arrives and the replica claims it
+	// through tryAccept (rules A1/ACV/A2 all hold against genesis).
+	r.HandleMessage(1, p1)
+	if echoed, _ = scan(); !echoed {
+		t.Error("replica did not claim the proposal after its payload arrived")
+	}
+	// A third claim completes n−f = 3: the proposal certifies, becomes
+	// conditionally prepared, and the view advances.
 	r.HandleMessage(3, syncFor(0, 3, 1, d, nil))
 	if !r.Instance(0).props[d].condPrepared {
-		t.Error("claim-only proposal not conditionally prepared at n−f")
+		t.Error("claim-backed proposal not conditionally prepared at n−f")
 	}
 	if got := r.Instance(0).CurrentView(); got != 2 {
 		t.Errorf("view after quorum: got %d want 2", got)
@@ -452,6 +467,73 @@ func TestAdaptiveTimeoutEpsilonAndHalving(t *testing.T) {
 	r.HandleMessage(3, p3)
 	if in.tR != cur/2 {
 		t.Fatalf("fast arrival must halve tR: got %v want %v", in.tR, cur/2)
+	}
+}
+
+// TestResolutionPhasesAndLockChokePoint: the per-view resolution state
+// machine advances proposed → claimed → resolved{batch|∅} → committed, and
+// the lock rises exactly at the certification choke point (raiseLock): to
+// the parent of a certified proposal, never on a bare claim.
+func TestResolutionPhasesAndLockChokePoint(t *testing.T) {
+	r, _ := newTestReplica()
+	in := r.Instance(0)
+
+	p1 := buildProposal(0, 1, types.Justification{Kind: types.JustGenesis}, 1)
+	r.HandleMessage(1, p1)
+	// Proposal recorded and claimed by us; no quorum yet.
+	if got := resPhase(in.ResolutionPhase(1)); got != resClaimed {
+		t.Fatalf("view 1 phase after own claim: got %d want resClaimed", got)
+	}
+	if got := in.LockView(); got != 0 {
+		t.Fatalf("lock must not rise on a bare claim, got view %d", got)
+	}
+	for _, from := range []types.NodeID{2, 3} {
+		r.HandleMessage(from, syncFor(0, from, 1, p1.Digest(), nil))
+	}
+	// Certified: the view resolved to P1; the lock rises to P1's parent
+	// (genesis — no visible change yet).
+	if got := resPhase(in.ResolutionPhase(1)); got != resResolvedBatch {
+		t.Fatalf("view 1 phase after the claim quorum: got %d want resResolvedBatch", got)
+	}
+	p2 := buildProposal(0, 2, types.Justification{Kind: types.JustClaim, ParentView: 1, ParentDigest: p1.Digest()}, 2)
+	r.HandleMessage(2, p2)
+	if got := in.LockView(); got != 0 {
+		t.Fatalf("lock rose on an uncertified view-2 claim, got view %d", got)
+	}
+	driveView(r, p2) // completes the view-2 quorum (dup-proof)
+	if got := in.LockView(); got != 1 {
+		t.Fatalf("lock after view 2 certified: got view %d want 1 (parent of the certified proposal)", got)
+	}
+	// A failed view resolves ∅ only on the full n−f ∅-quorum.
+	for _, from := range []types.NodeID{1, 2} {
+		ec := types.Claim{View: 3, Empty: true}
+		r.HandleMessage(from, &types.Sync{Instance: 0, View: 3, Claim: ec,
+			Sig: provFor(from).Sign(types.ClaimBytes(0, ec))})
+	}
+	if got := resPhase(in.ResolutionPhase(3)); got == resResolvedEmpty {
+		t.Fatal("view 3 resolved ∅ on only f+1 ∅-claims")
+	}
+	ec := types.Claim{View: 3, Empty: true}
+	r.HandleMessage(3, &types.Sync{Instance: 0, View: 3, Claim: ec,
+		Sig: provFor(3).Sign(types.ClaimBytes(0, ec))})
+	if got := resPhase(in.ResolutionPhase(3)); got != resResolvedEmpty {
+		t.Fatalf("view 3 phase after the ∅-quorum: got %d want resResolvedEmpty", got)
+	}
+	// Views 4, 5, 6 certify a consecutive triple: view 4 commits.
+	p4 := buildProposal(0, 4, types.Justification{Kind: types.JustClaim, ParentView: 2, ParentDigest: p2.Digest()}, 0)
+	r.HandleMessage(0, p4)
+	for _, from := range []types.NodeID{1, 2, 3} {
+		r.HandleMessage(from, syncFor(0, from, 4, p4.Digest(), nil))
+	}
+	p5 := buildProposal(0, 5, types.Justification{Kind: types.JustClaim, ParentView: 4, ParentDigest: p4.Digest()}, 1)
+	driveView(r, p5)
+	p6 := buildProposal(0, 6, types.Justification{Kind: types.JustClaim, ParentView: 5, ParentDigest: p5.Digest()}, 2)
+	driveView(r, p6)
+	if got := resPhase(in.ResolutionPhase(4)); got != resCommitted {
+		t.Fatalf("view 4 phase after its triple: got %d want resCommitted", got)
+	}
+	if !in.props[p4.Digest()].committed {
+		t.Fatal("the 4,5,6 triple must commit P4")
 	}
 }
 

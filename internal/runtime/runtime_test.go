@@ -20,12 +20,40 @@ type queueSource struct {
 func newQueueSource(m, batches, size int) *queueSource {
 	s := &queueSource{queues: make(map[int32][]*types.Batch)}
 	for i := 0; i < m; i++ {
-		wl := ycsb.NewWorkload(int64(i+1), types.ClientIDBase, 1000, 16)
+		// One client identity per stream: streams sharing Client and Seq
+		// spaces generate byte-identical batches under the Zipf key skew
+		// (same seqs, same hot key, zero-filled values), which alias in the
+		// delivery dedup window — harmless but thoroughly confusing in
+		// divergence dumps (ROADMAP PR 4 side observation).
+		wl := ycsb.NewWorkload(int64(i+1), types.ClientIDBase+types.NodeID(i), 1000, 16)
 		for j := 0; j < batches; j++ {
 			s.queues[int32(i)] = append(s.queues[int32(i)], wl.NextBatch(size))
 		}
 	}
 	return s
+}
+
+// TestQueueSourceStreamsNeverAlias: workload streams must carry distinct
+// client identities — otherwise the Zipf skew makes byte-identical batches
+// across streams (identical seq runs on the same hot key) that collapse to
+// one delivery in the dedup window.
+func TestQueueSourceStreamsNeverAlias(t *testing.T) {
+	src := newQueueSource(4, 20, 5)
+	seen := make(map[types.Digest]int32)
+	for inst, q := range src.queues {
+		for _, b := range q {
+			if prev, dup := seen[b.ID]; dup {
+				t.Fatalf("streams %d and %d generated the same batch %x", prev, inst, b.ID[:6])
+			}
+			seen[b.ID] = inst
+		}
+	}
+	// The aliasing hazard is real: identical client identities do collide.
+	a := ycsb.NewWorkload(1, types.ClientIDBase, 1000, 16).NextBatch(5)
+	b := ycsb.NewWorkload(2, types.ClientIDBase, 1000, 16).NextBatch(5)
+	if a.ID != b.ID {
+		t.Log("note: distinct seeds happened to differ — the guard above still protects the skewed case")
+	}
 }
 
 func (s *queueSource) Next(instance int32, now time.Duration) *types.Batch {

@@ -1,0 +1,183 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"spotless/internal/types"
+)
+
+// This file is the deterministic adversary layer: seeded, targeted control
+// of the message schedule — per-(sender, receiver, instance, view, kind)
+// delay, drop, and partition rules applied before a message enters the
+// network model. Together with the simulator's virtual clock it turns
+// real-time scheduling accidents (the PR 4 divergence recipe was a ~1-in-10
+// `-race` flake) into seeded, always-reproducible drills: the same seed
+// replays the same schedule bit-for-bit, on any host.
+//
+// The adversary shapes only the schedule; Byzantine *content* (equivocating
+// proposals and claims, withheld votes) is the protocol-level Behavior
+// configuration (internal/protocol.Behavior), which the safety drill
+// composes with scheduler rules per seed.
+
+// MsgClass selects protocol message kinds in adversary rules (bitmask).
+type MsgClass uint8
+
+const (
+	ClassPropose MsgClass = 1 << iota
+	ClassSync
+	ClassAsk
+	ClassOther // checkpoint, state transfer, informs, …
+
+	ClassAny MsgClass = 0 // zero value: match every kind
+)
+
+// classify extracts the targeting key of one message: its class and, for
+// the per-instance consensus messages, the (instance, view) it belongs to.
+func classify(msg types.Message) (class MsgClass, instance int32, view types.View) {
+	switch m := msg.(type) {
+	case *types.Propose:
+		return ClassPropose, m.Instance, m.View
+	case *types.Sync:
+		return ClassSync, m.Instance, m.View
+	case *types.Ask:
+		return ClassAsk, m.Instance, m.View
+	default:
+		return ClassOther, -1, 0
+	}
+}
+
+// AdvRule is one targeting rule. Zero values are wildcards (From/To/Instance
+// use −1 for "any" since 0 is a valid id); the first matching rule decides.
+type AdvRule struct {
+	From, To int   // replica ids, −1 = any
+	Instance int32 // −1 = any
+	// View window (inclusive). ViewLo == ViewHi == 0 matches any view;
+	// ViewHi == 0 with ViewLo > 0 is unbounded above.
+	ViewLo, ViewHi types.View
+	Classes        MsgClass // bitmask; ClassAny (0) = every kind
+
+	// Prob applies the action with this probability per message, drawn from
+	// the adversary's own seeded stream (≤ 0 or ≥ 1: always).
+	Prob float64
+
+	Drop  bool          // drop the message (targeted loss / partition)
+	Delay time.Duration // extra delivery delay, bypassing the egress buffer
+}
+
+func (r *AdvRule) matches(from, to types.NodeID, class MsgClass, instance int32, view types.View) bool {
+	if r.From >= 0 && types.NodeID(r.From) != from {
+		return false
+	}
+	if r.To >= 0 && types.NodeID(r.To) != to {
+		return false
+	}
+	if r.Instance >= 0 && r.Instance != instance {
+		return false
+	}
+	if r.Classes != ClassAny && r.Classes&class == 0 {
+		return false
+	}
+	if r.ViewLo != 0 || r.ViewHi != 0 {
+		if view < r.ViewLo {
+			return false
+		}
+		if r.ViewHi != 0 && view > r.ViewHi {
+			return false
+		}
+	}
+	return true
+}
+
+// Adversary applies a rule list to every replica-to-replica message. It
+// draws coin flips from its own seeded RNG, independent of the simulation's
+// network RNG, so a drill's schedule is a pure function of (sim seed,
+// adversary seed, rules).
+type Adversary struct {
+	rng   *rand.Rand
+	Rules []AdvRule
+
+	// Counters for drill reports.
+	Dropped, Delayed uint64
+}
+
+// NewAdversary builds an adversary with an explicit rule list.
+func NewAdversary(seed int64, rules ...AdvRule) *Adversary {
+	return &Adversary{rng: rand.New(rand.NewSource(seed)), Rules: rules}
+}
+
+// verdict decides the fate of one message: first matching rule wins.
+func (a *Adversary) verdict(from, to types.NodeID, msg types.Message) (drop bool, delay time.Duration) {
+	class, instance, view := classify(msg)
+	for i := range a.Rules {
+		r := &a.Rules[i]
+		if !r.matches(from, to, class, instance, view) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && a.rng.Float64() >= r.Prob {
+			return false, 0
+		}
+		if r.Drop {
+			a.Dropped++
+			return true, 0
+		}
+		if r.Delay > 0 {
+			a.Delayed++
+			return false, r.Delay
+		}
+		return false, 0
+	}
+	return false, 0
+}
+
+// RandomAdversary derives a targeted schedule profile from a seed: a few
+// delay/drop/partition rules aimed at the consensus fast path — splitting
+// claim propagation across view windows is exactly the shape that drove the
+// A3 fork (one replica certifies a chain the rest never see complete).
+// n and m bound the replica ids and instances the rules target.
+func RandomAdversary(seed int64, n, m int) *Adversary {
+	rng := rand.New(rand.NewSource(seed))
+	k := 2 + rng.Intn(4)
+	rules := make([]AdvRule, 0, k)
+	for i := 0; i < k; i++ {
+		r := AdvRule{From: -1, To: -1, Instance: -1}
+		// Bias toward Sync traffic: claims are what resolution hangs off.
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			r.Classes = ClassPropose
+		case 3, 4, 5, 6, 7:
+			r.Classes = ClassSync
+		default:
+			r.Classes = ClassPropose | ClassSync
+		}
+		// Half the rules pin a sender, half a receiver; a quarter both —
+		// directed-link partitions and one-sided delivery gaps.
+		if rng.Intn(2) == 0 {
+			r.From = rng.Intn(n)
+		}
+		if rng.Intn(2) == 0 {
+			r.To = rng.Intn(n)
+		}
+		if rng.Intn(2) == 0 && m > 1 {
+			r.Instance = int32(rng.Intn(m))
+		}
+		lo := 2 + rng.Intn(30)
+		r.ViewLo = types.View(lo)
+		r.ViewHi = types.View(lo + 1 + rng.Intn(8))
+		if rng.Intn(5) < 2 {
+			r.Drop = true
+		} else {
+			r.Delay = time.Duration(3+rng.Intn(60)) * time.Millisecond
+		}
+		if rng.Intn(4) == 0 {
+			r.Prob = 0.5
+		}
+		rules = append(rules, r)
+	}
+	return &Adversary{rng: rng, Rules: rules}
+}
+
+// SetAdversary installs (or clears) the adversary shaping replica-to-replica
+// traffic. The client node's traffic is never shaped: drills target the
+// consensus schedule, not the load loop.
+func (s *Simulation) SetAdversary(a *Adversary) { s.adv = a }

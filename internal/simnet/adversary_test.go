@@ -1,0 +1,95 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// TestAdversaryTargetedDropAndDelay: rules match on (pair, instance, view,
+// kind); a dropped Sync never arrives, a delayed one arrives after its
+// configured extra delay, and untargeted traffic is untouched.
+func TestAdversaryTargetedDropAndDelay(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Jitter = 0
+	cfg.BufferDelay = 50 * time.Microsecond
+	cfg.BaseHandlerCost = 0
+	sim := New(cfg)
+	adv := NewAdversary(1,
+		AdvRule{From: 0, To: 1, Instance: 0, ViewLo: 5, ViewHi: 5, Classes: ClassSync, Drop: true},
+		AdvRule{From: 0, To: 2, Instance: -1, ViewLo: 6, ViewHi: 6, Classes: ClassSync, Delay: 10 * time.Millisecond},
+	)
+	sim.SetAdversary(adv)
+
+	sender := &starter{}
+	sender.ctx = sim.Context(0)
+	sender.run = func(ctx protocol.Context) {
+		ctx.Send(1, &types.Sync{Instance: 0, View: 5}) // dropped
+		ctx.Send(1, &types.Sync{Instance: 0, View: 6}) // passes (To mismatch)
+		ctx.Send(1, &types.Sync{Instance: 1, View: 5}) // passes (instance mismatch)
+		ctx.Send(2, &types.Sync{Instance: 0, View: 6}) // delayed 10 ms
+	}
+	r1 := &echoProto{ctx: sim.Context(1)}
+	r2 := &echoProto{ctx: sim.Context(2)}
+	sim.SetProtocol(0, sender)
+	sim.SetProtocol(1, r1)
+	sim.SetProtocol(2, r2)
+	sim.Start()
+	sim.Run(time.Second)
+
+	if len(r1.got) != 2 {
+		t.Fatalf("replica 1 got %d messages, want 2 (one dropped)", len(r1.got))
+	}
+	for _, m := range r1.got {
+		s := m.(*types.Sync)
+		if s.Instance == 0 && s.View == 5 {
+			t.Fatal("the targeted (instance 0, view 5) Sync was delivered")
+		}
+	}
+	if len(r2.got) != 1 {
+		t.Fatalf("replica 2 got %d messages, want 1", len(r2.got))
+	}
+	if at := r2.gotAt[0]; at < 10*time.Millisecond {
+		t.Fatalf("delayed Sync arrived at %v, want ≥ 10ms", at)
+	}
+	if adv.Dropped != 1 || adv.Delayed != 1 {
+		t.Fatalf("counters: dropped=%d delayed=%d, want 1/1", adv.Dropped, adv.Delayed)
+	}
+}
+
+// TestRandomAdversaryDeterministic: the same seed derives the same rule set
+// and the same per-message coin flips — the foundation of the seeded drill.
+func TestRandomAdversaryDeterministic(t *testing.T) {
+	a := RandomAdversary(42, 4, 4)
+	b := RandomAdversary(42, 4, 4)
+	if len(a.Rules) != len(b.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(a.Rules), len(b.Rules))
+	}
+	for i := range a.Rules {
+		if a.Rules[i] != b.Rules[i] {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, a.Rules[i], b.Rules[i])
+		}
+	}
+	msg := &types.Sync{Instance: 0, View: a.Rules[0].ViewLo}
+	for i := 0; i < 100; i++ {
+		d1, del1 := a.verdict(0, 1, msg)
+		d2, del2 := b.verdict(0, 1, msg)
+		if d1 != d2 || del1 != del2 {
+			t.Fatalf("verdict %d diverged", i)
+		}
+	}
+	if c := RandomAdversary(43, 4, 4); len(c.Rules) == len(a.Rules) {
+		same := true
+		for i := range c.Rules {
+			if c.Rules[i] != a.Rules[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds derived identical profiles")
+		}
+	}
+}

@@ -182,6 +182,11 @@ type Simulation struct {
 
 	blocked map[[2]int32]bool // partitioned directed links
 
+	// adv is the deterministic adversary layer (see adversary.go): seeded
+	// per-(pair, instance, view, kind) drop/delay rules applied to
+	// replica-to-replica traffic before the network model. nil = inert.
+	adv *Adversary
+
 	// deliverHook observes every Deliver upcall (testing: total-order
 	// consistency assertions across replicas).
 	deliverHook func(node types.NodeID, c types.Commit)
@@ -628,6 +633,30 @@ func (s *Simulation) enqueueSendSized(n *simNode, to types.NodeID, msg types.Mes
 	if dest.idx == n.idx { // self-send: direct delivery, no network
 		s.push(event{at: at, kind: evDeliver, node: n.idx, from: n.id, msgs: []types.Message{msg}})
 		return
+	}
+	// Adversary layer: targeted drop or delay of replica-to-replica
+	// messages (drills). Delayed messages bypass the egress buffer — the
+	// point is to move one message's arrival, not to reshape batching —
+	// but never the network model's own gates: a downed sender, an
+	// injected partition, and packet loss still apply (evaluated here, at
+	// enqueue time, where flush would evaluate them one buffer delay
+	// later).
+	if s.adv != nil && int(n.idx) < s.cfg.N && int(dest.idx) < s.cfg.N {
+		drop, delay := s.adv.verdict(n.id, dest.id, msg)
+		if drop {
+			return
+		}
+		if delay > 0 {
+			if n.down || s.blocked[[2]int32{n.idx, dest.idx}] {
+				return
+			}
+			if s.cfg.LossRate > 0 && s.rng.Float64() < s.cfg.LossRate {
+				return
+			}
+			s.push(event{at: at + delay + s.propDelay(n, dest), kind: evDeliver,
+				node: dest.idx, from: n.id, msgs: []types.Message{msg}})
+			return
+		}
 	}
 	buf := &n.buffers[dest.idx]
 	buf.msgs = append(buf.msgs, msg)
