@@ -23,21 +23,23 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		quick    = flag.Bool("quick", false, "CI-sized sweeps (n ≤ 32) instead of paper scale (n = 128)")
-		baseline = flag.String("baseline", "", "write the perf baseline (instance-parallel sweeps + core-loop allocs) as JSON to this file and exit")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		run        = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		quick      = flag.Bool("quick", false, "CI-sized sweeps (n ≤ 32) instead of paper scale (n = 128)")
+		baseline   = flag.String("baseline", "", "write the perf baseline (instance-parallel + dissemination sweeps, core-loop allocs) as JSON to this file and exit")
+		trajectory = flag.String("trajectory", "", "re-run the digest-ordering sweep and exit non-zero if ktxn/s regressed >20% against this committed baseline JSON")
 
-		safetyDrill = flag.Int("safety-drill", 0, "run the seeded adversary safety drill over this many seeds (n=4, m=4; ledger diff with a block-level dump on divergence) and exit non-zero on any fork")
-		safetySeed  = flag.Int64("safety-seed-base", 1, "first adversary seed of the -safety-drill sweep")
-		safetyOld   = flag.Bool("safety-legacy", false, "point the -safety-drill at the pre-refactor resolution rules (negative control: divergence is the expected outcome)")
+		safetyDrill  = flag.Int("safety-drill", 0, "run the seeded adversary safety drill over this many seeds (n=4, m=4; ledger diff with a block-level dump on divergence) and exit non-zero on any fork")
+		safetySeed   = flag.Int64("safety-seed-base", 1, "first adversary seed of the -safety-drill sweep")
+		safetyOld    = flag.Bool("safety-legacy", false, "point the -safety-drill at the pre-refactor resolution rules (negative control: divergence is the expected outcome)")
+		safetyDissem = flag.Bool("safety-dissem", false, "run the -safety-drill under digest ordering (internal/dissem)")
 	)
 	flag.Parse()
 
 	if *safetyDrill > 0 {
 		start := time.Now()
 		res := bench.RunSafetyDrill(bench.SafetyDrillOptions{
-			Seeds: *safetyDrill, SeedBase: *safetySeed, Legacy: *safetyOld,
+			Seeds: *safetyDrill, SeedBase: *safetySeed, Legacy: *safetyOld, Dissem: *safetyDissem,
 		})
 		fmt.Print(res.String())
 		fmt.Printf("(drill completed in %s)\n", time.Since(start).Round(time.Millisecond))
@@ -68,9 +70,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *baseline, err)
 			os.Exit(1)
 		}
-		fmt.Printf("baseline written to %s (%d sim + %d runtime points, core loop %.0f allocs/op, %s)\n",
+		fmt.Printf("baseline written to %s (%d sim + %d runtime + %d dissemination points, core loop %.0f allocs/op, %s)\n",
 			*baseline, len(rep.SimInstanceParallel), len(rep.RuntimeInstanceParallel),
-			rep.CoreLoop.AllocsPerOp, time.Since(start).Round(time.Millisecond))
+			len(rep.Dissemination), rep.CoreLoop.AllocsPerOp, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *trajectory != "" {
+		start := time.Now()
+		rep, err := bench.ReadBaselineFile(*trajectory)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reading %s: %v\n", *trajectory, err)
+			os.Exit(1)
+		}
+		if err := bench.CheckTrajectory(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "TRAJECTORY CHECK FAILED against %s:\n%v\n", *trajectory, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trajectory ok: digest ordering within %.0f%% of %s (%s)\n",
+			bench.TrajectoryTolerance*100, *trajectory, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

@@ -25,6 +25,7 @@ import (
 
 	"spotless/internal/core"
 	"spotless/internal/crypto"
+	"spotless/internal/dissem"
 	"spotless/internal/ledger"
 	"spotless/internal/runtime"
 	"spotless/internal/transport"
@@ -33,22 +34,30 @@ import (
 )
 
 // requestQueue assigns incoming client batches to instances by digest
-// (§5: instance i proposes transactions with digest d ≡ i mod m).
+// (§5: instance i proposes transactions with digest d ≡ i mod m). Under
+// digest ordering (-dissem) the sharding changes: every batch this replica
+// receives goes on its own dissemination lane — the dissemination layer
+// pulls that lane, certifies availability, and only then do instances pick
+// the digest up for proposing.
 type requestQueue struct {
 	mu     sync.Mutex
 	m      int
+	lane   int32 // ≥ 0: dissemination mode, all batches on this lane
 	queues [][]*types.Batch
 }
 
-func newRequestQueue(m int) *requestQueue {
-	return &requestQueue{m: m, queues: make([][]*types.Batch, m)}
+func newRequestQueue(m int, lane int32) *requestQueue {
+	return &requestQueue{m: m, lane: lane, queues: make([][]*types.Batch, m)}
 }
 
 func (q *requestQueue) Add(b *types.Batch) {
 	if b == nil {
 		return
 	}
-	inst := int32(b.ID[0]) % int32(q.m)
+	inst := q.lane
+	if inst < 0 {
+		inst = int32(b.ID[0]) % int32(q.m)
+	}
 	q.mu.Lock()
 	q.queues[inst] = append(q.queues[inst], b)
 	q.mu.Unlock()
@@ -78,7 +87,8 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-interval", 128, "checkpoint/GC/state-transfer interval in delivered batches (0 disables)")
 		fetchCap  = flag.Int("checkpoint-fetch-cap", 512, "max ledger blocks per state-transfer chunk")
 		idleWait  = flag.Duration("idle-backoff", 25*time.Millisecond, "pace view entry when no client batches are pending (0 disables; keep below -timeout)")
-		instWkrs  = flag.Int("instance-workers", 1, "event-loop goroutines hosting the m consensus instances (plus one ordering stage); 1 keeps the classic single loop")
+		instWkrs  = flag.Int("instance-workers", 0, "event-loop goroutines hosting the m consensus instances (plus one ordering stage); 0 sizes adaptively to min(m, GOMAXPROCS), 1 keeps the classic single loop")
+		useDissem = flag.Bool("dissem", false, "digest ordering: disseminate client batches with availability certificates, consensus orders digests only")
 	)
 	flag.Parse()
 
@@ -111,7 +121,14 @@ func main() {
 	}
 
 	tr := transport.New(transport.Config{ID: self, Listen: listen, Peers: peers, Crypto: prov})
-	queue := newRequestQueue(m)
+	var queue *requestQueue
+	if *useDissem {
+		// One lane per origin replica; this replica only fills (and pulls)
+		// its own.
+		queue = newRequestQueue(*n, int32(*id))
+	} else {
+		queue = newRequestQueue(m, -1)
+	}
 	store := ycsb.NewStore(*records, 64)
 	lg := ledger.New()
 	exec := runtime.NewReplicaExecutor(self, store, lg, tr, types.ClientIDBase)
@@ -126,7 +143,7 @@ func main() {
 		PreVerified: true,
 		// Instance-parallel core: shard the m instances over this many
 		// event-loop goroutines behind the serialized ordering stage.
-		Workers: *instWkrs,
+		Workers: runtime.AutoWorkers(*instWkrs, m),
 	})
 	// Client Requests arrive through the same transport; intercept them
 	// before protocol dispatch. A retransmitted request whose batch already
@@ -162,6 +179,9 @@ func main() {
 		cfg.CheckpointFetchCap = *fetchCap
 		cfg.Host = exec
 	}
+	if *useDissem {
+		cfg.Dissem = dissem.New(dissem.Config{N: *n, F: (*n - 1) / 3})
+	}
 	rep := core.New(node, cfg)
 	node.SetProtocol(rep)
 	// Verification pipeline: MAC checks on the transport readers, declared
@@ -172,7 +192,8 @@ func main() {
 		log.Fatal(err)
 	}
 	node.Start()
-	log.Printf("spotless-replica %d up: n=%d m=%d listen=%s", *id, *n, m, listen)
+	log.Printf("spotless-replica %d up: n=%d m=%d workers=%d dissem=%v listen=%s",
+		*id, *n, m, runtime.AutoWorkers(*instWkrs, m), *useDissem, listen)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

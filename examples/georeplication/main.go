@@ -1,7 +1,10 @@
 // georeplication: runs SpotLess across 1–4 simulated WAN regions (Oregon,
 // N. Virginia, London, Zurich — the deployment of §6.3) and shows how
 // geo-distribution squeezes throughput while larger batches claw it back
-// (Figure 14(c,d)).
+// (Figure 14(c,d)), then re-runs the 4-region deployment under digest
+// ordering (-dissem) at growing batch sizes: with payload fan-out off the
+// consensus critical path, throughput holds as batches grow 100x while
+// inline ordering degrades.
 //
 //	go run ./examples/georeplication
 package main
@@ -15,7 +18,21 @@ import (
 
 func main() {
 	const n = 16
-	fmt.Printf("SpotLess across WAN regions, n=%d\n\n", n)
+	fmt.Println("Asymmetric one-way WAN delay matrix (ms, §6.3):")
+	fmt.Printf("%-14s", "")
+	for _, r := range bench.RegionNames {
+		fmt.Printf("%14s", r)
+	}
+	fmt.Println()
+	for i, row := range bench.WANDelayMs() {
+		fmt.Printf("%-14s", bench.RegionNames[i])
+		for _, d := range row {
+			fmt.Printf("%14.2f", d)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nSpotLess across WAN regions, n=%d\n\n", n)
 	fmt.Printf("%-10s %16s %16s\n", "regions", "batch=100", "batch=400")
 	for regions := 1; regions <= 4; regions++ {
 		var cells []string
@@ -31,4 +48,27 @@ func main() {
 	}
 	fmt.Println("\nLarger batches amortize the WAN round trips — the paper's")
 	fmt.Println("conclusion from Figure 14(c) vs 14(d).")
+
+	// Digest ordering over the same 4-region matrix: the cluster is tuned
+	// at the 100-txn baseline (TuneBatchSize), then the workload's payloads
+	// grow 10x and 100x. The 1200 Mbps egress model keeps payload
+	// serialization — not RTT alone — on the critical path.
+	fmt.Printf("\nDigest vs inline ordering, 4 regions, n=%d, tuned at batch=100\n\n", n)
+	fmt.Printf("%-12s %16s %16s\n", "batch size", "inline", "digest")
+	for _, batch := range []int{100, 1000, 10000} {
+		var cells []string
+		for _, dis := range []bool{false, true} {
+			res := bench.Run(bench.Options{
+				Protocol: bench.SpotLess, N: n,
+				BatchSize: batch, RegionCount: 4,
+				Dissem: dis, TuneBatchSize: 100,
+				BandwidthMbps: 1200, Outstanding: 128,
+				Measure: 500 * time.Millisecond,
+			})
+			cells = append(cells, fmt.Sprintf("%10.1f ktxn/s", res.Throughput/1000))
+		}
+		fmt.Printf("%-12d %16s %16s\n", batch, cells[0], cells[1])
+	}
+	fmt.Println("\nConsensus messages stay control-sized under digest ordering, so")
+	fmt.Println("the baseline-tuned timers keep holding as payloads grow.")
 }

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -13,10 +15,11 @@ import (
 	"spotless/internal/types"
 )
 
-// This file produces the committed perf baseline (BENCH_PR4.json): commit
+// This file produces the committed perf baseline (BENCH_PR6.json): commit
 // throughput and delivery latency of the instance-parallel core on both
-// substrates, plus the allocation budget of the ordering stage's hot loop —
-// the numbers future PRs regress against.
+// substrates, the digest-vs-inline dissemination sweep, and the allocation
+// budget of the ordering stage's hot loop — the numbers future PRs regress
+// against.
 
 // BaselinePoint is one (m × workers) measurement.
 type BaselinePoint struct {
@@ -24,6 +27,8 @@ type BaselinePoint struct {
 	Workers      int     `json:"workers"`
 	KTxnPerSec   float64 `json:"ktxn_per_sec"`
 	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	P50LatencyMs float64 `json:"p50_latency_ms,omitempty"`
+	P99LatencyMs float64 `json:"p99_latency_ms,omitempty"`
 	Batches      uint64  `json:"batches"`
 
 	// TCP saturation counters (runtime points only; see transport.Stats).
@@ -42,7 +47,26 @@ type CoreLoopStats struct {
 	Instances   int     `json:"instances"`
 }
 
-// BaselineReport is the schema of BENCH_PR4.json.
+// DissemArm is one ordering mode's measurement at a dissemination sweep
+// point.
+type DissemArm struct {
+	KTxnPerSec   float64 `json:"ktxn_per_sec"`
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	P50LatencyMs float64 `json:"p50_latency_ms"`
+	P99LatencyMs float64 `json:"p99_latency_ms"`
+	Batches      uint64  `json:"batches"`
+}
+
+// DissemBaselinePoint records both arms of the digest-vs-inline sweep at
+// one batch size. Both arms run on simulator virtual time, so the points
+// are deterministic and host-shape independent.
+type DissemBaselinePoint struct {
+	BatchSize int       `json:"batch_size"`
+	Inline    DissemArm `json:"inline"`
+	Digest    DissemArm `json:"digest"`
+}
+
+// BaselineReport is the schema of BENCH_PR6.json.
 type BaselineReport struct {
 	Schema    string `json:"schema"`
 	Generated string `json:"generated_by"`
@@ -59,14 +83,31 @@ type BaselineReport struct {
 	// Runtime points: wall-clock over TCP loopback with real crypto and
 	// execution; scale with the host's core count.
 	RuntimeInstanceParallel []BaselinePoint `json:"runtime_instance_parallel"`
-	CoreLoop                CoreLoopStats   `json:"core_loop"`
+	// Dissemination sweep (ISSUE 6): digest ordering vs inline-payload
+	// ordering at 1x/10x/100x the paper's batch size, on the simulator.
+	Dissemination []DissemBaselinePoint `json:"dissemination"`
+	CoreLoop      CoreLoopStats         `json:"core_loop"`
 }
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func simPoint(res Result) BaselinePoint {
 	return BaselinePoint{
 		M: res.Instances, Workers: res.InstanceWorkers,
 		KTxnPerSec:   res.Throughput / 1000,
-		AvgLatencyMs: float64(res.AvgLatency.Microseconds()) / 1000,
+		AvgLatencyMs: ms(res.AvgLatency),
+		P50LatencyMs: ms(res.P50Latency),
+		P99LatencyMs: ms(res.P99Latency),
+		Batches:      res.Batches,
+	}
+}
+
+func dissemArm(res Result) DissemArm {
+	return DissemArm{
+		KTxnPerSec:   res.Throughput / 1000,
+		AvgLatencyMs: ms(res.AvgLatency),
+		P50LatencyMs: ms(res.P50Latency),
+		P99LatencyMs: ms(res.P99Latency),
 		Batches:      res.Batches,
 	}
 }
@@ -75,7 +116,7 @@ func simPoint(res Result) BaselinePoint {
 // few wall-clock seconds per point.
 func CollectBaseline() (BaselineReport, error) {
 	var rep BaselineReport
-	rep.Schema = "spotless-bench-baseline/v1"
+	rep.Schema = "spotless-bench-baseline/v2"
 	rep.Generated = "spotless-bench -baseline"
 	rep.Host.GOOS = runtime.GOOS
 	rep.Host.GOARCH = runtime.GOARCH
@@ -106,8 +147,57 @@ func CollectBaseline() (BaselineReport, error) {
 		p.DecodeFailures = res.NetDecodeFailures
 		rep.RuntimeInstanceParallel = append(rep.RuntimeInstanceParallel, p)
 	}
+	for _, p := range DissemSweep(nil) {
+		rep.Dissemination = append(rep.Dissemination, DissemBaselinePoint{
+			BatchSize: p.BatchSize,
+			Inline:    dissemArm(p.Inline),
+			Digest:    dissemArm(p.Digest),
+		})
+	}
 	rep.CoreLoop = measureCoreLoop()
 	return rep, nil
+}
+
+// ReadBaselineFile parses a committed baseline report.
+func ReadBaselineFile(path string) (BaselineReport, error) {
+	var rep BaselineReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(data, &rep)
+}
+
+// TrajectoryTolerance is the regression budget of the CI trajectory check:
+// a fresh digest-arm measurement may fall at most this fraction below the
+// committed baseline before the check fails.
+const TrajectoryTolerance = 0.20
+
+// CheckTrajectory re-measures the digest-ordering arm at the committed
+// batch sizes and reports an error if its throughput regressed more than
+// TrajectoryTolerance below the committed baseline. Both sides of the
+// comparison are simulator virtual time on modelled cores, so the check is
+// host-shape independent (the committed runtime points are informational
+// only and never compared here).
+func CheckTrajectory(committed BaselineReport) error {
+	if len(committed.Dissemination) == 0 {
+		return fmt.Errorf("baseline has no dissemination sweep (schema %q)", committed.Schema)
+	}
+	var regressions []string
+	for _, want := range committed.Dissemination {
+		got := dissemArm(Run(dissemOpts(want.BatchSize, true)))
+		floor := want.Digest.KTxnPerSec * (1 - TrajectoryTolerance)
+		if got.KTxnPerSec < floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"batch=%d: digest %.1f ktxn/s < floor %.1f (committed %.1f)",
+				want.BatchSize, got.KTxnPerSec, floor, want.Digest.KTxnPerSec))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("dissemination trajectory regressed >%.0f%%:\n  %s",
+			TrajectoryTolerance*100, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 // WriteFile writes the report as indented JSON.

@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"spotless/internal/core"
 	"spotless/internal/crypto"
+	"spotless/internal/dissem"
 	"spotless/internal/ledger"
 	"spotless/internal/loadgen"
 	"spotless/internal/runtime"
@@ -82,9 +84,10 @@ func InstanceParallel(quick bool) []Table {
 type RuntimeOptions struct {
 	N               int
 	Instances       int
-	InstanceWorkers int
+	InstanceWorkers int // 0 sizes adaptively to min(m, GOMAXPROCS)
 	BatchSize       int
-	Outstanding     int // closed-loop batches per instance
+	Outstanding     int  // closed-loop batches per instance
+	Dissem          bool // digest ordering via internal/dissem
 	Warmup          time.Duration
 	Measure         time.Duration
 }
@@ -155,9 +158,10 @@ func RunRuntime(o RuntimeOptions) (Result, error) {
 	if o.Instances == 0 {
 		o.Instances = o.N
 	}
-	if o.InstanceWorkers == 0 {
-		o.InstanceWorkers = 1
-	}
+	// Adaptive default: one worker per instance, bounded by the host's
+	// cores — extra shard goroutines on a smaller host only add scheduler
+	// pressure (the BENCH_PR4 loopback regression shape).
+	o.InstanceWorkers = runtime.AutoWorkers(o.InstanceWorkers, o.Instances)
 	if o.BatchSize == 0 {
 		o.BatchSize = 10
 	}
@@ -206,8 +210,12 @@ func RunRuntime(o RuntimeOptions) (Result, error) {
 
 	wl := loadgen.DefaultWorkload(o.BatchSize)
 	wl.Records = 10000
+	srcStreams := m
+	if o.Dissem {
+		srcStreams = n // one lane per origin replica
+	}
 	client := &rtClient{
-		src:     loadgen.NewSource(m, o.Outstanding, wl),
+		src:     loadgen.NewSource(srcStreams, o.Outstanding, wl),
 		f:       f,
 		start:   time.Now(),
 		informs: make(map[types.Digest]map[types.NodeID]bool),
@@ -230,6 +238,9 @@ func RunRuntime(o RuntimeOptions) (Result, error) {
 		cfg.InitialRecordingTimeout = 150 * time.Millisecond
 		cfg.InitialCertifyTimeout = 150 * time.Millisecond
 		cfg.MinTimeout = 10 * time.Millisecond
+		if o.Dissem {
+			cfg.Dissem = dissem.New(dissem.Config{N: n, F: f})
+		}
 		rep := core.New(node, cfg)
 		node.SetProtocol(rep)
 		trs[i].SetIngress(rep, node.Verifier())
@@ -257,7 +268,7 @@ func RunRuntime(o RuntimeOptions) (Result, error) {
 
 	res := Result{Options: Options{
 		Protocol: SpotLess, N: n, Instances: m, InstanceWorkers: o.InstanceWorkers,
-		BatchSize: o.BatchSize, Outstanding: o.Outstanding,
+		BatchSize: o.BatchSize, Outstanding: o.Outstanding, Dissem: o.Dissem,
 		Warmup: o.Warmup, Measure: o.Measure,
 	}}
 	client.mu.Lock()
@@ -273,11 +284,14 @@ func RunRuntime(o RuntimeOptions) (Result, error) {
 	client.mu.Unlock()
 	res.Throughput /= o.Measure.Seconds()
 	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		var sum time.Duration
 		for _, l := range lats {
 			sum += l
 		}
 		res.AvgLatency = sum / time.Duration(len(lats))
+		res.P50Latency = lats[len(lats)/2]
+		res.P99Latency = lats[(len(lats)*99)/100]
 	}
 	for _, tr := range trs {
 		st := tr.Stats()

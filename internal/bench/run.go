@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"spotless/internal/core"
+	"spotless/internal/dissem"
 	"spotless/internal/hotstuff"
 	"spotless/internal/loadgen"
 	"spotless/internal/narwhal"
@@ -47,6 +48,12 @@ type Options struct {
 	BatchSize   int // txns per batch (paper default 100)
 	TxnValueSz  int // per-txn payload bytes (transaction-size experiment)
 	Outstanding int // closed-loop batches per instance (load knob, Fig 10)
+
+	// TuneBatchSize pins the SpotLess timer auto-tuning to a reference
+	// batch size instead of BatchSize (0). The dissemination sweep uses it
+	// to model the operationally honest scenario: a cluster tuned at the
+	// baseline workload whose payloads then grow 10–100x without a retune.
+	TuneBatchSize int
 
 	Warmup  time.Duration
 	Measure time.Duration
@@ -87,6 +94,12 @@ type Options struct {
 
 	TimelineBucket time.Duration // >0 records a throughput timeline (Fig 12)
 
+	// Dissem enables SpotLess digest ordering: payloads are disseminated
+	// ahead of consensus by internal/dissem (one stream per ORIGIN replica,
+	// like Narwhal-HS), proposals carry constant-size digest references, and
+	// delivery resolves them back through the dissemination store.
+	Dissem bool
+
 	// Ablation knobs (design-choice benchmarks; see the ablation-* figures).
 	FastPath     bool // SpotLess geo fast path (§6.1)
 	NoBuffering  bool // disable ResilientDB-style message buffering (§6.1)
@@ -126,6 +139,14 @@ type Result struct {
 	NetDecodeFailures uint64
 	NetIngressDrops   uint64
 }
+
+// RegionNames are the paper's deployment regions (§6.3), indexed like the
+// asymmetric delay matrix.
+var RegionNames = []string{"Oregon", "N. Virginia", "London", "Zurich"}
+
+// WANDelayMs exposes the asymmetric one-way delay matrix for display
+// (examples/georeplication).
+func WANDelayMs() [][]float64 { return oneWayDelayMs }
 
 // oneWayDelayMs is the one-way propagation between the paper's regions
 // (Oregon, N. Virginia, London, Zurich), §6.3.
@@ -183,7 +204,7 @@ func Run(o Options) Result {
 		}
 	}
 	streams := m
-	if o.Protocol == NarwhalHS {
+	if o.Protocol == NarwhalHS || (o.Protocol == SpotLess && o.Dissem) {
 		streams = n
 	}
 	if o.Measure == 0 {
@@ -235,9 +256,10 @@ func Run(o Options) Result {
 	}
 	sim := simnet.New(scfg)
 
-	// Client load: one stream per sourcing instance.
+	// Client load: one stream per sourcing instance — or per origin replica
+	// when dissemination owns the source.
 	sourceStreams := m
-	if o.Protocol == NarwhalHS {
+	if o.Protocol == NarwhalHS || (o.Protocol == SpotLess && o.Dissem) {
 		sourceStreams = n
 	}
 	wl := loadgen.DefaultWorkload(o.BatchSize)
@@ -383,6 +405,9 @@ func buildOne(ctx protocol.Context, o Options, m int, id types.NodeID, faulty, v
 		if faulty[id] && o.Attack != core.AttackNone {
 			cfg.Behavior = core.Behavior{Mode: o.Attack, Victims: victims, Accomplices: faulty}
 		}
+		if o.Dissem {
+			cfg.Dissem = dissem.New(dissem.Config{N: n, F: cfg.F})
+		}
 		return core.New(ctx, cfg)
 	case Pbft:
 		return pbft.New(ctx, pbft.DefaultConfig(n))
@@ -426,8 +451,20 @@ func estimateViewCycle(o Options, m int) time.Duration {
 	if cores == 0 {
 		cores = def.Cores
 	}
+	tuneBatch := o.BatchSize
+	if o.TuneBatchSize > 0 {
+		tuneBatch = o.TuneBatchSize
+	}
+	batchBytes := float64(types.ControlMsgSize + tuneBatch*(types.TxnOverhead+o.TxnValueSz))
+	if o.Dissem {
+		// Digest ordering: the proposal on the view-cycle critical path is
+		// payload-free (a digest plus, at worst, an embedded certificate);
+		// payload dissemination overlaps earlier views off the critical
+		// path, so timeouts must not scale with batch size.
+		batchBytes = float64(types.ControlMsgSize + protocol.Quorum(n, (n-1)/3)*types.SignatureSize)
+	}
 	bytesPerCycle := float64(m*(n-1))*float64(types.ControlMsgSize+32) +
-		float64(n-1)*float64(types.ControlMsgSize+o.BatchSize*(types.TxnOverhead+o.TxnValueSz))
+		float64(n-1)*batchBytes
 	ser := bytesPerCycle / (bw * 1e6 / 8)
 	cpu := float64(m*n) * def.BaseHandlerCost.Seconds() / float64(cores)
 	prop := 0.001 // 2 × ~0.5 ms

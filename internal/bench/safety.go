@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"spotless/internal/core"
+	"spotless/internal/dissem"
 	"spotless/internal/loadgen"
 	"spotless/internal/simnet"
 	"spotless/internal/types"
@@ -32,6 +33,10 @@ type SafetyDrillOptions struct {
 	BatchSize int           // txns per client batch (default 5)
 	Duration  time.Duration // virtual time per seed (default 1.5s)
 
+	// Dissem runs the drill under digest ordering: batches travel through
+	// the dissemination layer, instances propose certified digests only,
+	// and the same block-for-block agreement must hold.
+	Dissem bool
 	// Legacy runs the seed's unsafe view-resolution rules
 	// (core.Config.UnsafeLegacyResolution) — the negative control.
 	Legacy bool
@@ -84,7 +89,11 @@ func runSafetySeed(o SafetyDrillOptions, seed int64) ([][]SlotRecord, uint64) {
 
 	wl := loadgen.DefaultWorkload(o.BatchSize)
 	wl.Seed = seed
-	src := loadgen.NewSource(m, 4, wl)
+	streams := m
+	if o.Dissem {
+		streams = n // one dissemination lane per origin replica
+	}
+	src := loadgen.NewSource(streams, 4, wl)
 	sim.SetBatchSource(src)
 	col := loadgen.NewCollector(sim.Context(simnet.ClientNode), src, f, 0)
 	col.MeasureEnd = time.Hour
@@ -106,6 +115,9 @@ func runSafetySeed(o SafetyDrillOptions, seed int64) ([][]SlotRecord, uint64) {
 		cfg.InitialCertifyTimeout = 20 * time.Millisecond
 		cfg.MinTimeout = 5 * time.Millisecond
 		cfg.UnsafeLegacyResolution = o.Legacy
+		if o.Dissem {
+			cfg.Dissem = dissem.New(dissem.Config{N: n, F: f})
+		}
 		if equivocator && i == n-1 {
 			cfg.Behavior = core.Behavior{Mode: core.AttackEquivocate, Victims: victims}
 		}
@@ -217,6 +229,9 @@ func (r SafetyDrillResult) String() string {
 	mode := "strict"
 	if r.Options.Legacy {
 		mode = "LEGACY (negative control)"
+	}
+	if r.Options.Dissem {
+		mode += " + digest ordering"
 	}
 	fmt.Fprintf(&sb, "safety drill: %d seeds, n=%d m=%d, %s rules — %d divergent, %d blocks delivered, %d idle seeds\n",
 		len(r.Seeds), r.Options.N, r.Options.Instances, mode, len(r.Divergent), r.Delivered, r.Idle)

@@ -12,6 +12,7 @@ package core
 import (
 	"time"
 
+	"spotless/internal/dissem"
 	"spotless/internal/protocol"
 	"spotless/internal/types"
 )
@@ -92,6 +93,16 @@ type Config struct {
 	// (bench.RunSafetyDrill, TestLegacyA3ForksLedger) so the closed
 	// deviation stays demonstrable. Never set it in a deployment.
 	UnsafeLegacyResolution bool
+
+	// Dissem enables digest ordering: proposals reference batch digests
+	// disseminated ahead of consensus by the given layer (internal/dissem)
+	// instead of inlining payloads, so consensus traffic stays constant-size
+	// as batches grow. The replica binds the layer at construction, gates
+	// claims on the availability certificate (an uncertified digest can
+	// never be claimed, and therefore never commits), and resolves digests
+	// back to payloads at delivery. nil keeps the seed's inline-payload
+	// ordering. The layer must be freshly constructed per replica.
+	Dissem *dissem.Layer
 
 	// FastPath enables the geo-scale optimization of §6.1: the primary of
 	// view v+1 broadcasts its proposal optimistically as soon as it accepts

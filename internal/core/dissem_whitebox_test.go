@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"spotless/internal/dissem"
+	"spotless/internal/types"
+)
+
+// newDissemReplica is the whitebox harness of the digest-ordering claim
+// gate: replica 0 of n=4 with one instance and a bound dissemination layer.
+func newDissemReplica() (*Replica, *fakeContext) {
+	ctx := newFakeContext(0, 4)
+	cfg := DefaultConfig(4, 1)
+	cfg.Dissem = dissem.New(dissem.Config{N: 4, F: 1})
+	r := New(ctx, cfg)
+	r.Start()
+	return r, ctx
+}
+
+// dissemBatch builds a payload batch with a valid content-derived ID.
+func dissemBatch(seq uint64) *types.Batch {
+	b := &types.Batch{
+		Txns:      []types.Transaction{{Client: types.ClientIDBase, Seq: seq, Op: types.OpWrite, Key: seq, Value: []byte("v")}},
+		Submitted: 1,
+	}
+	b.ID = types.ComputeBatchID(b.Txns)
+	return b
+}
+
+// scanDissem reports whether a claim for the proposal and a backfill pull
+// for the batch went out.
+func scanDissem(ctx *fakeContext, propDigest, batchID types.Digest) (claimed, pulled bool) {
+	for _, m := range ctx.sent {
+		switch s := m.(type) {
+		case *types.Sync:
+			if !s.Claim.Empty && s.Claim.Digest == propDigest {
+				claimed = true
+			}
+		case *types.BatchDigest:
+			if s.Pull && s.Batch != nil && s.Batch.ID == batchID {
+				pulled = true
+			}
+		}
+	}
+	return
+}
+
+// TestDigestProposalRefusesUncertified: under digest ordering a proposal
+// referencing a digest without an availability certificate is never
+// claimed — the replica backfills (the Ask analog of the dissemination
+// layer) and claims only once the certificate arrives. An uncertified
+// digest therefore can never gather n−f claims, so it can never commit —
+// the certified-batch check folded into the PR 5 resolution rules.
+func TestDigestProposalRefusesUncertified(t *testing.T) {
+	r, ctx := newDissemReplica()
+
+	full := dissemBatch(1)
+	// The proposal carries the digest-mode stub: ID only, no payload.
+	stub := &types.Batch{ID: full.ID, Submitted: full.Submitted}
+	p := &types.Propose{Instance: 0, View: 1, Batch: stub, Parent: types.Justification{Kind: types.JustGenesis}}
+	d := p.Digest()
+	p.Sig = provFor(1).Sign(d[:])
+
+	r.HandleMessage(1, p)
+	claimed, pulled := scanDissem(ctx, d, full.ID)
+	if claimed {
+		t.Fatal("replica claimed a proposal whose digest has no availability certificate")
+	}
+	if !pulled {
+		t.Fatal("replica did not backfill the unknown digest")
+	}
+
+	// The certificate arrives (ingress-verified n−f ack signatures): the
+	// buffered proposal must now be re-evaluated and claimed.
+	ack := types.AckBytes(full.ID)
+	cert := &types.BatchCert{BatchID: full.ID, Sigs: []types.Signature{
+		provFor(1).Sign(ack), provFor(2).Sign(ack), provFor(3).Sign(ack),
+	}}
+	r.HandleMessage(1, cert)
+	if claimed, _ = scanDissem(ctx, d, full.ID); !claimed {
+		t.Fatal("replica did not claim the proposal after its digest certified")
+	}
+}
+
+// TestInlinePayloadRefusesUncertifiedDigest: a Byzantine primary cannot
+// bypass the certificate gate by inlining the full payload in its proposal
+// — the gate binds to the digest, not to whatever bytes rode the wire.
+func TestInlinePayloadRefusesUncertifiedDigest(t *testing.T) {
+	r, ctx := newDissemReplica()
+
+	full := dissemBatch(2)
+	p := &types.Propose{Instance: 0, View: 1, Batch: full, Parent: types.Justification{Kind: types.JustGenesis}}
+	d := p.Digest()
+	p.Sig = provFor(1).Sign(d[:])
+
+	r.HandleMessage(1, p)
+	if claimed, _ := scanDissem(ctx, d, full.ID); claimed {
+		t.Fatal("inline payload bypassed the availability-certificate gate")
+	}
+}

@@ -251,7 +251,7 @@ func (in *Instance) propose(v types.View) {
 	if in.proposedView >= v {
 		return // already proposed optimistically (fast path, §6.1)
 	}
-	batch := in.r.ctx.NextBatch(in.id)
+	batch := in.nextProposalBatch()
 	if batch == nil {
 		// Idle pacing: with no client batch pending, delay the no-op filler
 		// by IdleBackoff instead of letting idle views spin unboundedly. The
@@ -314,6 +314,24 @@ func (in *Instance) propose(v types.View) {
 	}
 	// Process our own proposal locally (records it and emits our Sync).
 	in.onPropose(msg)
+}
+
+// nextProposalBatch pulls the batch for the next proposal. Under digest
+// ordering it pops the replica's own next certified batch and proposes a
+// payload-free stub — the digest reference that keeps consensus traffic
+// constant-size; the delivery path resolves it back through the
+// dissemination store. Without the layer it is the seed's direct source
+// pull (inline payloads).
+func (in *Instance) nextProposalBatch() *types.Batch {
+	l := in.r.cfg.Dissem
+	if l == nil {
+		return in.r.ctx.NextBatch(in.id)
+	}
+	b := l.NextCertified()
+	if b == nil {
+		return nil
+	}
+	return &types.Batch{ID: b.ID, Submitted: b.Submitted}
 }
 
 // highestExtendable implements Figure 3 lines 5–11: backtrack to the highest
@@ -443,7 +461,7 @@ func (in *Instance) tryAccept(p *proposal, msg *types.Propose) {
 // the just-accepted parent (claim-justified; receivers rely on their own
 // conditional-prepare state per rule A1).
 func (in *Instance) proposeFast(v types.View, parent *proposal) {
-	batch := in.r.ctx.NextBatch(in.id)
+	batch := in.nextProposalBatch()
 	if batch == nil {
 		if in.r.cfg.IdleBackoff > 0 {
 			// Idle pacing: skip the optimistic no-op; the ordinary paced
@@ -484,6 +502,24 @@ func (in *Instance) claimable(p *proposal) (ok, wait bool) {
 	parent := p.parent
 	if parent == nil {
 		return false, false
+	}
+	// Digest ordering (ACD): a non-noop proposal is claimable only when its
+	// batch digest holds an availability certificate — the n−f ack quorum
+	// proving the payload is retrievable at delivery. The gate binds to the
+	// digest, not the wire payload, so a Byzantine primary inlining
+	// transactions buys nothing. With ≤ f faulty replicas, an uncertified
+	// digest can never gather the n−f claims a commit triple needs. The
+	// certificate may still be in flight: register for the layer's notify,
+	// re-check (closing the register/notify race), and backfill from the
+	// proposal's primary; retryPending re-evaluates when it lands.
+	if l := in.r.cfg.Dissem; l != nil && p.batch != nil && !p.batch.NoOp {
+		if !l.Certified(p.batch.ID) {
+			in.r.awaitDigest(in.id, p.batch.ID)
+			if !l.Certified(p.batch.ID) {
+				l.Backfill(p.batch.ID, in.primaryOf(p.view))
+				return false, true
+			}
+		}
 	}
 	if in.r.cfg.UnsafeLegacyResolution {
 		if !parent.condPrepared {

@@ -215,17 +215,49 @@ func (r *Replica) orderCommit(inst int32, oc orderedCommit) {
 
 // drain executes the total order: repeatedly deliver the smallest
 // (view, instance) committed proposal whose view every instance has passed.
+// Under digest ordering the head must first resolve to its payload; an
+// unresolved head parks the drain (total order is head-of-line) until the
+// dissemination layer's notify re-posts it.
 func (r *Replica) drain() {
 	o := &r.ord
 	for len(o.heap) > 0 {
 		top := o.heap[0]
-		if o.rings[top].front().view > o.minFrontier {
+		front := o.rings[top].front()
+		if front.view > o.minFrontier {
 			return
+		}
+		if !r.resolvePayload(front) {
+			return // backfill in flight; onDigestReady resumes the drain
 		}
 		oc := o.rings[top].pop()
 		o.heapFixTop()
 		r.deliver(top, oc)
 	}
+}
+
+// resolvePayload substitutes a digest-ordered head's full payload from the
+// dissemination store (proposals carry only a batch stub in digest mode; a
+// Byzantine primary may inline arbitrary transactions, so the store is
+// authoritative for EVERY non-noop batch). Reports false when the payload is
+// still missing — possible only on a replica that missed dissemination,
+// since the claim gate guarantees the committed digest is certified and
+// therefore backfillable from f+1 correct holders.
+func (r *Replica) resolvePayload(oc *orderedCommit) bool {
+	l := r.cfg.Dissem
+	if l == nil || oc.batch == nil || oc.batch.NoOp {
+		return true
+	}
+	if full := l.Payload(oc.batch.ID); full != nil {
+		oc.batch = full
+		return true
+	}
+	r.awaitDigest(protocol.OrderingShard, oc.batch.ID)
+	if full := l.Payload(oc.batch.ID); full != nil { // raced the arrival
+		oc.batch = full
+		return true
+	}
+	l.Backfill(oc.batch.ID, -1)
+	return false
 }
 
 func (r *Replica) deliver(inst int32, oc orderedCommit) {
@@ -260,5 +292,8 @@ func (r *Replica) deliver(inst int32, oc orderedCommit) {
 	r.Delivered++
 	r.deliveredMirror.Store(r.Delivered)
 	r.ctx.Deliver(types.Commit{Instance: inst, View: oc.view, Batch: oc.batch, Proposal: oc.dig})
+	if r.cfg.Dissem != nil {
+		r.cfg.Dissem.Delivered(oc.batch.ID)
+	}
 	r.maybeCheckpoint()
 }

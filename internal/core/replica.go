@@ -4,9 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"spotless/internal/crypto"
+	"spotless/internal/dissem"
 	"spotless/internal/protocol"
 	"spotless/internal/types"
 )
@@ -41,6 +43,16 @@ type Replica struct {
 	// ckpt is the checkpoint + state-transfer manager (see checkpoint.go);
 	// inert unless Config.CheckpointInterval > 0. Ordering-shard state.
 	ckpt ckptState
+
+	// Digest-ordering waiters (Config.Dissem only): shards blocked on a
+	// batch digest — an instance waiting for the availability certificate
+	// before claiming, or the ordering stage waiting for the payload before
+	// delivering. The dissemination layer's notify callback (which may fire
+	// from any shard or ingress goroutine) collects the registered shards
+	// and posts their retries; the map therefore has its own lock rather
+	// than riding any one shard.
+	dwMu     sync.Mutex
+	dWaiters map[types.Digest]map[int32]struct{}
 
 	// Stats exposed for tests and the harness. Written on the ordering
 	// stage; concurrent readers (operator polling a live sharded node) use
@@ -80,6 +92,10 @@ func New(ctx protocol.Context, cfg Config) *Replica {
 	for i := range r.insts {
 		r.insts[i] = newInstance(r, int32(i))
 	}
+	if cfg.Dissem != nil {
+		r.dWaiters = make(map[types.Digest]map[int32]struct{})
+		cfg.Dissem.Bind(ctx, r.onDigestReady)
+	}
 	return r
 }
 
@@ -100,6 +116,9 @@ func (in *Instance) LastCommittedView() types.View { return in.lastCommit.view }
 // Start implements protocol.Protocol: all instances enter view 1 — each on
 // its own shard when a sharding substrate bound a poster.
 func (r *Replica) Start() {
+	if r.cfg.Dissem != nil {
+		r.post(protocol.OrderingShard, r.cfg.Dissem.Start)
+	}
 	for _, in := range r.insts {
 		in := in
 		r.post(in.id, in.start)
@@ -175,6 +194,12 @@ func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {
 		r.onFetchState(from, m)
 	case *types.StateChunk:
 		r.onStateChunk(from, m)
+	case *types.BatchDigest, *types.BatchAck, *types.BatchCert:
+		// Dissemination traffic runs on the ordering shard (InstanceOf's
+		// default); a replica without the layer drops it.
+		if r.cfg.Dissem != nil {
+			r.cfg.Dissem.OnMessage(from, msg)
+		}
 	}
 }
 
@@ -182,6 +207,12 @@ func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {
 func (r *Replica) HandleTimer(tag protocol.TimerTag) {
 	if tag.Kind == protocol.TimerStateFetch {
 		r.onFetchTimer(tag)
+		return
+	}
+	if tag.Kind == dissem.TimerKind {
+		if r.cfg.Dissem != nil {
+			r.cfg.Dissem.OnTimer()
+		}
 		return
 	}
 	if in := r.instance(tag.Instance); in != nil {
@@ -233,6 +264,12 @@ func (r *Replica) IngressJob(from types.NodeID, msg types.Message) (protocol.Ver
 			Checks: []crypto.Check{{Sig: m.Sig, Msg: types.CheckpointBytes(m.Height, m.StateHash)}},
 			Quorum: 1,
 		}, true
+	case *types.BatchDigest, *types.BatchAck, *types.BatchCert:
+		if r.cfg.Dissem == nil {
+			// No layer bound: drop at ingress (an empty infeasible job).
+			return protocol.VerifyJob{Quorum: 1}, true
+		}
+		return r.cfg.Dissem.IngressJob(from, msg)
 	}
 	return protocol.VerifyJob{}, false
 }
@@ -266,6 +303,45 @@ func (r *Replica) instance(i int32) *Instance {
 
 func (r *Replica) isAccomplice(id types.NodeID) bool {
 	return r.cfg.Behavior.Accomplices[id]
+}
+
+// awaitDigest registers the given shard (an instance id, or
+// protocol.OrderingShard for the delivery path) as blocked on a batch
+// digest's certificate or payload. The caller MUST re-check the dissemination
+// layer after registering — a notify that fired between the check and the
+// registration would otherwise be lost for good.
+func (r *Replica) awaitDigest(shard int32, id types.Digest) {
+	r.dwMu.Lock()
+	w := r.dWaiters[id]
+	if w == nil {
+		w = make(map[int32]struct{}, 2)
+		r.dWaiters[id] = w
+	}
+	w[shard] = struct{}{}
+	r.dwMu.Unlock()
+}
+
+// onDigestReady is the dissemination layer's notify callback: a digest
+// gained its certificate or payload. It may fire from any shard (or an
+// ingress goroutine), so it only collects the registered waiters and posts
+// their retries onto the owning shards.
+func (r *Replica) onDigestReady(id types.Digest) {
+	r.dwMu.Lock()
+	w := r.dWaiters[id]
+	delete(r.dWaiters, id)
+	r.dwMu.Unlock()
+	for shard := range w {
+		if shard == protocol.OrderingShard {
+			r.post(protocol.OrderingShard, r.drain)
+			continue
+		}
+		if in := r.instance(shard); in != nil {
+			r.post(shard, func() {
+				in.retryPending()
+				in.checkTransitions()
+			})
+		}
+	}
 }
 
 // noopBatch builds the no-op filler of §5 so idle instances do not block the

@@ -1,0 +1,547 @@
+// Package dissem is the batch-dissemination layer that decouples payload
+// fan-out from consensus (the Mandator/Narwhal split): the replica that
+// receives a client batch broadcasts the payload ONCE (BatchDigest), every
+// replica that stores it answers with a signed availability ack (BatchAck),
+// and at n−f distinct acks the origin assembles and broadcasts an
+// availability certificate (BatchCert). From then on consensus carries only
+// the constant-size batch digest: proposals reference certified digests,
+// and the delivery path resolves a digest back to its payload — with a
+// rate-limited pull/backfill fallback for replicas that missed the push.
+//
+// The certificate rule is what keeps digest ordering safe: n−f acks imply
+// at least n−2f ≥ f+1 CORRECT replicas hold the payload, so any replica
+// can always backfill a certified digest, and a digest without a
+// certificate is never claimed (core folds this check into the strict
+// resolution rules) and therefore can never commit.
+//
+// The layer is deliberately substrate-neutral (it speaks only
+// protocol.Context) and internally mutex-guarded: core calls it from
+// instance shards (NextCertified, Certified, Backfill), from the ordering
+// shard (message handling, delivery resolution), and from ingress
+// goroutines (IngressJob), so every entry point locks.
+package dissem
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// TimerKind tags the layer's periodic pump/requeue timer. Core routes
+// tags of this kind back into the layer; the tag's Instance is always
+// protocol.OrderingShard so sharded substrates serialize it there.
+const TimerKind = 101
+
+// Config parameterizes the layer.
+type Config struct {
+	N, F int
+
+	// Window bounds this replica's own batches in flight: pulled from the
+	// batch source and disseminated but not yet delivered. The closed-loop
+	// client usually binds first; the window is the safety net that stops
+	// an unordered backlog from growing without bound. Default 64.
+	Window int
+	// PumpInterval paces the periodic source pull (and the requeue sweep).
+	// Default 5ms.
+	PumpInterval time.Duration
+	// BackfillInterval rate-limits pull requests per missing digest.
+	// Default 50ms.
+	BackfillInterval time.Duration
+	// RequeueAfter re-queues an own certified batch whose referencing
+	// proposal never delivered (a failed view dropped it). Default 1s.
+	RequeueAfter time.Duration
+	// RetainOrdered bounds delivered entries kept for peers' backfills.
+	// Default 4096 (mirrors the executor's reply cache; must cover the
+	// delivery lag of the slowest replica, which checkpoint/state transfer
+	// bounds in turn).
+	RetainOrdered int
+	// Lane selects the batch-source stream this replica pulls. Negative
+	// (the default) selects the replica's own id: with dissemination the
+	// source is partitioned per ORIGIN, not per consensus instance.
+	Lane int32
+}
+
+// entry tracks one disseminated batch.
+type entry struct {
+	batch  *types.Batch // payload (nil until pushed/backfilled)
+	origin types.NodeID
+	cert   []types.Signature // availability certificate (nil until assembled/received)
+
+	acks map[types.NodeID]types.Signature // origin only: collected acks
+
+	mine       bool
+	acked      bool          // we already sent our ack for this payload
+	inReady    bool          // queued for proposing (own batches only)
+	proposedAt time.Duration // last NextCertified hand-out (requeue clock)
+	ordered    bool
+	asked      bool          // at least one backfill went out
+	lastAsk    time.Duration // backfill rate limit
+}
+
+// Stats are the layer's monotonic counters (read via Layer.Stats).
+type Stats struct {
+	Disseminated uint64 // own batches broadcast
+	CertsBuilt   uint64 // availability certificates assembled from acks
+	CertsSeen    uint64 // certificates received from peers
+	Backfills    uint64 // pull requests sent
+	Served       uint64 // pull requests answered with a payload
+	Requeued     uint64 // own batches re-queued after a lost proposal
+}
+
+// Layer is one replica's dissemination state. Construct with New, then
+// core.New binds it to the replica's protocol context; one Layer serves
+// exactly one replica.
+type Layer struct {
+	mu     sync.Mutex
+	cfg    Config
+	ctx    protocol.Context
+	self   types.NodeID
+	lane   int32
+	notify func(types.Digest) // fired (outside the lock) when a digest gains a cert or payload
+
+	entries map[types.Digest]*entry
+	ready   []*types.Batch // own certified batches awaiting proposal, FIFO
+	infly   int            // own batches pulled and not yet delivered
+
+	orderedQ []types.Digest // FIFO of delivered entries, for bounded retention
+	stats    Stats
+}
+
+// New creates an unbound layer.
+func New(cfg Config) *Layer {
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.PumpInterval <= 0 {
+		cfg.PumpInterval = 5 * time.Millisecond
+	}
+	if cfg.BackfillInterval <= 0 {
+		cfg.BackfillInterval = 50 * time.Millisecond
+	}
+	if cfg.RequeueAfter <= 0 {
+		cfg.RequeueAfter = time.Second
+	}
+	if cfg.RetainOrdered <= 0 {
+		cfg.RetainOrdered = 4096
+	}
+	return &Layer{cfg: cfg, entries: make(map[types.Digest]*entry)}
+}
+
+// Bind attaches the layer to its replica's substrate context. notify fires
+// whenever a digest gains its certificate or its payload — core uses it to
+// retry claim-gated proposals and to resume a parked delivery. Called by
+// core.New, before Start and before any message can arrive.
+func (l *Layer) Bind(ctx protocol.Context, notify func(types.Digest)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ctx = ctx
+	l.self = ctx.ID()
+	l.lane = l.cfg.Lane
+	if l.lane < 0 {
+		l.lane = int32(l.self)
+	}
+	l.notify = notify
+}
+
+// Start begins disseminating: first pull plus the periodic pump timer.
+func (l *Layer) Start() {
+	l.Pump()
+	l.ctx.SetTimer(l.cfg.PumpInterval, protocol.TimerTag{Kind: TimerKind, Instance: protocol.OrderingShard})
+}
+
+// OnTimer handles the periodic pump/requeue tick.
+func (l *Layer) OnTimer() {
+	l.requeueLost()
+	l.Pump()
+	l.ctx.SetTimer(l.cfg.PumpInterval, protocol.TimerTag{Kind: TimerKind, Instance: protocol.OrderingShard})
+}
+
+// Pump pulls client batches from the source (the replica's own lane) and
+// disseminates them, up to the flow-control window.
+func (l *Layer) Pump() {
+	for {
+		l.mu.Lock()
+		if l.infly >= l.cfg.Window {
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Unlock()
+		b := l.ctx.NextBatch(l.lane)
+		if b == nil {
+			return
+		}
+		l.disseminate(b)
+	}
+}
+
+// disseminate broadcasts one own batch and records the self-ack.
+func (l *Layer) disseminate(b *types.Batch) {
+	sig := l.ctx.Crypto().Sign(types.AckBytes(b.ID))
+	l.mu.Lock()
+	e := l.entries[b.ID]
+	if e == nil {
+		e = &entry{}
+		l.entries[b.ID] = e
+	}
+	if e.mine { // duplicate pull (source retransmission): already in flight
+		l.mu.Unlock()
+		return
+	}
+	l.infly++
+	e.mine = true
+	e.origin = l.self
+	e.batch = b
+	if e.acks == nil {
+		e.acks = make(map[types.NodeID]types.Signature, protocol.Quorum(l.cfg.N, l.cfg.F))
+	}
+	e.acks[l.self] = sig
+	l.stats.Disseminated++
+	fire := l.maybeCertifyLocked(b.ID, e)
+	l.mu.Unlock()
+	l.ctx.Broadcast(&types.BatchDigest{Origin: l.self, Batch: b})
+	if fire != nil {
+		fire()
+	}
+}
+
+// OnMessage handles one pre-verified dissemination message (BatchDigest
+// payload hashes are validated here; BatchAck and BatchCert signatures were
+// screened at ingress, see IngressJob).
+func (l *Layer) OnMessage(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *types.BatchDigest:
+		if m.Pull {
+			l.onPull(from, m)
+		} else {
+			l.onPush(m)
+		}
+	case *types.BatchAck:
+		l.onAck(from, m)
+	case *types.BatchCert:
+		l.onCert(m)
+	}
+}
+
+// onPush stores a disseminated payload and acks its availability to the
+// origin. The payload must hash to its claimed ID — acks attest that the
+// CORRECT payload is retrievable, which is what makes delivery-time
+// resolution sound.
+func (l *Layer) onPush(m *types.BatchDigest) {
+	b := m.Batch
+	if b == nil || types.ComputeBatchID(b.Txns) != b.ID {
+		return
+	}
+	var ack *types.BatchAck
+	l.mu.Lock()
+	e := l.entries[b.ID]
+	if e == nil {
+		e = &entry{}
+		l.entries[b.ID] = e
+	}
+	var fire func()
+	if e.batch == nil {
+		e.batch = b
+		e.origin = m.Origin
+		fire = l.notifyLocked(b.ID)
+	}
+	if !e.acked && !e.mine {
+		e.acked = true
+		ack = &types.BatchAck{Origin: m.Origin, BatchID: b.ID,
+			Sig: l.ctx.Crypto().Sign(types.AckBytes(b.ID))}
+	}
+	l.mu.Unlock()
+	if ack != nil {
+		if m.Origin == l.self {
+			l.onAck(l.self, ack) // served backfill of our own batch
+		} else {
+			l.ctx.Send(m.Origin, ack)
+		}
+	}
+	if fire != nil {
+		fire()
+	}
+}
+
+// onPull serves a backfill request from our store.
+func (l *Layer) onPull(from types.NodeID, m *types.BatchDigest) {
+	if m.Batch == nil || from == l.self {
+		return
+	}
+	id := m.Batch.ID
+	l.mu.Lock()
+	e := l.entries[id]
+	var payload *types.Batch
+	var cert []types.Signature
+	var origin types.NodeID
+	if e != nil && e.batch != nil {
+		payload, cert, origin = e.batch, e.cert, e.origin
+		l.stats.Served++
+	}
+	l.mu.Unlock()
+	if payload == nil {
+		return
+	}
+	l.ctx.Send(from, &types.BatchDigest{Origin: origin, Batch: payload})
+	if cert != nil {
+		l.ctx.Send(from, &types.BatchCert{BatchID: id, Sigs: cert})
+	}
+}
+
+// onAck tallies one availability ack for an own batch; n−f distinct acks
+// assemble the certificate.
+func (l *Layer) onAck(from types.NodeID, m *types.BatchAck) {
+	if m.Origin != l.self || m.Sig.Signer != from {
+		return // misrouted or mis-attributed (ingress already screens these)
+	}
+	l.mu.Lock()
+	e := l.entries[m.BatchID]
+	if e == nil || !e.mine || e.cert != nil {
+		l.mu.Unlock()
+		return
+	}
+	if _, dup := e.acks[from]; dup {
+		l.mu.Unlock()
+		return
+	}
+	e.acks[from] = m.Sig
+	fire := l.maybeCertifyLocked(m.BatchID, e)
+	l.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// maybeCertifyLocked assembles and broadcasts the availability certificate
+// once n−f distinct acks are in. Returns the deferred notify (run it after
+// unlocking).
+func (l *Layer) maybeCertifyLocked(id types.Digest, e *entry) func() {
+	if e.cert != nil || len(e.acks) < protocol.Quorum(l.cfg.N, l.cfg.F) {
+		return nil
+	}
+	sigs := make([]types.Signature, 0, len(e.acks))
+	for _, s := range e.acks {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Signer < sigs[j].Signer })
+	e.cert = sigs
+	l.stats.CertsBuilt++
+	if !e.inReady && !e.ordered {
+		e.inReady = true
+		l.ready = append(l.ready, e.batch)
+	}
+	l.ctx.Broadcast(&types.BatchCert{BatchID: id, Sigs: sigs})
+	return l.notifyLocked(id)
+}
+
+// onCert stores a received availability certificate (ingress verified n−f
+// distinct signatures over the ack bytes).
+func (l *Layer) onCert(m *types.BatchCert) {
+	l.mu.Lock()
+	e := l.entries[m.BatchID]
+	if e == nil {
+		e = &entry{}
+		l.entries[m.BatchID] = e
+	}
+	var fire func()
+	if e.cert == nil {
+		e.cert = m.Sigs
+		l.stats.CertsSeen++
+		fire = l.notifyLocked(m.BatchID)
+	}
+	l.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// notifyLocked snapshots the notify callback for the caller to fire after
+// unlocking (the callback posts into core's shard mailboxes).
+func (l *Layer) notifyLocked(id types.Digest) func() {
+	if l.notify == nil {
+		return nil
+	}
+	cb := l.notify
+	return func() { cb(id) }
+}
+
+// NextCertified pops the next own certified batch for proposing, pulling
+// more client load opportunistically. Returns nil when nothing is
+// certified yet — the caller falls back to its idle pacing.
+func (l *Layer) NextCertified() *types.Batch {
+	l.mu.Lock()
+	var b *types.Batch
+	if len(l.ready) > 0 {
+		b = l.ready[0]
+		l.ready = l.ready[1:]
+		if e := l.entries[b.ID]; e != nil {
+			e.inReady = false
+			e.proposedAt = l.ctx.Now()
+		}
+	}
+	l.mu.Unlock()
+	if b == nil {
+		l.Pump() // keep the dissemination pipeline ahead of the proposer
+	}
+	return b
+}
+
+// Certified reports whether the digest has an availability certificate —
+// the claim gate of digest-referencing proposals.
+func (l *Layer) Certified(id types.Digest) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entries[id]
+	return e != nil && e.cert != nil
+}
+
+// Payload resolves a digest to its stored payload, or nil.
+func (l *Layer) Payload(id types.Digest) *types.Batch {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entries[id]
+	if e == nil {
+		return nil
+	}
+	return e.batch
+}
+
+// Backfill requests the payload (and certificate) of a digest we are
+// missing: from the hinted replica (the proposal's primary) plus f+1
+// digest-derived peers, so at least one correct holder is asked even if
+// the hint is faulty. Rate-limited per digest.
+func (l *Layer) Backfill(id types.Digest, hint types.NodeID) {
+	now := l.ctx.Now()
+	l.mu.Lock()
+	e := l.entries[id]
+	if e == nil {
+		e = &entry{}
+		l.entries[id] = e
+	}
+	if (e.batch != nil && e.cert != nil) || (e.asked && now-e.lastAsk < l.cfg.BackfillInterval) {
+		l.mu.Unlock()
+		return
+	}
+	e.asked = true
+	e.lastAsk = now
+	l.stats.Backfills++
+	l.mu.Unlock()
+
+	req := &types.BatchDigest{Origin: l.self, Batch: &types.Batch{ID: id}, Pull: true}
+	targets := make(map[types.NodeID]bool, l.cfg.F+2)
+	if hint >= 0 && int(hint) < l.cfg.N && hint != l.self {
+		targets[hint] = true
+	}
+	// f+1 deterministic fallback peers derived from the digest (the
+	// askChainGap idiom): among any f+1 distinct replicas one is correct.
+	for i, added := 0, 0; added < l.cfg.F+1 && i < l.cfg.N; i++ {
+		p := types.NodeID((int(id[0]) + i) % l.cfg.N)
+		if p == l.self || targets[p] {
+			continue
+		}
+		targets[p] = true
+		added++
+	}
+	for p := range targets {
+		l.ctx.Send(p, req)
+	}
+}
+
+// Delivered marks a digest ordered and delivered: own in-flight credit is
+// returned (opening the window for the next pull) and old delivered
+// entries beyond the retention bound are dropped.
+func (l *Layer) Delivered(id types.Digest) {
+	l.mu.Lock()
+	e := l.entries[id]
+	if e == nil || e.ordered {
+		l.mu.Unlock()
+		return
+	}
+	e.ordered = true
+	if e.mine {
+		l.infly--
+	}
+	if e.inReady { // delivered via another replica's re-proposal
+		e.inReady = false
+		for i, b := range l.ready {
+			if b.ID == id {
+				l.ready = append(l.ready[:i], l.ready[i+1:]...)
+				break
+			}
+		}
+	}
+	l.orderedQ = append(l.orderedQ, id)
+	for len(l.orderedQ) > l.cfg.RetainOrdered {
+		drop := l.orderedQ[0]
+		l.orderedQ = l.orderedQ[1:]
+		delete(l.entries, drop)
+	}
+	l.mu.Unlock()
+	l.Pump()
+}
+
+// requeueLost returns own certified-but-undelivered batches to the ready
+// queue when their referencing proposal must have been lost (the view
+// resolved empty or the proposal never certified).
+func (l *Layer) requeueLost() {
+	now := l.ctx.Now()
+	l.mu.Lock()
+	for _, e := range l.entries {
+		if e.mine && e.cert != nil && !e.ordered && !e.inReady &&
+			e.proposedAt > 0 && now-e.proposedAt > l.cfg.RequeueAfter {
+			e.inReady = true
+			e.proposedAt = 0
+			l.ready = append(l.ready, e.batch)
+			l.stats.Requeued++
+		}
+	}
+	l.mu.Unlock()
+}
+
+// IngressJob declares the signature checks of inbound dissemination
+// messages (stateless; invoked concurrently with the event loop):
+//
+//   - BatchAck: one signature over the ack bytes, sender-bound (an ack not
+//     signed by its sender, or not addressed to us, drops unverified at the
+//     handler) — so a faulty replica cannot spend our verification budget
+//     on forged third-party acks;
+//   - BatchCert: n−f distinct signers structurally, then the full batch
+//     verified at quorum n−f;
+//   - BatchDigest: carries no signatures — the handler validates the
+//     payload hash instead.
+//
+// The bool result follows the substrate contract: false means "no checks
+// needed, deliver" (the handler re-screens structurally).
+func (l *Layer) IngressJob(from types.NodeID, msg types.Message) (protocol.VerifyJob, bool) {
+	switch m := msg.(type) {
+	case *types.BatchAck:
+		if m.Origin != l.self || m.Sig.Signer != from {
+			return protocol.VerifyJob{}, false // onAck drops these unread
+		}
+		return protocol.VerifyJob{
+			Checks: []crypto.Check{{Sig: m.Sig, Msg: types.AckBytes(m.BatchID)}},
+			Quorum: 1,
+		}, true
+	case *types.BatchCert:
+		q := protocol.Quorum(l.cfg.N, l.cfg.F)
+		if crypto.DistinctSigners(m.Sigs) < q {
+			return protocol.VerifyJob{Quorum: q}, true // infeasible: drop at ingress
+		}
+		checks := make([]crypto.Check, len(m.Sigs))
+		for i, sig := range m.Sigs {
+			checks[i] = crypto.Check{Sig: sig, Msg: types.AckBytes(m.BatchID)}
+		}
+		return protocol.VerifyJob{Checks: checks, Quorum: q}, true
+	}
+	return protocol.VerifyJob{}, false
+}
+
+// Stats returns a snapshot of the layer's counters.
+func (l *Layer) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}

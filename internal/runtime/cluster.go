@@ -2,11 +2,13 @@ package runtime
 
 import (
 	"fmt"
+	stdruntime "runtime"
 	"sync"
 	"time"
 
 	"spotless/internal/core"
 	"spotless/internal/crypto"
+	"spotless/internal/dissem"
 	"spotless/internal/ledger"
 	"spotless/internal/types"
 	"spotless/internal/ycsb"
@@ -295,10 +297,35 @@ type ClusterConfig struct {
 	IdleBackoff time.Duration
 	// InstanceWorkers > 1 shards each replica's m consensus instances over
 	// that many event-loop goroutines behind a serialized ordering stage
-	// (runtime.NodeConfig.Workers). ≤ 1 keeps the single event loop.
+	// (runtime.NodeConfig.Workers). 0 sizes adaptively to
+	// min(m, GOMAXPROCS): sharding goroutines beyond the host's cores only
+	// adds scheduler pressure (the BENCH_PR4 loopback regression shape on
+	// 1-core hosts), and workers beyond m idle. Negative (or 1) pins the
+	// single event loop explicitly.
 	InstanceWorkers int
-	Tune            func(i int, cfg *core.Config)
-	OnDone          func(types.Digest)
+	// Dissem enables digest ordering: each replica gets a fresh
+	// internal/dissem layer pulling its own source lane (lane = replica id,
+	// so Source must carry one stream per REPLICA, not per instance), and
+	// consensus carries digest references instead of payloads.
+	Dissem bool
+	Tune   func(i int, cfg *core.Config)
+	OnDone func(types.Digest)
+}
+
+// AutoWorkers resolves an instance-worker count: 0 sizes adaptively to
+// min(m, GOMAXPROCS) — one event-loop lane per instance, never more than
+// the host has cores for — anything explicit is clamped to ≥ 1.
+func AutoWorkers(workers, m int) int {
+	if workers == 0 {
+		workers = m
+		if p := stdruntime.GOMAXPROCS(0); p < workers {
+			workers = p
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // NewCluster builds and starts an n-replica SpotLess cluster in-process.
@@ -362,7 +389,7 @@ func (c *Cluster) buildReplica(i int) error {
 	node := NewNode(NodeConfig{
 		ID: id, N: c.N, F: c.F,
 		Transport: c.Transport, Crypto: prov, Source: c.src, Executor: exec,
-		Workers: c.cfg.InstanceWorkers,
+		Workers: AutoWorkers(c.cfg.InstanceWorkers, c.cfg.Instances),
 	})
 	ccfg := core.DefaultConfig(c.N, c.cfg.Instances)
 	ccfg.InitialRecordingTimeout = 100 * time.Millisecond
@@ -372,6 +399,9 @@ func (c *Cluster) buildReplica(i int) error {
 	if c.cfg.CheckpointInterval > 0 {
 		ccfg.CheckpointInterval = c.cfg.CheckpointInterval
 		ccfg.Host = exec
+	}
+	if c.cfg.Dissem {
+		ccfg.Dissem = dissem.New(dissem.Config{N: c.N, F: c.F})
 	}
 	if c.cfg.Tune != nil {
 		c.cfg.Tune(i, &ccfg)

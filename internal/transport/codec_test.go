@@ -15,7 +15,7 @@ import (
 )
 
 // codecMessages returns one fully populated value of every registered wire
-// message type (all 20). Shared by the round-trip table test, the truncation
+// message type (all 23). Shared by the round-trip table test, the truncation
 // test, the fuzz seed corpus, and the benchmarks.
 func codecMessages() []types.Message {
 	d := func(b byte) types.Digest { return types.Digest{b, b + 1, b + 2} }
@@ -67,6 +67,10 @@ func codecMessages() []types.Message {
 			Blocks: []types.BlockRecord{{Height: 64, Prev: d(12), Instance: 1, View: 30,
 				BatchID: d(9), Proposal: d(13), Results: d(15), Hash: d(16)}},
 		},
+		// Batch dissemination (digest ordering)
+		&types.BatchDigest{Origin: 2, Batch: batch, Pull: true},
+		&types.BatchAck{Origin: 2, BatchID: d(9), Sig: sig(1, 10)},
+		&types.BatchCert{BatchID: d(9), Sigs: []types.Signature{sig(0, 11), sig(1, 12), sig(2, 13)}},
 		// Client traffic
 		&types.Request{Batch: batch},
 		&types.Inform{Replica: 1, BatchID: d(9), Results: d(15)},
@@ -82,8 +86,8 @@ func codecMessages() []types.Message {
 // one type as another.
 func TestCodecRoundTripAllMessages(t *testing.T) {
 	msgs := codecMessages()
-	if len(msgs) != 20 {
-		t.Fatalf("codec table covers %d message types, want all 20", len(msgs))
+	if len(msgs) != 23 {
+		t.Fatalf("codec table covers %d message types, want all 23", len(msgs))
 	}
 	kinds := make(map[types.WireKind]string)
 	for _, m := range msgs {

@@ -274,6 +274,56 @@ type NarwhalCert struct {
 func (m *NarwhalCert) WireSize() int { return ControlMsgSize + len(m.Sigs)*SignatureSize }
 
 // ---------------------------------------------------------------------------
+// SpotLess batch dissemination (internal/dissem)
+// ---------------------------------------------------------------------------
+
+// BatchDigest is the dissemination broadcast of one client batch: the
+// origin replica sends the payload once, ahead of consensus, and proposals
+// later reference only the batch digest. With Pull set the message is a
+// backfill request instead: Batch carries only the ID and the receiver
+// answers with a push (plus the certificate, if it holds one).
+type BatchDigest struct {
+	Origin NodeID
+	Batch  *Batch
+	Pull   bool
+}
+
+// WireSize implements Message; a Pull request carries no transactions and
+// costs a control message.
+func (m *BatchDigest) WireSize() int { return ControlMsgSize + BatchWireSize(m.Batch) }
+
+// BatchAck is a replica's signed availability acknowledgement: it stored
+// the pushed payload and vouches to serve it. Sent to the origin only.
+type BatchAck struct {
+	Origin  NodeID
+	BatchID Digest
+	Sig     Signature
+}
+
+// WireSize implements Message.
+func (m *BatchAck) WireSize() int { return ControlMsgSize + SignatureSize }
+
+// BatchCert is the availability certificate the origin assembles from n−f
+// distinct signed acks and broadcasts: once held, a digest-referencing
+// proposal may be claimed, because at least n−2f ≥ f+1 correct replicas
+// store the payload and any replica can backfill it.
+type BatchCert struct {
+	BatchID Digest
+	Sigs    []Signature
+}
+
+// WireSize implements Message.
+func (m *BatchCert) WireSize() int { return ControlMsgSize + len(m.Sigs)*SignatureSize }
+
+// AckBytes is the byte string a replica signs when acknowledging a
+// disseminated batch; availability certificates aggregate these signatures.
+func AckBytes(id Digest) []byte {
+	buf := make([]byte, 0, 37)
+	buf = append(buf, "ack:"...)
+	return append(buf, id[:]...)
+}
+
+// ---------------------------------------------------------------------------
 // Client traffic
 // ---------------------------------------------------------------------------
 

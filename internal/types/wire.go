@@ -56,6 +56,9 @@ const (
 	KindStateChunk
 	KindRequest
 	KindInform
+	KindBatchDigest
+	KindBatchAck
+	KindBatchCert
 
 	kindEnd // one past the last valid tag
 )
@@ -108,6 +111,12 @@ func MessageKind(m Message) WireKind {
 		return KindRequest
 	case *Inform:
 		return KindInform
+	case *BatchDigest:
+		return KindBatchDigest
+	case *BatchAck:
+		return KindBatchAck
+	case *BatchCert:
+		return KindBatchCert
 	}
 	return KindInvalid
 }
@@ -157,6 +166,12 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 		return v.AppendBinary(append(buf, byte(KindRequest))), nil
 	case *Inform:
 		return v.AppendBinary(append(buf, byte(KindInform))), nil
+	case *BatchDigest:
+		return v.AppendBinary(append(buf, byte(KindBatchDigest))), nil
+	case *BatchAck:
+		return v.AppendBinary(append(buf, byte(KindBatchAck))), nil
+	case *BatchCert:
+		return v.AppendBinary(append(buf, byte(KindBatchCert))), nil
 	}
 	return buf, fmt.Errorf("types: message %T not registered with the wire codec", m)
 }
@@ -210,6 +225,12 @@ func DecodeMessage(buf []byte) (Message, error) {
 		m = decodeRequest(&r)
 	case KindInform:
 		m = decodeInform(&r)
+	case KindBatchDigest:
+		m = decodeBatchDigest(&r)
+	case KindBatchAck:
+		m = decodeBatchAck(&r)
+	case KindBatchCert:
+		m = decodeBatchCert(&r)
 	default:
 		return nil, ErrMalformed
 	}
@@ -694,6 +715,42 @@ func (m *NarwhalCert) AppendBinary(b []byte) []byte {
 
 func decodeNarwhalCert(r *wireReader) Message {
 	return &NarwhalCert{BatchID: r.digest(), Sigs: r.sigs()}
+}
+
+// ---------------------------------------------------------------------------
+// SpotLess batch dissemination
+// ---------------------------------------------------------------------------
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *BatchDigest) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Origin))
+	b = appendBatch(b, m.Batch)
+	return appendBool(b, m.Pull)
+}
+
+func decodeBatchDigest(r *wireReader) Message {
+	return &BatchDigest{Origin: NodeID(r.u32()), Batch: r.batch(), Pull: r.boolean()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *BatchAck) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Origin))
+	b = append(b, m.BatchID[:]...)
+	return appendSig(b, m.Sig)
+}
+
+func decodeBatchAck(r *wireReader) Message {
+	return &BatchAck{Origin: NodeID(r.u32()), BatchID: r.digest(), Sig: r.sig()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *BatchCert) AppendBinary(b []byte) []byte {
+	b = append(b, m.BatchID[:]...)
+	return appendSigs(b, m.Sigs)
+}
+
+func decodeBatchCert(r *wireReader) Message {
+	return &BatchCert{BatchID: r.digest(), Sigs: r.sigs()}
 }
 
 // ---------------------------------------------------------------------------
