@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"spotless/internal/dissem"
+	"spotless/internal/protocol"
 	"spotless/internal/types"
 )
 
@@ -80,6 +81,96 @@ func TestDigestProposalRefusesUncertified(t *testing.T) {
 	r.HandleMessage(1, cert)
 	if claimed, _ = scanDissem(ctx, d, full.ID); !claimed {
 		t.Fatal("replica did not claim the proposal after its digest certified")
+	}
+}
+
+// certFor assembles an ingress-shaped availability certificate for a batch.
+func certFor(id types.Digest) *types.BatchCert {
+	ack := types.AckBytes(id)
+	return &types.BatchCert{BatchID: id, Sigs: []types.Signature{
+		provFor(1).Sign(ack), provFor(2).Sign(ack), provFor(3).Sign(ack),
+	}}
+}
+
+// TestOrderedDigestRefusedByClaimGate: a proposal re-referencing a digest
+// the replica already delivered is never claimed — a replayed certificate
+// of an old batch (whose payload every correct replica may have evicted)
+// must not be able to commit again and wedge delivery on an impossible
+// backfill.
+func TestOrderedDigestRefusedByClaimGate(t *testing.T) {
+	r, ctx := newDissemReplica()
+
+	full := dissemBatch(3)
+	r.HandleMessage(1, &types.BatchDigest{Origin: 1, Batch: full})
+	r.HandleMessage(1, certFor(full.ID))
+	r.cfg.Dissem.Delivered(full.ID)
+
+	stub := &types.Batch{ID: full.ID, Submitted: full.Submitted}
+	p := &types.Propose{Instance: 0, View: 1, Batch: stub, Parent: types.Justification{Kind: types.JustGenesis}}
+	d := p.Digest()
+	p.Sig = provFor(1).Sign(d[:])
+	r.HandleMessage(1, p)
+	if claimed, _ := scanDissem(ctx, d, full.ID); claimed {
+		t.Fatal("replica claimed a proposal re-referencing an already-delivered digest")
+	}
+}
+
+// TestSeenBatchDupSkipsResolution: a committed duplicate of a batch inside
+// the dedup window is popped and discarded WITHOUT resolving its payload —
+// parking the drain on a backfill there would stall total-order delivery
+// behind a payload that may no longer exist anywhere.
+func TestSeenBatchDupSkipsResolution(t *testing.T) {
+	r, ctx := newDissemReplica()
+
+	full := dissemBatch(4)
+	r.ord.seenBatch[full.ID] = true // delivered earlier in the window
+	stub := &types.Batch{ID: full.ID, Submitted: full.Submitted}
+	r.InjectCommit(0, 1, stub, types.Digest{0xd0})
+
+	if len(r.ord.heap) != 0 {
+		t.Fatal("drain parked on the duplicate instead of discarding it")
+	}
+	if r.Delivered != 0 {
+		t.Fatal("duplicate batch delivered twice")
+	}
+	if _, pulled := scanDissem(ctx, types.Digest{0xd0}, full.ID); pulled {
+		t.Fatal("drain backfilled a payload it does not need")
+	}
+}
+
+// TestDigestWaiterFlushGC: waiter registrations that no notify will ever
+// fire for (a garbage digest from a Byzantine proposal, abandoned by its
+// instance) are garbage-collected by the periodic flush, while genuinely
+// pending waits re-register themselves through the re-posted retry.
+func TestDigestWaiterFlushGC(t *testing.T) {
+	r, _ := newDissemReplica()
+
+	// Abandoned wait: no pending proposal references this digest, so the
+	// re-posted retry re-registers nothing.
+	r.awaitDigest(0, types.Digest{0xab})
+	r.awaitDigest(protocol.OrderingShard, types.Digest{0xcd})
+	r.flushDigestWaiters()
+	r.dwMu.Lock()
+	left := len(r.dWaiters)
+	r.dwMu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d abandoned waiter entries survived the flush, want 0", left)
+	}
+
+	// Live wait: an uncertified proposal is still buffered, so the flush's
+	// retry re-evaluates it and re-registers the waiter.
+	full := dissemBatch(5)
+	stub := &types.Batch{ID: full.ID, Submitted: full.Submitted}
+	p := &types.Propose{Instance: 0, View: 1, Batch: stub, Parent: types.Justification{Kind: types.JustGenesis}}
+	d := p.Digest()
+	p.Sig = provFor(1).Sign(d[:])
+	r.HandleMessage(1, p)
+	r.flushDigestWaiters()
+	r.dwMu.Lock()
+	_, live := r.dWaiters[full.ID]
+	r.dwMu.Unlock()
+	if !live {
+		t.Fatal("flush dropped a genuinely pending digest wait")
 	}
 }
 

@@ -513,12 +513,21 @@ func (in *Instance) claimable(p *proposal) (ok, wait bool) {
 	// re-check (closing the register/notify race), and backfill from the
 	// proposal's primary; retryPending re-evaluates when it lands.
 	if l := in.r.cfg.Dissem; l != nil && p.batch != nil && !p.batch.NoOp {
+		if l.Ordered(p.batch.ID) {
+			// Already delivered: a replayed certificate must not make an old
+			// digest claimable again — its payload may be evicted on every
+			// correct replica, so a commit would wedge delivery on an
+			// impossible backfill. Refuse outright (no evidence is pending);
+			// the view resolves without it.
+			return false, false
+		}
 		if !l.Certified(p.batch.ID) {
 			in.r.awaitDigest(in.id, p.batch.ID)
 			if !l.Certified(p.batch.ID) {
 				l.Backfill(p.batch.ID, in.primaryOf(p.view))
 				return false, true
 			}
+			in.r.unawaitDigest(in.id, p.batch.ID)
 		}
 	}
 	if in.r.cfg.UnsafeLegacyResolution {

@@ -247,12 +247,22 @@ func (r *Replica) resolvePayload(oc *orderedCommit) bool {
 	if l == nil || oc.batch == nil || oc.batch.NoOp {
 		return true
 	}
+	if r.ord.seenBatch[oc.batch.ID] {
+		// Already delivered inside the dedup window: deliver() discards the
+		// duplicate without its payload. Parking here instead would wedge
+		// the whole total order behind a backfill of a payload every correct
+		// replica may have evicted — a replayed BatchCert of an old digest
+		// would otherwise stall delivery forever just short of the dedup
+		// check that discards it.
+		return true
+	}
 	if full := l.Payload(oc.batch.ID); full != nil {
 		oc.batch = full
 		return true
 	}
 	r.awaitDigest(protocol.OrderingShard, oc.batch.ID)
 	if full := l.Payload(oc.batch.ID); full != nil { // raced the arrival
+		r.unawaitDigest(protocol.OrderingShard, oc.batch.ID)
 		oc.batch = full
 		return true
 	}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -53,6 +54,7 @@ type Replica struct {
 	// than riding any one shard.
 	dwMu     sync.Mutex
 	dWaiters map[types.Digest]map[int32]struct{}
+	dwTicks  int // dissemination timer ticks since the last waiter flush (ordering shard)
 
 	// Stats exposed for tests and the harness. Written on the ordering
 	// stage; concurrent readers (operator polling a live sharded node) use
@@ -212,6 +214,10 @@ func (r *Replica) HandleTimer(tag protocol.TimerTag) {
 	if tag.Kind == dissem.TimerKind {
 		if r.cfg.Dissem != nil {
 			r.cfg.Dissem.OnTimer()
+			if r.dwTicks++; r.dwTicks >= dwFlushTicks {
+				r.dwTicks = 0
+				r.flushDigestWaiters()
+			}
 		}
 		return
 	}
@@ -309,7 +315,9 @@ func (r *Replica) isAccomplice(id types.NodeID) bool {
 // protocol.OrderingShard for the delivery path) as blocked on a batch
 // digest's certificate or payload. The caller MUST re-check the dissemination
 // layer after registering — a notify that fired between the check and the
-// registration would otherwise be lost for good.
+// registration would otherwise be lost for good — and unregister
+// (unawaitDigest) when that re-check succeeds, since the notify that would
+// have deleted the entry has already fired.
 func (r *Replica) awaitDigest(shard int32, id types.Digest) {
 	r.dwMu.Lock()
 	w := r.dWaiters[id]
@@ -319,6 +327,69 @@ func (r *Replica) awaitDigest(shard int32, id types.Digest) {
 	}
 	w[shard] = struct{}{}
 	r.dwMu.Unlock()
+}
+
+// unawaitDigest drops one shard's registration (idempotent — the notify may
+// have deleted it concurrently).
+func (r *Replica) unawaitDigest(shard int32, id types.Digest) {
+	r.dwMu.Lock()
+	if w := r.dWaiters[id]; w != nil {
+		delete(w, shard)
+		if len(w) == 0 {
+			delete(r.dWaiters, id)
+		}
+	}
+	r.dwMu.Unlock()
+}
+
+// dwFlushTicks paces flushDigestWaiters off the dissemination pump timer:
+// 256 ticks ≈ 1.3s at the default 5ms PumpInterval.
+const dwFlushTicks = 256
+
+// flushDigestWaiters clears the waiter table and re-posts every registered
+// shard's retry. Waiters normally leave through onDigestReady or the
+// callers' post-re-check unregister; what accumulates beyond that is
+// garbage no notify will ever fire for — digests referenced by a Byzantine
+// proposal that never certify, abandoned when the instance's view moved on.
+// Re-posting is always safe and makes the flush self-cleaning: a shard that
+// still needs its digest re-evaluates and re-registers (and, as a bonus,
+// re-backfills a parked delivery even if a notify was lost), while an
+// abandoned wait simply disappears.
+func (r *Replica) flushDigestWaiters() {
+	r.dwMu.Lock()
+	stale := r.dWaiters
+	if len(stale) == 0 {
+		r.dwMu.Unlock()
+		return
+	}
+	r.dWaiters = make(map[types.Digest]map[int32]struct{})
+	r.dwMu.Unlock()
+	seen := make(map[int32]struct{})
+	shards := make([]int32, 0, len(seen))
+	for _, w := range stale {
+		for s := range w {
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				shards = append(shards, s)
+			}
+		}
+	}
+	// Deterministic post order: map iteration order must not leak into the
+	// event schedule (the simnet drills replay by seed).
+	sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
+	for _, shard := range shards {
+		if shard == protocol.OrderingShard {
+			r.post(protocol.OrderingShard, r.drain)
+			continue
+		}
+		if in := r.instance(shard); in != nil {
+			in := in
+			r.post(shard, func() {
+				in.retryPending()
+				in.checkTransitions()
+			})
+		}
+	}
 }
 
 // onDigestReady is the dissemination layer's notify callback: a digest

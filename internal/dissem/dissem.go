@@ -59,6 +59,21 @@ type Config struct {
 	// delivery lag of the slowest replica, which checkpoint/state transfer
 	// bounds in turn).
 	RetainOrdered int
+	// MaxUnordered bounds stored entries that are neither our own nor yet
+	// delivered. Without it a single Byzantine peer could grow the store
+	// without limit — pushing valid-hash garbage batches that never commit,
+	// or certifying batches it never proposes. Oldest entries evict first;
+	// a certified entry evicted early is re-backfillable from its other
+	// holders. Default 8192.
+	MaxUnordered int
+	// RetainDelivered bounds the delivered-digest tombstones kept after an
+	// entry leaves the RetainOrdered window. Tombstones let the claim gate
+	// refuse replayed certificates of long-delivered digests (whose
+	// payloads every correct replica may have evicted — committing one
+	// would wedge delivery on an impossible backfill) long after the
+	// payload itself is gone. Digest-sized, so the window can be much
+	// larger than the payload store. Default 65536.
+	RetainDelivered int
 	// Lane selects the batch-source stream this replica pulls. Negative
 	// (the default) selects the replica's own id: with dissemination the
 	// source is partitioned per ORIGIN, not per consensus instance.
@@ -80,6 +95,7 @@ type entry struct {
 	ordered    bool
 	asked      bool          // at least one backfill went out
 	lastAsk    time.Duration // backfill rate limit
+	tries      int           // backfills sent (rotates the fallback peer window)
 }
 
 // Stats are the layer's monotonic counters (read via Layer.Stats).
@@ -107,8 +123,13 @@ type Layer struct {
 	ready   []*types.Batch // own certified batches awaiting proposal, FIFO
 	infly   int            // own batches pulled and not yet delivered
 
-	orderedQ []types.Digest // FIFO of delivered entries, for bounded retention
-	stats    Stats
+	orderedQ   []types.Digest // FIFO of delivered entries, for bounded retention
+	unorderedQ []types.Digest // FIFO of foreign entries, for the MaxUnordered bound
+
+	tombs map[types.Digest]struct{} // delivered digests evicted from entries
+	tombQ []types.Digest            // FIFO over tombs, for the RetainDelivered bound
+
+	stats Stats
 }
 
 // New creates an unbound layer.
@@ -128,7 +149,43 @@ func New(cfg Config) *Layer {
 	if cfg.RetainOrdered <= 0 {
 		cfg.RetainOrdered = 4096
 	}
-	return &Layer{cfg: cfg, entries: make(map[types.Digest]*entry)}
+	if cfg.MaxUnordered <= 0 {
+		cfg.MaxUnordered = 8192
+	}
+	if cfg.RetainDelivered <= 0 {
+		cfg.RetainDelivered = 1 << 16
+	}
+	return &Layer{
+		cfg:     cfg,
+		entries: make(map[types.Digest]*entry),
+		tombs:   make(map[types.Digest]struct{}),
+	}
+}
+
+// getOrCreateLocked returns the entry for id, creating and bounding it when
+// missing: foreign entries enter the unordered FIFO, and beyond MaxUnordered
+// the oldest stored-but-unordered foreign entries are evicted (own and
+// delivered entries are accounted by the window and RetainOrdered bounds
+// instead). Certified entries evict like any other — a crashed or Byzantine
+// origin can certify batches it never proposes, so protecting them would
+// re-open the unbounded-store hole; an evicted certified payload is
+// re-backfillable from its remaining holders.
+func (l *Layer) getOrCreateLocked(id types.Digest) *entry {
+	e := l.entries[id]
+	if e != nil {
+		return e
+	}
+	e = &entry{}
+	l.entries[id] = e
+	l.unorderedQ = append(l.unorderedQ, id)
+	for len(l.unorderedQ) > l.cfg.MaxUnordered {
+		drop := l.unorderedQ[0]
+		l.unorderedQ = l.unorderedQ[1:]
+		if de := l.entries[drop]; de != nil && !de.mine && !de.ordered {
+			delete(l.entries, drop)
+		}
+	}
+	return e
 }
 
 // Bind attaches the layer to its replica's substrate context. notify fires
@@ -237,11 +294,13 @@ func (l *Layer) onPush(m *types.BatchDigest) {
 	}
 	var ack *types.BatchAck
 	l.mu.Lock()
-	e := l.entries[b.ID]
-	if e == nil {
-		e = &entry{}
-		l.entries[b.ID] = e
+	if _, done := l.tombs[b.ID]; done {
+		// Delivered and evicted: don't resurrect the entry, and don't ack —
+		// we no longer hold the payload, so an ack would attest falsely.
+		l.mu.Unlock()
+		return
 	}
+	e := l.getOrCreateLocked(b.ID)
 	var fire func()
 	if e.batch == nil {
 		e.batch = b
@@ -338,14 +397,16 @@ func (l *Layer) maybeCertifyLocked(id types.Digest, e *entry) func() {
 }
 
 // onCert stores a received availability certificate (ingress verified n−f
-// distinct signatures over the ack bytes).
+// distinct signatures over the ack bytes). A certificate for a delivered
+// digest is dropped: replaying an old cert must not re-create an entry (and
+// thereby a claimable digest) whose payload the cluster already evicted.
 func (l *Layer) onCert(m *types.BatchCert) {
 	l.mu.Lock()
-	e := l.entries[m.BatchID]
-	if e == nil {
-		e = &entry{}
-		l.entries[m.BatchID] = e
+	if _, done := l.tombs[m.BatchID]; done {
+		l.mu.Unlock()
+		return
 	}
+	e := l.getOrCreateLocked(m.BatchID)
 	var fire func()
 	if e.cert == nil {
 		e.cert = m.Sigs
@@ -410,35 +471,46 @@ func (l *Layer) Payload(id types.Digest) *types.Batch {
 }
 
 // Backfill requests the payload (and certificate) of a digest we are
-// missing: from the hinted replica (the proposal's primary) plus f+1
-// digest-derived peers, so at least one correct holder is asked even if
-// the hint is faulty. Rate-limited per digest.
+// missing: from the hinted replica (the proposal's primary) plus 2f+1
+// digest-derived fallback peers. The width matters: a certificate proves
+// n−f ackers, i.e. at least n−2f correct HOLDERS among the other n−1
+// replicas — so up to 2f−1 of them can be unhelpful (f faulty plus up to
+// f−1 correct replicas that never acked), and any 2f+1 distinct peers
+// always include a correct holder. The window additionally rotates by the
+// per-digest retry count, so pulls lost to the network re-target fresh
+// peers instead of re-asking the same fixed set forever. Rate-limited per
+// digest.
 func (l *Layer) Backfill(id types.Digest, hint types.NodeID) {
 	now := l.ctx.Now()
 	l.mu.Lock()
-	e := l.entries[id]
-	if e == nil {
-		e = &entry{}
-		l.entries[id] = e
+	if _, done := l.tombs[id]; done {
+		l.mu.Unlock()
+		return // delivered and evicted: nothing left to fetch
 	}
-	if (e.batch != nil && e.cert != nil) || (e.asked && now-e.lastAsk < l.cfg.BackfillInterval) {
+	e := l.getOrCreateLocked(id)
+	if e.ordered || (e.batch != nil && e.cert != nil) ||
+		(e.asked && now-e.lastAsk < l.cfg.BackfillInterval) {
 		l.mu.Unlock()
 		return
 	}
 	e.asked = true
 	e.lastAsk = now
+	try := e.tries
+	e.tries++
 	l.stats.Backfills++
 	l.mu.Unlock()
 
 	req := &types.BatchDigest{Origin: l.self, Batch: &types.Batch{ID: id}, Pull: true}
-	targets := make(map[types.NodeID]bool, l.cfg.F+2)
+	width := 2*l.cfg.F + 1
+	if width > l.cfg.N-1 {
+		width = l.cfg.N - 1
+	}
+	targets := make(map[types.NodeID]bool, width+2)
 	if hint >= 0 && int(hint) < l.cfg.N && hint != l.self {
 		targets[hint] = true
 	}
-	// f+1 deterministic fallback peers derived from the digest (the
-	// askChainGap idiom): among any f+1 distinct replicas one is correct.
-	for i, added := 0, 0; added < l.cfg.F+1 && i < l.cfg.N; i++ {
-		p := types.NodeID((int(id[0]) + i) % l.cfg.N)
+	for i, added := 0, 0; added < width && i < l.cfg.N; i++ {
+		p := types.NodeID((int(id[0]) + try + i) % l.cfg.N)
 		if p == l.self || targets[p] {
 			continue
 		}
@@ -478,9 +550,35 @@ func (l *Layer) Delivered(id types.Digest) {
 		drop := l.orderedQ[0]
 		l.orderedQ = l.orderedQ[1:]
 		delete(l.entries, drop)
+		// Keep a digest-sized tombstone well past payload eviction so a
+		// replayed certificate cannot resurrect the delivered digest.
+		l.tombs[drop] = struct{}{}
+		l.tombQ = append(l.tombQ, drop)
+		for len(l.tombQ) > l.cfg.RetainDelivered {
+			t := l.tombQ[0]
+			l.tombQ = l.tombQ[1:]
+			delete(l.tombs, t)
+		}
 	}
 	l.mu.Unlock()
 	l.Pump()
+}
+
+// Ordered reports whether the digest is known delivered — a retained
+// ordered entry or a tombstone kept after its eviction. The claim gate
+// refuses ordered digests outright: a proposal re-referencing one is either
+// a Byzantine certificate replay (whose payload every correct replica may
+// already have evicted, so committing it would wedge delivery on an
+// impossible backfill) or a lost-requeue race, and in both cases the view
+// safely resolves without it.
+func (l *Layer) Ordered(id types.Digest) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, done := l.tombs[id]; done {
+		return true
+	}
+	e := l.entries[id]
+	return e != nil && e.ordered
 }
 
 // requeueLost returns own certified-but-undelivered batches to the ready

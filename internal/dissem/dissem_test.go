@@ -16,7 +16,13 @@ type fakeCtx struct {
 	now     time.Duration
 	prov    crypto.Provider
 	sent    []types.Message
+	sends   []sendRec // point-to-point sends with their recipient
 	pending []*types.Batch
+}
+
+type sendRec struct {
+	to  types.NodeID
+	msg types.Message
 }
 
 func newFakeCtx(id types.NodeID) *fakeCtx {
@@ -27,7 +33,10 @@ func (c *fakeCtx) ID() types.NodeID                          { return c.id }
 func (c *fakeCtx) N() int                                    { return 4 }
 func (c *fakeCtx) F() int                                    { return 1 }
 func (c *fakeCtx) Now() time.Duration                        { return c.now }
-func (c *fakeCtx) Send(_ types.NodeID, m types.Message)      { c.sent = append(c.sent, m) }
+func (c *fakeCtx) Send(to types.NodeID, m types.Message) {
+	c.sent = append(c.sent, m)
+	c.sends = append(c.sends, sendRec{to: to, msg: m})
+}
 func (c *fakeCtx) Broadcast(m types.Message)                 { c.sent = append(c.sent, m) }
 func (c *fakeCtx) SetTimer(time.Duration, protocol.TimerTag) {}
 func (c *fakeCtx) VerifyAsync(protocol.VerifyJob)            {}
@@ -167,8 +176,8 @@ func TestBackfillFirstAskAndRateLimit(t *testing.T) {
 			pulls++
 		}
 	}
-	if pulls < 2 { // hint + f+1 fallback peers, minus overlaps
-		t.Fatalf("first backfill sent %d pulls, want the hint plus f+1 fallbacks", pulls)
+	if pulls < 2 { // hint + min(2f+1, n−1) fallback peers, minus overlaps
+		t.Fatalf("first backfill sent %d pulls, want the hint plus the fallback window", pulls)
 	}
 	before := len(ctx.sent)
 	ctx.now = 10 * time.Millisecond // < BackfillInterval
@@ -180,6 +189,126 @@ func TestBackfillFirstAskAndRateLimit(t *testing.T) {
 	l.Backfill(id, 1)
 	if len(ctx.sent) == before {
 		t.Fatal("backfill suppressed after BackfillInterval elapsed")
+	}
+}
+
+// pullTargets collects the distinct recipients of pull requests sent after
+// offset in the send log.
+func pullTargets(ctx *fakeCtx, offset int) map[types.NodeID]bool {
+	got := make(map[types.NodeID]bool)
+	for _, s := range ctx.sends[offset:] {
+		if d, ok := s.msg.(*types.BatchDigest); ok && d.Pull {
+			got[s.to] = true
+		}
+	}
+	return got
+}
+
+// TestBackfillAsksWidelyAndRotates: a certificate only proves n−f ackers —
+// up to 2f−1 of the other replicas can be unhelpful (f faulty plus f−1
+// correct non-holders) — so one backfill round must reach min(2f+1, n−1)
+// distinct peers, and successive retries must rotate the window so every
+// peer is eventually asked even when pulls are lost.
+func TestBackfillAsksWidelyAndRotates(t *testing.T) {
+	ctx := newFakeCtx(0)
+	l := New(Config{N: 7, F: 2})
+	l.Bind(ctx, nil)
+
+	id := types.Digest{1}
+	l.Backfill(id, -1)
+	first := pullTargets(ctx, 0)
+	if len(first) != 5 { // min(2f+1, n−1) = 5
+		t.Fatalf("first backfill asked %d peers, want 2f+1 = 5", len(first))
+	}
+	union := make(map[types.NodeID]bool)
+	for p := range first {
+		union[p] = true
+	}
+	for round := 1; round <= 6; round++ {
+		mark := len(ctx.sends)
+		ctx.now += time.Second // past the rate limit
+		l.Backfill(id, -1)
+		got := pullTargets(ctx, mark)
+		if len(got) != 5 {
+			t.Fatalf("round %d asked %d peers, want 5", round, len(got))
+		}
+		for p := range got {
+			if p == 0 {
+				t.Fatal("backfill asked self")
+			}
+			union[p] = true
+		}
+	}
+	if len(union) != 6 { // every other replica reached across rounds
+		t.Fatalf("rotation reached %d distinct peers over 7 rounds, want all 6", len(union))
+	}
+}
+
+// TestUnorderedStoreBounded: stored-but-unordered foreign entries are
+// FIFO-bounded by MaxUnordered — a Byzantine peer pushing valid-hash
+// garbage that never commits cannot grow the store without limit.
+func TestUnorderedStoreBounded(t *testing.T) {
+	ctx := newFakeCtx(1)
+	l := New(Config{N: 4, F: 1, MaxUnordered: 4})
+	l.Bind(ctx, nil)
+
+	for seq := uint64(0); seq < 10; seq++ {
+		l.OnMessage(0, &types.BatchDigest{Origin: 0, Batch: testBatch(seq + 100)})
+	}
+	l.mu.Lock()
+	stored := len(l.entries)
+	l.mu.Unlock()
+	if stored > 4 {
+		t.Fatalf("store holds %d unordered foreign entries, want ≤ MaxUnordered = 4", stored)
+	}
+}
+
+// TestDeliveredTombstoneRefusesResurrection: once a delivered entry leaves
+// the retention window, a replayed certificate or push must not re-create
+// it — the digest stays Ordered (so the claim gate refuses it) and is
+// neither re-certified, re-stored, nor re-acked.
+func TestDeliveredTombstoneRefusesResurrection(t *testing.T) {
+	ctx := newFakeCtx(1)
+	l := New(Config{N: 4, F: 1, RetainOrdered: 1})
+	l.Bind(ctx, nil)
+
+	old, fresh := testBatch(201), testBatch(202)
+	ack := func(b *types.Batch) []types.Signature {
+		return []types.Signature{
+			ackFrom(1, b.ID).Sig, ackFrom(2, b.ID).Sig, ackFrom(3, b.ID).Sig,
+		}
+	}
+	for _, b := range []*types.Batch{old, fresh} {
+		l.OnMessage(0, &types.BatchDigest{Origin: 0, Batch: b})
+		l.OnMessage(0, &types.BatchCert{BatchID: b.ID, Sigs: ack(b)})
+		l.Delivered(b.ID)
+	}
+	// RetainOrdered=1: delivering fresh evicted old into a tombstone.
+	if l.Payload(old.ID) != nil {
+		t.Fatal("evicted payload still stored")
+	}
+	if !l.Ordered(old.ID) {
+		t.Fatal("evicted delivered digest not tombstoned")
+	}
+
+	before := len(ctx.sent)
+	l.OnMessage(0, &types.BatchCert{BatchID: old.ID, Sigs: ack(old)})
+	if l.Certified(old.ID) {
+		t.Fatal("replayed certificate resurrected a delivered digest")
+	}
+	l.OnMessage(0, &types.BatchDigest{Origin: 0, Batch: old})
+	if l.Payload(old.ID) != nil {
+		t.Fatal("replayed push re-stored a delivered payload")
+	}
+	if len(ctx.sent) != before {
+		t.Fatal("replica acked or re-requested a tombstoned digest")
+	}
+	l.Backfill(old.ID, 0)
+	if len(ctx.sent) != before {
+		t.Fatal("backfill requested a tombstoned digest")
+	}
+	if !l.Ordered(old.ID) || !l.Ordered(fresh.ID) {
+		t.Fatal("Ordered lost track of delivered digests")
 	}
 }
 
