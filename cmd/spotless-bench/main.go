@@ -7,6 +7,8 @@
 //	spotless-bench -run fig7a            # one figure at paper scale
 //	spotless-bench -run all -quick       # every figure at CI scale (n ≤ 32)
 //	spotless-bench -run fig7a,fig13      # a selection
+//	spotless-bench -soak 5               # chaos bake-off: profiles × pacemakers
+//	spotless-bench -soak 5 -pacemaker relay -soak-profiles partitions
 //
 // Output is aligned text tables (one per figure panel).
 package main
@@ -33,13 +35,42 @@ func main() {
 		safetySeed   = flag.Int64("safety-seed-base", 1, "first adversary seed of the -safety-drill sweep")
 		safetyOld    = flag.Bool("safety-legacy", false, "point the -safety-drill at the pre-refactor resolution rules (negative control: divergence is the expected outcome)")
 		safetyDissem = flag.Bool("safety-dissem", false, "run the -safety-drill under digest ordering (internal/dissem)")
+		safetyPace   = flag.String("safety-pacemaker", "", "view-synchronizer arm for the -safety-drill (spotless, relay, doubling; empty = spotless)")
+
+		soak      = flag.Int("soak", 0, "run the seeded soak/chaos bake-off over this many seeds per (fault profile × pacemaker arm) cell — time-to-resync p50/p99 and commits-lost-per-fault on simulator virtual time — and exit non-zero on any divergence")
+		soakSeed  = flag.Int64("soak-seed-base", 1, "first chaos seed of the -soak sweep")
+		soakPace  = flag.String("pacemaker", "", "comma-separated view-synchronizer arms for the -soak sweep (empty = all of spotless, relay, doubling)")
+		soakFault = flag.String("soak-profiles", "", "comma-separated fault profiles for the -soak sweep (empty = partitions, gray, skew)")
 	)
 	flag.Parse()
+
+	if *soak > 0 {
+		start := time.Now()
+		o := bench.SoakOptions{Seeds: *soak, SeedBase: *soakSeed}
+		if *soakPace != "" {
+			o.Pacemakers = splitList(*soakPace)
+		}
+		if *soakFault != "" {
+			o.Profiles = splitList(*soakFault)
+		}
+		res, err := bench.RunSoak(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(soak completed in %s)\n", time.Since(start).Round(time.Millisecond))
+		if len(res.Divergences()) > 0 {
+			os.Exit(1) // chaos must degrade liveness, never safety
+		}
+		return
+	}
 
 	if *safetyDrill > 0 {
 		start := time.Now()
 		res := bench.RunSafetyDrill(bench.SafetyDrillOptions{
 			Seeds: *safetyDrill, SeedBase: *safetySeed, Legacy: *safetyOld, Dissem: *safetyDissem,
+			Pacemaker: *safetyPace,
 		})
 		fmt.Print(res.String())
 		fmt.Printf("(drill completed in %s)\n", time.Since(start).Round(time.Millisecond))
@@ -106,10 +137,25 @@ func main() {
 		}
 	}
 
+	runFigures(selected, *quick)
+}
+
+// splitList parses a comma-separated flag value, dropping blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func runFigures(selected []bench.Figure, quick bool) {
 	for _, f := range selected {
 		start := time.Now()
 		fmt.Printf("### %s — %s\n\n", f.ID, f.Title)
-		for _, t := range f.Run(*quick) {
+		for _, t := range f.Run(quick) {
 			fmt.Println(t.String())
 		}
 		fmt.Printf("(%s completed in %s)\n\n", f.ID, time.Since(start).Round(time.Millisecond))

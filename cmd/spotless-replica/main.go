@@ -27,6 +27,7 @@ import (
 	"spotless/internal/crypto"
 	"spotless/internal/dissem"
 	"spotless/internal/ledger"
+	"spotless/internal/metrics"
 	"spotless/internal/runtime"
 	"spotless/internal/transport"
 	"spotless/internal/types"
@@ -89,8 +90,13 @@ func main() {
 		idleWait  = flag.Duration("idle-backoff", 25*time.Millisecond, "pace view entry when no client batches are pending (0 disables; keep below -timeout)")
 		instWkrs  = flag.Int("instance-workers", 0, "event-loop goroutines hosting the m consensus instances (plus one ordering stage); 0 sizes adaptively to min(m, GOMAXPROCS), 1 keeps the classic single loop")
 		useDissem = flag.Bool("dissem", false, "digest ordering: disseminate client batches with availability certificates, consensus orders digests only")
+		pacemaker = flag.String("pacemaker", "", "view-synchronizer arm: spotless (adaptive, default), relay (linear escalation), doubling (exponential backoff)")
+		metrAddr  = flag.String("metrics-addr", "", "serve the plain-text /metrics endpoint on this address (e.g. 127.0.0.1:9090; empty disables)")
 	)
 	flag.Parse()
+	if _, err := core.PacemakerByName(*pacemaker); err != nil {
+		log.Fatalf("spotless-replica: %v", err)
+	}
 
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
@@ -171,6 +177,7 @@ func main() {
 	// thousands of no-op views per second; with it, view entry waits up to
 	// the backoff for a client batch before proposing the no-op filler.
 	cfg.IdleBackoff = *idleWait
+	cfg.Pacemaker = *pacemaker
 	if *ckptEvery > 0 {
 		// Checkpoint + GC + state transfer: bounds memory in long runs and
 		// lets a restarted replica rejoin from the stable checkpoint (the
@@ -187,6 +194,21 @@ func main() {
 	// Verification pipeline: MAC checks on the transport readers, declared
 	// signature checks on the node's worker pool, before the event loop.
 	tr.SetIngress(rep, node.Verifier())
+
+	if *metrAddr != "" {
+		// The source re-resolves through closures so the endpoint stays
+		// correct if the consensus stack is ever rebuilt in-process.
+		src := metrics.Source{Replica: func() *core.Replica { return rep }}
+		if layer := cfg.Dissem; layer != nil {
+			src.Dissem = func() *dissem.Layer { return layer }
+		}
+		ln, err := metrics.Serve(*metrAddr, src)
+		if err != nil {
+			log.Fatalf("spotless-replica: metrics listener: %v", err)
+		}
+		defer ln.Close()
+		log.Printf("metrics on http://%s/metrics", ln.Addr())
+	}
 
 	if err := tr.Start(); err != nil {
 		log.Fatal(err)

@@ -33,6 +33,11 @@ type SafetyDrillOptions struct {
 	BatchSize int           // txns per client batch (default 5)
 	Duration  time.Duration // virtual time per seed (default 1.5s)
 
+	// Pacemaker selects the view-synchronizer arm every replica runs
+	// ("" = spotless; see core.PacemakerArms) — the bake-off's safety leg:
+	// the divergence bar must hold under every arm.
+	Pacemaker string
+
 	// Dissem runs the drill under digest ordering: batches travel through
 	// the dissemination layer, instances propose certified digests only,
 	// and the same block-for-block agreement must hold.
@@ -114,6 +119,7 @@ func runSafetySeed(o SafetyDrillOptions, seed int64) ([][]SlotRecord, uint64) {
 		cfg.InitialRecordingTimeout = 20 * time.Millisecond
 		cfg.InitialCertifyTimeout = 20 * time.Millisecond
 		cfg.MinTimeout = 5 * time.Millisecond
+		cfg.Pacemaker = o.Pacemaker
 		cfg.UnsafeLegacyResolution = o.Legacy
 		if o.Dissem {
 			cfg.Dissem = dissem.New(dissem.Config{N: n, F: f})
@@ -232,6 +238,9 @@ func (r SafetyDrillResult) String() string {
 	}
 	if r.Options.Dissem {
 		mode += " + digest ordering"
+	}
+	if r.Options.Pacemaker != "" && r.Options.Pacemaker != "spotless" {
+		mode += " + " + r.Options.Pacemaker + " pacemaker"
 	}
 	fmt.Fprintf(&sb, "safety drill: %d seeds, n=%d m=%d, %s rules — %d divergent, %d blocks delivered, %d idle seeds\n",
 		len(r.Seeds), r.Options.N, r.Options.Instances, mode, len(r.Divergent), r.Delivered, r.Idle)

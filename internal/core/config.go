@@ -82,6 +82,18 @@ type Config struct {
 	// or backups will claim(∅) before the paced proposal arrives.
 	IdleBackoff time.Duration
 
+	// Pacemaker selects the view-synchronizer arm by name: "spotless" (the
+	// default — the paper's §3.5 adaptive timers), "relay" (Cogsworth-style
+	// linear escalation with reset-on-progress), or "doubling"
+	// (Lumiere-style exponential backoff). See pacemaker.go and the
+	// bench.RunSoak bake-off. Unknown names panic at construction; the cmd
+	// binaries validate through PacemakerByName first.
+	Pacemaker string
+	// PacemakerFactory overrides Pacemaker with a custom constructor (one
+	// call per instance shard). Tests use it to inject fixed-policy or
+	// instrumented pacemakers; nil resolves Pacemaker by name.
+	PacemakerFactory PacemakerFactory
+
 	// UnsafeLegacyResolution restores the seed's view-resolution rules —
 	// bare A3 (any conditionally prepared parent above the lock unlocks),
 	// the unknown-claim echo, the tip-only commit quorum, and the

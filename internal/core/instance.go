@@ -109,11 +109,10 @@ type Instance struct {
 	// links can certify in any order — see maybeCommitChains).
 	certTips []*proposal
 
-	// Adaptive timers (§3.5).
-	tR, tA           time.Duration
-	lastTimeoutViewR types.View
-	lastTimeoutViewA types.View
-	certStart        time.Duration
+	// pm owns the adaptive-timer policy (§3.5) behind the Pacemaker
+	// interface; certStart anchors the elapsed-time feedback it receives.
+	pm        Pacemaker
+	certStart time.Duration
 
 	lastProgressView types.View // for periodic retransmission
 	proposedView     types.View // highest view we already proposed (fast path)
@@ -167,11 +166,7 @@ func newInstance(r *Replica, id int32) *Instance {
 		cpHead:     g,
 		lastCommit: g,
 		certJobs:   make(map[uint64]certJob),
-		tR:         r.cfg.InitialRecordingTimeout,
-		tA:         r.cfg.InitialCertifyTimeout,
-		// Sentinels: a first timeout at view 1 is not "consecutive".
-		lastTimeoutViewR: ^types.View(0) - 1,
-		lastTimeoutViewA: ^types.View(0) - 1,
+		pm:         r.newPacemaker(id),
 		// A fresh (or restarted) replica's first chain-gap Ask must not be
 		// rate-limited by the zero timestamp.
 		lastGapAsk:   -r.cfg.RetransmitInterval,
@@ -228,7 +223,7 @@ func (in *Instance) enterView(v types.View) {
 	in.viewMirror.Store(uint64(v))
 	in.state = stRecording
 	in.viewStart = in.r.ctx.Now()
-	in.r.ctx.SetTimer(in.tR, protocol.TimerTag{Kind: protocol.TimerRecording, Instance: in.id, View: v})
+	in.r.ctx.SetTimer(in.pm.EnterView(v), protocol.TimerTag{Kind: protocol.TimerRecording, Instance: in.id, View: v})
 	if in.primaryOf(v) == in.r.ctx.ID() {
 		in.propose(v)
 	}
@@ -254,23 +249,19 @@ func (in *Instance) propose(v types.View) {
 	batch := in.nextProposalBatch()
 	if batch == nil {
 		// Idle pacing: with no client batch pending, delay the no-op filler
-		// by IdleBackoff instead of letting idle views spin unboundedly. The
-		// timer re-invokes propose; a batch that arrived meanwhile proposes
-		// then, and the no-op goes out only when the wait expires with the
-		// queue still empty (idleWait marks the view already waited for).
-		// The wait is capped at tR/2: the adaptive recording timeout can
-		// shrink below the configured backoff, and a wait that outlives tR
-		// would let every backup (and ourselves) claim(∅) before the paced
-		// proposal ever goes out — liveness would then ride on client
-		// retransmissions. At tR/2 the proposal always lands within the
-		// recording window, and the tR-halving rule cannot shrink tR below
-		// twice the wait, so pacing self-stabilizes instead of oscillating.
-		if in.r.cfg.IdleBackoff > 0 && in.idleWait < v {
+		// by the pacemaker's IdleDelay instead of letting idle views spin
+		// unboundedly. The timer re-invokes propose; a batch that arrived
+		// meanwhile proposes then, and the no-op goes out only when the wait
+		// expires with the queue still empty (idleWait marks the view already
+		// waited for). Every arm caps the wait at tR/2 (see idlePacing): a
+		// wait that outlives tR would let every backup (and ourselves)
+		// claim(∅) before the paced proposal ever goes out — liveness would
+		// then ride on client retransmissions. At tR/2 the proposal always
+		// lands within the recording window, and the tR-halving rule cannot
+		// shrink tR below twice the wait, so pacing self-stabilizes instead
+		// of oscillating.
+		if delay := in.pm.IdleDelay(v); delay > 0 && in.idleWait < v {
 			in.idleWait = v
-			delay := in.r.cfg.IdleBackoff
-			if in.tR/2 < delay {
-				delay = in.tR / 2
-			}
 			in.r.ctx.SetTimer(delay,
 				protocol.TimerTag{Kind: protocol.TimerPropose, Instance: in.id, View: v})
 			return
@@ -443,10 +434,9 @@ func (in *Instance) tryAccept(p *proposal, msg *types.Propose) {
 	}
 	s.accepted = p
 	in.sendSync(p.view, types.Claim{View: p.view, Digest: p.digest}, false)
-	// Halve tR when the awaited proposal arrived within half the timeout.
-	if in.r.ctx.Now()-in.viewStart < in.tR/2 {
-		in.tR = clampTimeout(in.tR/2, in.r.cfg)
-	}
+	// Progress feedback (§3.5): the spotless arm halves tR when the awaited
+	// proposal arrived within half the timeout; other arms reset their ramp.
+	in.pm.ProposalAccepted(p.view, in.r.ctx.Now()-in.viewStart)
 	// Geo fast path (§6.1): as the next view's primary, propose extending P
 	// optimistically before its vote quorum completes. Backups still gate
 	// their votes on A1, so a failed parent only costs this one proposal.
@@ -798,6 +788,9 @@ func (in *Instance) catchUpTo(w types.View) {
 			in.sendSync(u, types.Claim{View: u, Empty: true}, true)
 		}
 	}
+	// A catch-up jump is a resync event: record how long the instance sat in
+	// the view it fell behind at (soak instrumentation + /metrics).
+	in.r.noteResync(in.r.ctx.Now() - in.viewStart)
 	in.enterView(w)
 }
 
@@ -842,7 +835,7 @@ func (in *Instance) checkTransitions() {
 	if in.state == stSyncing && len(s.syncs) >= q {
 		in.state = stCertifying
 		in.certStart = in.r.ctx.Now()
-		in.r.ctx.SetTimer(in.tA, protocol.TimerTag{Kind: protocol.TimerCertifying, Instance: in.id, View: v})
+		in.r.ctx.SetTimer(in.pm.EnterCertify(v), protocol.TimerTag{Kind: protocol.TimerCertifying, Instance: in.id, View: v})
 	}
 
 	// n−f matching claims: the view resolves to the certified proposal;
@@ -861,8 +854,8 @@ func (in *Instance) checkTransitions() {
 				s.asked = true
 				in.askFor(p, v)
 			}
-			if in.state == stCertifying && in.r.ctx.Now()-in.certStart < in.tA/2 {
-				in.tA = clampTimeout(in.tA/2, in.r.cfg)
+			if in.state == stCertifying {
+				in.pm.ViewCertified(v, in.r.ctx.Now()-in.certStart)
 			}
 			if in.view == v {
 				in.enterView(v + 1)
@@ -1239,6 +1232,9 @@ func (in *Instance) installAnchor(a types.Anchor) {
 	}
 	in.gcToAnchor(a)
 	if in.view <= a.View {
+		// State transfer advanced the instance past views it never ran — the
+		// heavyweight resync path (a restarted or long-partitioned replica).
+		in.r.noteResync(in.r.ctx.Now() - in.viewStart)
 		in.enterView(a.View + 1)
 	} else {
 		in.retryPending()
@@ -1330,10 +1326,7 @@ func (in *Instance) onTimer(tag protocol.TimerTag) {
 			return
 		}
 		// Failure in view v: claim(∅) (Figure 3, lines 18–19).
-		if in.lastTimeoutViewR+1 == tag.View {
-			in.tR = clampTimeout(in.tR+in.r.cfg.Epsilon, in.r.cfg)
-		}
-		in.lastTimeoutViewR = tag.View
+		in.pm.RecordingExpired(tag.View)
 		if in.vs(tag.View).ownSync == nil {
 			in.sendSync(tag.View, types.Claim{View: tag.View, Empty: true}, false)
 		}
@@ -1343,10 +1336,7 @@ func (in *Instance) onTimer(tag protocol.TimerTag) {
 		if tag.View != in.view || in.state != stCertifying {
 			return
 		}
-		if in.lastTimeoutViewA+1 == tag.View {
-			in.tA = clampTimeout(in.tA+in.r.cfg.Epsilon, in.r.cfg)
-		}
-		in.lastTimeoutViewA = tag.View
+		in.pm.CertifyExpired(tag.View)
 		in.enterView(tag.View + 1)
 	case protocol.TimerPropose:
 		// Idle-backoff expiry: if this view still awaits our proposal, issue

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spotless/internal/crypto"
 	"spotless/internal/dissem"
@@ -63,6 +64,14 @@ type Replica struct {
 	NoOps     uint64
 
 	deliveredMirror atomic.Uint64
+
+	// Resync instrumentation (soak harness + /metrics): a resync is a
+	// catch-up jump (f+1 replicas proved higher views exist) or a
+	// state-transfer install that advanced an instance past views it never
+	// ran. Written on instance shards, read from anywhere.
+	resyncs          atomic.Uint64
+	lastResyncNanos  atomic.Int64
+	totalResyncNanos atomic.Int64
 }
 
 type orderedCommit struct {
@@ -174,6 +183,27 @@ func (r *Replica) post(shard int32, fn func()) {
 // DeliveredCount reports the globally ordered non-noop batch count. Safe to
 // call from outside the event loops (operator polling, benchmarks).
 func (r *Replica) DeliveredCount() uint64 { return r.deliveredMirror.Load() }
+
+// noteResync records one resync event (instance-shard callers).
+func (r *Replica) noteResync(stalled time.Duration) {
+	r.resyncs.Add(1)
+	r.lastResyncNanos.Store(int64(stalled))
+	r.totalResyncNanos.Add(int64(stalled))
+}
+
+// Resyncs reports how many catch-up jumps and state-transfer advances this
+// replica performed. Safe from outside the event loops.
+func (r *Replica) Resyncs() uint64 { return r.resyncs.Load() }
+
+// LastResync reports how long the replica had been stalled when its most
+// recent resync fired (0 when none happened). Safe from outside the loops.
+func (r *Replica) LastResync() time.Duration { return time.Duration(r.lastResyncNanos.Load()) }
+
+// TotalResyncStall sums the stall durations across all resyncs. Safe from
+// outside the event loops.
+func (r *Replica) TotalResyncStall() time.Duration {
+	return time.Duration(r.totalResyncNanos.Load())
+}
 
 // HandleMessage implements protocol.Protocol, dispatching by instance.
 func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {

@@ -444,7 +444,7 @@ func TestAdaptiveTimeoutEpsilonAndHalving(t *testing.T) {
 	r := New(ctx, cfg)
 	r.Start()
 	in := r.Instance(0)
-	base := in.tR
+	base, _ := in.pm.Timeouts()
 	// Two consecutive recording timeouts in consecutive views.
 	r.HandleTimer(protocol.TimerTag{Kind: protocol.TimerRecording, Instance: 0, View: 1})
 	for _, from := range []types.NodeID{1, 2, 3} {
@@ -453,8 +453,8 @@ func TestAdaptiveTimeoutEpsilonAndHalving(t *testing.T) {
 			Sig: provFor(from).Sign(types.ClaimBytes(0, ec))})
 	}
 	r.HandleTimer(protocol.TimerTag{Kind: protocol.TimerRecording, Instance: 0, View: 2})
-	if in.tR != base+cfg.Epsilon {
-		t.Fatalf("consecutive timeout must add ε: got %v want %v", in.tR, base+cfg.Epsilon)
+	if tR, _ := in.pm.Timeouts(); tR != base+cfg.Epsilon {
+		t.Fatalf("consecutive timeout must add ε: got %v want %v", tR, base+cfg.Epsilon)
 	}
 	// A proposal arriving instantly (well under tR/2) halves the timeout.
 	for _, from := range []types.NodeID{1, 2, 3} {
@@ -462,11 +462,11 @@ func TestAdaptiveTimeoutEpsilonAndHalving(t *testing.T) {
 		r.HandleMessage(from, &types.Sync{Instance: 0, View: 2, Claim: ec,
 			Sig: provFor(from).Sign(types.ClaimBytes(0, ec))})
 	}
-	cur := in.tR
+	cur, _ := in.pm.Timeouts()
 	p3 := buildProposal(0, 3, types.Justification{Kind: types.JustGenesis}, 3)
 	r.HandleMessage(3, p3)
-	if in.tR != cur/2 {
-		t.Fatalf("fast arrival must halve tR: got %v want %v", in.tR, cur/2)
+	if tR, _ := in.pm.Timeouts(); tR != cur/2 {
+		t.Fatalf("fast arrival must halve tR: got %v want %v", tR, cur/2)
 	}
 }
 

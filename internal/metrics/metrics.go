@@ -1,0 +1,88 @@
+// Package metrics exposes a replica's operational counters as a minimal
+// plain-text /metrics endpoint (Prometheus text exposition, no client
+// library). The rows answer the operator questions the soak harness
+// quantifies offline: what view is each instance in, how many resyncs has
+// this replica been through, how long did the last one stall it, and is
+// the dissemination layer backfilling payloads it should have received
+// first-hand.
+//
+// Every value read here is an atomic mirror maintained by the owning
+// event loop (core.Instance.CurrentView, core.Replica.Resyncs, ...), so a
+// scrape never touches loop-private state and never blocks consensus.
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"spotless/internal/core"
+	"spotless/internal/dissem"
+)
+
+// Source resolves the live objects a scrape reads. These are getter
+// functions, not pointers: a crash-restart (runtime.Cluster.Restart, or
+// an operator bouncing spotless-replica's consensus stack) replaces the
+// replica object, and a scrape must always see the current incarnation's
+// counters — a captured pointer would keep exporting the dead one.
+type Source struct {
+	// Replica yields the consensus replica (required; nil yields a scrape
+	// error so a misconfigured exporter is visible, not silently empty).
+	Replica func() *core.Replica
+	// Dissem yields the digest-ordering layer, or nil when the replica
+	// runs without dissemination — the dissem_* rows are omitted then.
+	Dissem func() *dissem.Layer
+}
+
+// Handler serves the text exposition for src.
+func Handler(src Source) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var r *core.Replica
+		if src.Replica != nil {
+			r = src.Replica()
+		}
+		if r == nil {
+			http.Error(w, "metrics: no replica bound", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for i := 0; i < r.ShardCount(); i++ {
+			fmt.Fprintf(w, "spotless_view{instance=\"%d\"} %d\n", i, r.Instance(int32(i)).CurrentView())
+		}
+		fmt.Fprintf(w, "spotless_delivered_total %d\n", r.DeliveredCount())
+		fmt.Fprintf(w, "spotless_stable_height %d\n", r.StableHeight())
+		fmt.Fprintf(w, "spotless_resyncs_total %d\n", r.Resyncs())
+		fmt.Fprintf(w, "spotless_last_resync_seconds %g\n", r.LastResync().Seconds())
+		fmt.Fprintf(w, "spotless_resync_stall_seconds_total %g\n", r.TotalResyncStall().Seconds())
+		if src.Dissem == nil {
+			return
+		}
+		l := src.Dissem()
+		if l == nil {
+			return
+		}
+		st := l.Stats()
+		fmt.Fprintf(w, "spotless_dissem_disseminated_total %d\n", st.Disseminated)
+		fmt.Fprintf(w, "spotless_dissem_certs_built_total %d\n", st.CertsBuilt)
+		fmt.Fprintf(w, "spotless_dissem_certs_seen_total %d\n", st.CertsSeen)
+		fmt.Fprintf(w, "spotless_dissem_backfills_total %d\n", st.Backfills)
+		fmt.Fprintf(w, "spotless_dissem_served_total %d\n", st.Served)
+		fmt.Fprintf(w, "spotless_dissem_requeued_total %d\n", st.Requeued)
+	})
+}
+
+// Serve binds addr and serves /metrics in the background, returning the
+// listener (its Addr carries the resolved port for addr ":0"; Close stops
+// the server). Serving errors after a successful bind are ignored — the
+// endpoint is diagnostic, never load-bearing for consensus.
+func Serve(addr string, src Source) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(src))
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

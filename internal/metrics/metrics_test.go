@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spotless/internal/core"
+	"spotless/internal/dissem"
+	"spotless/internal/simnet"
+)
+
+func scrape(t *testing.T, h http.Handler) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+// TestHandlerExposition: the endpoint renders one view row per instance
+// plus the delivery/resync/checkpoint gauges, and appends the dissem
+// counters exactly when a layer is bound.
+func TestHandlerExposition(t *testing.T) {
+	sim := simnet.New(simnet.DefaultConfig(4))
+	cfg := core.DefaultConfig(4, 2)
+	r := core.New(sim.Context(0), cfg)
+
+	code, body := scrape(t, Handler(Source{Replica: func() *core.Replica { return r }}))
+	if code != http.StatusOK {
+		t.Fatalf("scrape status %d", code)
+	}
+	for _, want := range []string{
+		"spotless_view{instance=\"0\"} ",
+		"spotless_view{instance=\"1\"} ",
+		"spotless_delivered_total 0\n",
+		"spotless_stable_height 0\n",
+		"spotless_resyncs_total 0\n",
+		"spotless_last_resync_seconds 0\n",
+		"spotless_resync_stall_seconds_total 0\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "spotless_dissem_") {
+		t.Errorf("dissem rows exported without a dissemination layer:\n%s", body)
+	}
+
+	layer := dissem.New(dissem.Config{N: 4, F: 1})
+	_, body = scrape(t, Handler(Source{
+		Replica: func() *core.Replica { return r },
+		Dissem:  func() *dissem.Layer { return layer },
+	}))
+	for _, want := range []string{
+		"spotless_dissem_disseminated_total 0\n",
+		"spotless_dissem_certs_built_total 0\n",
+		"spotless_dissem_certs_seen_total 0\n",
+		"spotless_dissem_backfills_total 0\n",
+		"spotless_dissem_served_total 0\n",
+		"spotless_dissem_requeued_total 0\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestHandlerNoReplica: an unbound (or nil-resolving) source scrapes as
+// 503 — a misconfigured exporter must be visible, not silently empty.
+func TestHandlerNoReplica(t *testing.T) {
+	if code, _ := scrape(t, Handler(Source{})); code != http.StatusServiceUnavailable {
+		t.Fatalf("nil source: status %d, want 503", code)
+	}
+	if code, _ := scrape(t, Handler(Source{Replica: func() *core.Replica { return nil }})); code != http.StatusServiceUnavailable {
+		t.Fatalf("nil replica: status %d, want 503", code)
+	}
+}

@@ -1,14 +1,51 @@
 package runtime_test
 
 import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
+	"spotless/internal/core"
 	"spotless/internal/ledger"
+	"spotless/internal/metrics"
 	"spotless/internal/runtime"
 	"spotless/internal/types"
 	"spotless/internal/ycsb"
 )
+
+// scrapeMetrics fetches a /metrics exposition and parses it into a map
+// keyed by the metric name including its label block.
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scraping %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scraping %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
 
 // TestExecuteRollsBackForgedResults: a state-transfer certificate attests
 // only the chain-resume hash, so the segment above it is unattested — a
@@ -92,6 +129,19 @@ func TestClusterKillAndRejoin(t *testing.T) {
 	}
 	defer cl.Stop()
 
+	// The /metrics endpoint rides along the drill. The source re-resolves
+	// the replica on every scrape — Restart replaces the object, and the
+	// operator must see the live incarnation's counters, not the dead one's.
+	const victim = 3
+	ln, err := metrics.Serve("127.0.0.1:0", metrics.Source{
+		Replica: func() *core.Replica { return cl.Replicas[victim] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	metricsURL := "http://" + ln.Addr().String() + "/metrics"
+
 	await := func(k int, what string) {
 		deadline := time.After(30 * time.Second)
 		for i := 0; i < k; i++ {
@@ -104,13 +154,34 @@ func TestClusterKillAndRejoin(t *testing.T) {
 	}
 
 	await(12, "warmup commits")
-	const victim = 3
+	pre := scrapeMetrics(t, metricsURL)
+	if pre["spotless_delivered_total"] == 0 {
+		t.Fatalf("pre-kill scrape shows no deliveries: %v", pre)
+	}
 	cl.Kill(victim)
 	await(12, "commits during the outage")
 	if err := cl.Restart(victim); err != nil {
 		t.Fatal(err)
 	}
 	await(12, "commits after the restart")
+
+	// The restarted incarnation begins with zeroed resync counters; rejoining
+	// through the checkpoint subsystem (the anchor-install view jump) must
+	// move them, and the scrape must observe it across the object swap.
+	resyncDeadline := time.Now().Add(30 * time.Second)
+	for {
+		post := scrapeMetrics(t, metricsURL)
+		if post["spotless_resyncs_total"] >= 1 {
+			if post["spotless_resync_stall_seconds_total"] <= 0 {
+				t.Errorf("resync counted but no stall time recorded: %v", post)
+			}
+			break
+		}
+		if time.Now().After(resyncDeadline) {
+			t.Fatalf("rejoiner's resync counter never moved: %v", post)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 
 	// The revived replica must adopt a stable checkpoint and execute again.
 	deadline := time.Now().Add(30 * time.Second)

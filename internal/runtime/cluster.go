@@ -303,6 +303,11 @@ type ClusterConfig struct {
 	// 1-core hosts), and workers beyond m idle. Negative (or 1) pins the
 	// single event loop explicitly.
 	InstanceWorkers int
+	// Pacemaker selects the view-synchronizer arm every replica runs
+	// ("" = spotless; see core.PacemakerArms). Validated through
+	// core.PacemakerByName so a typo'd arm fails construction instead of
+	// panicking inside the first replica's event loop.
+	Pacemaker string
 	// Dissem enables digest ordering: each replica gets a fresh
 	// internal/dissem layer pulling its own source lane (lane = replica id,
 	// so Source must carry one stream per REPLICA, not per instance), and
@@ -344,6 +349,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.CheckpointInterval == 0 {
 		cfg.CheckpointInterval = 64
+	}
+	if _, err := core.PacemakerByName(cfg.Pacemaker); err != nil {
+		return nil, fmt.Errorf("runtime: %v", err)
 	}
 	n, f := cfg.N, (cfg.N-1)/3
 	clientID := types.ClientIDBase
@@ -396,6 +404,7 @@ func (c *Cluster) buildReplica(i int) error {
 	ccfg.InitialCertifyTimeout = 100 * time.Millisecond
 	ccfg.MinTimeout = 10 * time.Millisecond
 	ccfg.IdleBackoff = c.cfg.IdleBackoff
+	ccfg.Pacemaker = c.cfg.Pacemaker
 	if c.cfg.CheckpointInterval > 0 {
 		ccfg.CheckpointInterval = c.cfg.CheckpointInterval
 		ccfg.Host = exec

@@ -97,8 +97,37 @@ type Adversary struct {
 	rng   *rand.Rand
 	Rules []AdvRule
 
+	// dynamic holds rules installed mid-run by the chaos layer (see
+	// chaos.go), evaluated after the static Rules. Install/Uninstall pair
+	// through opaque tokens so overlapping fault episodes tear down only
+	// their own rules.
+	dynamic []advEntry
+	nextID  uint64
+
 	// Counters for drill reports.
 	Dropped, Delayed uint64
+}
+
+type advEntry struct {
+	id   uint64
+	rule AdvRule
+}
+
+// Install appends a rule mid-run and returns its removal token.
+func (a *Adversary) Install(rule AdvRule) uint64 {
+	a.nextID++
+	a.dynamic = append(a.dynamic, advEntry{id: a.nextID, rule: rule})
+	return a.nextID
+}
+
+// Uninstall removes a rule installed with Install; unknown tokens no-op.
+func (a *Adversary) Uninstall(token uint64) {
+	for i := range a.dynamic {
+		if a.dynamic[i].id == token {
+			a.dynamic = append(a.dynamic[:i], a.dynamic[i+1:]...)
+			return
+		}
+	}
 }
 
 // NewAdversary builds an adversary with an explicit rule list.
@@ -106,26 +135,35 @@ func NewAdversary(seed int64, rules ...AdvRule) *Adversary {
 	return &Adversary{rng: rand.New(rand.NewSource(seed)), Rules: rules}
 }
 
-// verdict decides the fate of one message: first matching rule wins.
+// verdict decides the fate of one message: the first matching rule —
+// static rules first, then chaos-installed dynamic ones — wins, even when
+// its probability coin comes up pass.
 func (a *Adversary) verdict(from, to types.NodeID, msg types.Message) (drop bool, delay time.Duration) {
 	class, instance, view := classify(msg)
 	for i := range a.Rules {
-		r := &a.Rules[i]
-		if !r.matches(from, to, class, instance, view) {
-			continue
+		if r := &a.Rules[i]; r.matches(from, to, class, instance, view) {
+			return a.apply(r)
 		}
-		if r.Prob > 0 && r.Prob < 1 && a.rng.Float64() >= r.Prob {
-			return false, 0
+	}
+	for i := range a.dynamic {
+		if r := &a.dynamic[i].rule; r.matches(from, to, class, instance, view) {
+			return a.apply(r)
 		}
-		if r.Drop {
-			a.Dropped++
-			return true, 0
-		}
-		if r.Delay > 0 {
-			a.Delayed++
-			return false, r.Delay
-		}
+	}
+	return false, 0
+}
+
+func (a *Adversary) apply(r *AdvRule) (drop bool, delay time.Duration) {
+	if r.Prob > 0 && r.Prob < 1 && a.rng.Float64() >= r.Prob {
 		return false, 0
+	}
+	if r.Drop {
+		a.Dropped++
+		return true, 0
+	}
+	if r.Delay > 0 {
+		a.Delayed++
+		return false, r.Delay
 	}
 	return false, 0
 }

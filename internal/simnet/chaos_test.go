@@ -1,0 +1,111 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func chaosCfg(profile string, seed int64) ChaosConfig {
+	return ChaosConfig{
+		Profile: profile,
+		Seed:    seed,
+		N:       4,
+		Start:   200 * time.Millisecond,
+		End:     2 * time.Second,
+	}
+}
+
+// TestChaosPlanDeterministic: the episode plan is a pure function of
+// (profile, seed) — same inputs, identical records.
+func TestChaosPlanDeterministic(t *testing.T) {
+	for _, profile := range ChaosProfiles {
+		a, err := New(DefaultConfig(4)).InstallChaos(chaosCfg(profile, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(DefaultConfig(4)).InstallChaos(chaosCfg(profile, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: plan lengths differ: %d vs %d", profile, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Kind != b[i].Kind || a[i].At != b[i].At || a[i].Heal != b[i].Heal || len(a[i].Victims) != len(b[i].Victims) {
+				t.Fatalf("%s: episode %d differs: %+v vs %+v", profile, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestChaosPlanShape: every profile plans non-overlapping episodes inside
+// the injection window, with victims drawn within the fault bound.
+func TestChaosPlanShape(t *testing.T) {
+	cfg := DefaultConfig(4)
+	f := (4 - 1) / 3
+	for _, profile := range ChaosProfiles {
+		for seed := int64(1); seed <= 5; seed++ {
+			ccfg := chaosCfg(profile, seed)
+			plan, err := New(cfg).InstallChaos(ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plan) == 0 {
+				t.Fatalf("%s seed %d: empty plan over a %v window", profile, seed, ccfg.End-ccfg.Start)
+			}
+			prevHeal := time.Duration(0)
+			for i, rec := range plan {
+				if rec.At < ccfg.Start || rec.Heal > ccfg.End {
+					t.Fatalf("%s seed %d: episode %d [%v, %v] outside window [%v, %v]", profile, seed, i, rec.At, rec.Heal, ccfg.Start, ccfg.End)
+				}
+				if rec.Heal <= rec.At {
+					t.Fatalf("%s seed %d: episode %d heals before it starts", profile, seed, i)
+				}
+				if rec.At < prevHeal {
+					t.Fatalf("%s seed %d: episode %d overlaps the previous one", profile, seed, i)
+				}
+				prevHeal = rec.Heal
+				if len(rec.Victims) == 0 {
+					t.Fatalf("%s seed %d: episode %d has no victims", profile, seed, i)
+				}
+				if rec.Kind == ProfilePartitions && len(rec.Victims) > f {
+					t.Fatalf("%s seed %d: episode %d partitions %d > f victims", profile, seed, i, len(rec.Victims))
+				}
+				if profile != ProfileMixed && rec.Kind != profile {
+					t.Fatalf("%s seed %d: episode %d has kind %s", profile, seed, i, rec.Kind)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosUnknownProfile: a typo'd profile errors instead of silently
+// running a fault-free soak.
+func TestChaosUnknownProfile(t *testing.T) {
+	if _, err := New(DefaultConfig(4)).InstallChaos(chaosCfg("partition", 1)); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestTimerSkewStretchesTimers: a skewed node's timers fire late by the
+// configured factor; resetting the skew restores exact timing.
+func TestTimerSkewStretchesTimers(t *testing.T) {
+	s := New(DefaultConfig(4))
+	s.SetTimerSkew(1, 1.0) // 2× slow clock
+	n := s.node(1)
+	if got := n.skewTimer(10 * time.Millisecond); got != 20*time.Millisecond {
+		t.Fatalf("skew 1.0: got %v want 20ms", got)
+	}
+	s.SetTimerSkew(1, -0.5)
+	if got := n.skewTimer(10 * time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("skew -0.5: got %v want 5ms", got)
+	}
+	s.SetTimerSkew(1, -2)
+	if got := n.skewTimer(10 * time.Millisecond); got <= 0 {
+		t.Fatalf("extreme negative skew must clamp above zero, got %v", got)
+	}
+	s.SetTimerSkew(1, 0)
+	if got := n.skewTimer(10 * time.Millisecond); got != 10*time.Millisecond {
+		t.Fatalf("cleared skew: got %v want 10ms", got)
+	}
+}

@@ -163,6 +163,12 @@ type simNode struct {
 
 	buffers []outBuffer // indexed by destination node index
 	down    bool
+	// timerSkew models a drifting local clock (chaos profiles): every timer
+	// the node arms is stretched by (1+skew) at schedule time. Positive =
+	// slow clock (timers fire late, the node under-reacts to stalls);
+	// negative = fast clock (premature claim(∅) spam). Message timing is
+	// unaffected — only the node's own timer base drifts.
+	timerSkew float64
 	// gen counts protocol incarnations (Restart): timers and verification
 	// completions scheduled by a previous incarnation are discarded at
 	// dispatch, modelling that a crash loses all pending timers.
@@ -392,6 +398,27 @@ func (s *Simulation) Restart(id types.NodeID, build func(ctx protocol.Context) p
 	s.runHandler(n, n.orderingLane(), func() { p.Start() })
 }
 
+// SetTimerSkew sets a replica's clock-drift factor (see simNode.timerSkew):
+// every timer it arms from now on is stretched to (1+skew)·d, clamped at 0.
+// skew 0 restores an exact clock. Call from a Schedule'd hook.
+func (s *Simulation) SetTimerSkew(id types.NodeID, skew float64) {
+	if skew < -0.95 {
+		skew = -0.95 // keep timers strictly forward-moving
+	}
+	s.node(id).timerSkew = skew
+}
+
+func (n *simNode) skewTimer(d time.Duration) time.Duration {
+	if n.timerSkew == 0 {
+		return d
+	}
+	sd := time.Duration(float64(d) * (1 + n.timerSkew))
+	if sd < 0 {
+		return 0
+	}
+	return sd
+}
+
 // BlockLink drops all traffic from a to b (network partition injection).
 func (s *Simulation) BlockLink(a, b types.NodeID, blocked bool) {
 	key := [2]int32{s.node(a).idx, s.node(b).idx}
@@ -574,7 +601,7 @@ func (s *Simulation) runHandler(n *simNode, lane int, fn func()) {
 		s.execute(n, d, finish)
 	}
 	for _, t := range s.pendingTimer {
-		s.push(event{at: finish + t.d, kind: evTimer, node: n.idx, tag: t.tag, gen: n.gen})
+		s.push(event{at: finish + n.skewTimer(t.d), kind: evTimer, node: n.idx, tag: t.tag, gen: n.gen})
 	}
 	for _, v := range s.pendingVerif {
 		s.push(event{at: finish, kind: evVerified, node: n.idx, tag: v.tag, ok: v.ok, gen: n.gen})
@@ -840,7 +867,7 @@ func (c *nodeCtx) SetTimer(d time.Duration, tag protocol.TimerTag) {
 		c.s.pendingTimer = append(c.s.pendingTimer, pendingTimer{d: d, tag: tag})
 		return
 	}
-	c.s.push(event{at: c.s.now + d, kind: evTimer, node: c.n.idx, tag: tag, gen: c.n.gen})
+	c.s.push(event{at: c.s.now + c.n.skewTimer(d), kind: evTimer, node: c.n.idx, tag: tag, gen: c.n.gen})
 }
 
 func (c *nodeCtx) Crypto() crypto.Provider { return c.n.crypto }
