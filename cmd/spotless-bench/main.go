@@ -37,12 +37,37 @@ func main() {
 		safetyDissem = flag.Bool("safety-dissem", false, "run the -safety-drill under digest ordering (internal/dissem)")
 		safetyPace   = flag.String("safety-pacemaker", "", "view-synchronizer arm for the -safety-drill (spotless, relay, doubling; empty = spotless)")
 
+		powercut = flag.Bool("powercut", false, "run the power-cut drill on the real runtime (kill -9 a durable replica under load, restart, meter the rejoin) against a memory-only control, and exit non-zero unless the durable replica replayed its chain from disk and transferred strictly less than the control")
+
 		soak      = flag.Int("soak", 0, "run the seeded soak/chaos bake-off over this many seeds per (fault profile × pacemaker arm) cell — time-to-resync p50/p99 and commits-lost-per-fault on simulator virtual time — and exit non-zero on any divergence")
 		soakSeed  = flag.Int64("soak-seed-base", 1, "first chaos seed of the -soak sweep")
 		soakPace  = flag.String("pacemaker", "", "comma-separated view-synchronizer arms for the -soak sweep (empty = all of spotless, relay, doubling)")
 		soakFault = flag.String("soak-profiles", "", "comma-separated fault profiles for the -soak sweep (empty = partitions, gray, skew)")
 	)
 	flag.Parse()
+
+	if *powercut {
+		start := time.Now()
+		o := bench.PowerCutOptions{}.WithDefaults()
+		warm, cold, err := bench.RunPowerCut(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powercut: %v\n", err)
+			os.Exit(2)
+		}
+		t := bench.PowerCutTable(warm, cold, o)
+		fmt.Println(t.String())
+		fmt.Printf("(powercut completed in %s)\n", time.Since(start).Round(time.Millisecond))
+		if warm.Replayed == 0 {
+			fmt.Fprintln(os.Stderr, "POWERCUT FAILED: durable replica replayed nothing from local disk")
+			os.Exit(1)
+		}
+		if warm.ChunkBlocks >= cold.ChunkBlocks {
+			fmt.Fprintf(os.Stderr, "POWERCUT FAILED: durable rejoin transferred %d blocks, control transferred %d — suffix fetch did not engage\n",
+				warm.ChunkBlocks, cold.ChunkBlocks)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *soak > 0 {
 		start := time.Now()

@@ -31,6 +31,7 @@ import (
 	"spotless/internal/runtime"
 	"spotless/internal/transport"
 	"spotless/internal/types"
+	"spotless/internal/wal"
 	"spotless/internal/ycsb"
 )
 
@@ -92,6 +93,8 @@ func main() {
 		useDissem = flag.Bool("dissem", false, "digest ordering: disseminate client batches with availability certificates, consensus orders digests only")
 		pacemaker = flag.String("pacemaker", "", "view-synchronizer arm: spotless (adaptive, default), relay (linear escalation), doubling (exponential backoff)")
 		metrAddr  = flag.String("metrics-addr", "", "serve the plain-text /metrics endpoint on this address (e.g. 127.0.0.1:9090; empty disables)")
+		dataDir   = flag.String("data-dir", "", "durable WAL-backed ledger directory: appends and checkpoint manifests persist here, and a restart (even kill -9) replays the chain and resumes from the stable checkpoint (empty keeps the ledger in memory)")
+		fsyncPol  = flag.String("fsync", "percommit", "WAL durability policy: percommit (fsync every append), batched (group fsyncs), off (page cache only)")
 	)
 	flag.Parse()
 	if _, err := core.PacemakerByName(*pacemaker); err != nil {
@@ -137,7 +140,25 @@ func main() {
 	}
 	store := ycsb.NewStore(*records, 64)
 	lg := ledger.New()
+	var durable *wal.Store
+	var resume *core.ResumeState
+	if *dataDir != "" {
+		pol, err := wal.ParseFsyncPolicy(*fsyncPol)
+		if err != nil {
+			log.Fatalf("spotless-replica: %v", err)
+		}
+		lg, durable, resume, err = runtime.OpenDurable(*dataDir, wal.Config{Fsync: pol, Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("spotless-replica: open %s: %v", *dataDir, err)
+		}
+		if h, _ := lg.Head(); h > 0 {
+			log.Printf("wal: replayed chain to height %d from %s", h, *dataDir)
+		}
+	}
 	exec := runtime.NewReplicaExecutor(self, store, lg, tr, types.ClientIDBase)
+	if durable != nil {
+		exec.BindDurable(durable)
+	}
 
 	node := runtime.NewNode(runtime.NodeConfig{
 		ID: self, N: *n, F: (*n - 1) / 3,
@@ -189,6 +210,11 @@ func main() {
 	if *useDissem {
 		cfg.Dissem = dissem.New(dissem.Config{N: *n, F: (*n - 1) / 3})
 	}
+	if err := runtime.ApplyResume(resume, &cfg, prov, exec); err != nil {
+		log.Printf("wal: resume state rejected (%v); rejoining over the network", err)
+	} else if cfg.Resume != nil {
+		log.Printf("wal: resuming from stable checkpoint at height %d", cfg.Resume.Cert.Height)
+	}
 	rep := core.New(node, cfg)
 	node.SetProtocol(rep)
 	// Verification pipeline: MAC checks on the transport readers, declared
@@ -201,6 +227,9 @@ func main() {
 		src := metrics.Source{Replica: func() *core.Replica { return rep }}
 		if layer := cfg.Dissem; layer != nil {
 			src.Dissem = func() *dissem.Layer { return layer }
+		}
+		if durable != nil {
+			src.WAL = func() *wal.Store { return durable }
 		}
 		ln, err := metrics.Serve(*metrAddr, src)
 		if err != nil {
@@ -232,9 +261,17 @@ func main() {
 		case <-stop:
 			node.Stop()
 			tr.Close()
+			if durable != nil {
+				if err := durable.Close(); err != nil {
+					log.Printf("wal close FAILED: %v", err)
+				}
+			}
 			if err := lg.Verify(); err != nil {
 				log.Printf("ledger verification FAILED: %v", err)
 				os.Exit(1)
+			}
+			if serr := lg.StoreErr(); serr != nil {
+				log.Printf("ledger persistence degraded: %v", serr)
 			}
 			fmt.Printf("replica %d: clean shutdown, ledger verified at height %d\n", *id, lg.Height())
 			return

@@ -254,7 +254,16 @@ func (r *Replica) stabilize(cert types.CheckpointCert, execHash, resume types.Di
 		r.post(in.id, func() { in.gcToAnchor(a) })
 	}
 	if r.cfg.Host != nil {
+		// Persist before truncating: the manifest must name the certificate
+		// before the pre-checkpoint segments become deletable, or a crash in
+		// between leaves a chain rooted above its last persisted cert.
+		r.cfg.Host.PersistCheckpoint(cert, execHash, resume, anchors)
 		r.cfg.Host.TruncateBelow(cert.Height)
+	}
+	if r.cfg.Dissem != nil {
+		// Frontier-driven payload GC: batches delivered at or below the
+		// stable height can never be re-proposed or backfilled again.
+		r.cfg.Dissem.GCToFrontier(cert.Height)
 	}
 	r.ctx.Logf("checkpoint stable at height %d (%d instances GC'd)", cert.Height, len(r.insts))
 }
@@ -294,6 +303,12 @@ func (r *Replica) maybeFetchState() {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	req := &types.FetchState{Have: r.Delivered}
+	if r.cfg.Host != nil {
+		// Advertise the retained chain head: a server that finds it on its
+		// own chain serves only the missing suffix — the O(suffix) rejoin
+		// path for a replica that replayed its chain from local disk.
+		req.Head, req.HeadHash = r.cfg.Host.Head()
+	}
 	for i, id := range ids {
 		if i >= w {
 			break
@@ -372,7 +387,18 @@ func (r *Replica) onFetchState(from types.NodeID, msg *types.FetchState) {
 		if limit <= 0 {
 			limit = 512
 		}
-		chunk.Blocks = r.cfg.Host.FetchBlocks(r.ckpt.stable.Height, limit)
+		// Serve from the requester's own chain head when it lies on ours
+		// (hash-checked): it replayed the prefix from local disk, so only
+		// the missing suffix travels. Anything else — no local chain, a
+		// pruned head, a diverged head — gets the full retained segment
+		// from the stable height.
+		serveFrom := r.ckpt.stable.Height
+		if msg.Head > serveFrom {
+			if hh, ok := r.cfg.Host.BlockHash(msg.Head - 1); ok && hh == msg.HeadHash {
+				serveFrom = msg.Head
+			}
+		}
+		chunk.Blocks = r.cfg.Host.FetchBlocks(serveFrom, limit)
 	}
 	r.ctx.Send(from, chunk)
 }
@@ -452,7 +478,7 @@ func (r *Replica) installState(chunk *types.StateChunk) {
 	// desync the two permanently. The fetch latch is already clear, so the
 	// next attestation simply re-triggers a fetch (from other vouchers).
 	if r.cfg.Host != nil {
-		if err := r.cfg.Host.InstallState(h, chunk.LedgerResume, chunk.Blocks); err != nil {
+		if err := r.cfg.Host.InstallState(chunk); err != nil {
 			r.ctx.Logf("state install at height %d rejected: %v", h, err)
 			return
 		}
@@ -480,6 +506,9 @@ func (r *Replica) installState(chunk *types.StateChunk) {
 	// The dedup window restarts at every checkpoint cut cluster-wide (see
 	// maybeCheckpoint); starting empty here matches the veterans exactly.
 	r.ord.seenBatch = make(map[types.Digest]bool)
+	if r.cfg.Dissem != nil {
+		r.cfg.Dissem.GCToFrontier(h)
+	}
 	// Advance every frontier and drop queued commits the checkpoint covers
 	// before any instance resumes delivering, so a drain triggered by one
 	// instance's install cannot re-deliver another's pre-checkpoint tail.

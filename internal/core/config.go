@@ -62,6 +62,14 @@ type Config struct {
 	// install). Optional: nil models a substrate without durable state
 	// (e.g. the simulator), where checkpoints cover protocol state only.
 	Host StateHost
+	// Resume rehydrates the replica from a locally persisted stable
+	// checkpoint (the WAL restart path): the delivery frontier, execution
+	// hash, anchors, and stable certificate are adopted at construction, and
+	// every instance re-enters the rotation from its anchor at Start — so a
+	// restarted replica needs only the missing suffix from the network, not
+	// a full state transfer. Callers validate it first (VerifyResume);
+	// nil starts from genesis. Requires CheckpointInterval > 0.
+	Resume *ResumeState
 	// PendingWindow bounds how far ahead of the current view proposals are
 	// buffered (flooding guard).
 	PendingWindow int
@@ -144,11 +152,25 @@ type StateHost interface {
 	// FetchBlocks returns up to max retained ledger blocks from the given
 	// height, serving state-transfer chunks.
 	FetchBlocks(from uint64, max int) []types.BlockRecord
+	// Head reports the retained chain head: the next height the ledger
+	// would append and the hash it chains from. Sent with FetchState so a
+	// server can serve only the suffix the requester is missing.
+	Head() (uint64, types.Digest)
+	// BlockHash returns the hash of the retained block at the given height
+	// (ok=false when pruned or beyond the head). A state-transfer server
+	// uses it to check that a requester's claimed head lies on this chain
+	// before serving a suffix instead of the full retained segment.
+	BlockHash(height uint64) (types.Digest, bool)
 	// InstallState adopts a verified stable checkpoint on a lagging
-	// replica: resume the ledger at the checkpoint height using the
-	// chain-resume hash and ingest the transferred blocks (the first of
-	// which carries the checkpoint height).
-	InstallState(height uint64, resume types.Digest, blocks []types.BlockRecord) error
+	// replica: re-root (or extend — see the runtime executor's keep-chain
+	// and suffix paths) the ledger at the certificate height using the
+	// chunk's chain-resume hash and ingest the transferred blocks.
+	InstallState(chunk *types.StateChunk) error
+	// PersistCheckpoint records stable-checkpoint metadata in durable
+	// storage (the WAL manifest) so a restarted replica can resume from it.
+	// Called on every stabilization; a host without durable storage may
+	// no-op.
+	PersistCheckpoint(cert types.CheckpointCert, execHash, resume types.Digest, anchors []types.Anchor)
 }
 
 // DefaultConfig returns a configuration for n replicas with m instances.

@@ -103,7 +103,7 @@ func TestOrderedDigestRefusedByClaimGate(t *testing.T) {
 	full := dissemBatch(3)
 	r.HandleMessage(1, &types.BatchDigest{Origin: 1, Batch: full})
 	r.HandleMessage(1, certFor(full.ID))
-	r.cfg.Dissem.Delivered(full.ID)
+	r.cfg.Dissem.Delivered(full.ID, 1)
 
 	stub := &types.Batch{ID: full.ID, Submitted: full.Submitted}
 	p := &types.Propose{Instance: 0, View: 1, Batch: stub, Parent: types.Justification{Kind: types.JustGenesis}}

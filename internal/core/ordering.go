@@ -303,7 +303,7 @@ func (r *Replica) deliver(inst int32, oc orderedCommit) {
 	r.deliveredMirror.Store(r.Delivered)
 	r.ctx.Deliver(types.Commit{Instance: inst, View: oc.view, Batch: oc.batch, Proposal: oc.dig})
 	if r.cfg.Dissem != nil {
-		r.cfg.Dissem.Delivered(oc.batch.ID)
+		r.cfg.Dissem.Delivered(oc.batch.ID, r.Delivered)
 	}
 	r.maybeCheckpoint()
 }

@@ -57,6 +57,11 @@ type Replica struct {
 	dWaiters map[types.Digest]map[int32]struct{}
 	dwTicks  int // dissemination timer ticks since the last waiter flush (ordering shard)
 
+	// resumed marks a replica rehydrated from a persisted checkpoint
+	// (Config.Resume): Start re-installs the stable anchors on every
+	// instance shard so each re-enters the rotation from its anchor.
+	resumed bool
+
 	// Stats exposed for tests and the harness. Written on the ordering
 	// stage; concurrent readers (operator polling a live sharded node) use
 	// DeliveredCount instead of the plain fields.
@@ -107,6 +112,9 @@ func New(ctx protocol.Context, cfg Config) *Replica {
 		r.dWaiters = make(map[types.Digest]map[int32]struct{})
 		cfg.Dissem.Bind(ctx, r.onDigestReady)
 	}
+	if cfg.Resume != nil && r.ckptEnabled() {
+		r.applyResume(cfg.Resume)
+	}
 	return r
 }
 
@@ -133,6 +141,14 @@ func (r *Replica) Start() {
 	for _, in := range r.insts {
 		in := in
 		r.post(in.id, in.start)
+	}
+	if r.resumed {
+		// Re-enter the rotation from the persisted anchors: posts to the
+		// same shard are ordered, so each installAnchor runs after start.
+		for i, in := range r.insts {
+			in, a := in, r.ckpt.stableAnch[i]
+			r.post(in.id, func() { in.installAnchor(a) })
+		}
 	}
 }
 

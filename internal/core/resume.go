@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spotless/internal/crypto"
+	"spotless/internal/protocol"
+	"spotless/internal/types"
+)
+
+// This file implements the crash-restart path of the checkpoint subsystem:
+// a replica that persisted a stable checkpoint certificate (internal/wal's
+// manifest) rehydrates consensus from it at construction instead of
+// rejoining as an amnesiac. The restart sequence mirrors installState —
+// delivery frontier at the certificate height, anchors as per-instance
+// resume points, a synthesized own attestation — except the ledger blocks
+// come from local segments (replayed and re-verified by ledger.Restore)
+// rather than a network chunk, and only the suffix past the local head is
+// ever fetched.
+
+// ResumeState is the locally persisted stable checkpoint a restarting
+// replica resumes from. It carries exactly the StateChunk fields that are
+// protocol state; the ledger blocks ride separately through the execution
+// layer's restart path.
+type ResumeState struct {
+	Cert     types.CheckpointCert
+	ExecHash types.Digest
+	Resume   types.Digest // chain-resume hash at the certified height
+	Anchors  []types.Anchor
+}
+
+// VerifyResume validates a persisted resume state against a configuration
+// before it is trusted: structural shape, the state-hash preimage, and —
+// synchronously, this is boot time — every certificate signature. A resume
+// that fails here must be discarded (start fresh and rejoin over the
+// network); installing unverified local state would let a tampered disk
+// teleport a replica onto a forged frontier.
+func VerifyResume(res *ResumeState, cfg Config, prov crypto.Provider) error {
+	if res == nil {
+		return errors.New("core: nil resume state")
+	}
+	if cfg.CheckpointInterval <= 0 {
+		return errors.New("core: resume requires checkpointing enabled")
+	}
+	h := res.Cert.Height
+	if h == 0 {
+		return errors.New("core: resume certificate at height 0")
+	}
+	if h%uint64(cfg.CheckpointInterval) != 0 {
+		return fmt.Errorf("core: resume height %d not aligned to interval %d", h, cfg.CheckpointInterval)
+	}
+	if len(res.Anchors) != cfg.Instances {
+		return fmt.Errorf("core: resume carries %d anchors, config has %d instances", len(res.Anchors), cfg.Instances)
+	}
+	q := protocol.Quorum(cfg.N, cfg.F)
+	if len(res.Cert.Sigs) < q || crypto.DistinctSigners(res.Cert.Sigs) < q {
+		return fmt.Errorf("core: resume certificate has %d signers, quorum is %d", crypto.DistinctSigners(res.Cert.Sigs), q)
+	}
+	for _, sig := range res.Cert.Sigs {
+		if sig.Signer < 0 || int(sig.Signer) >= cfg.N {
+			return fmt.Errorf("core: resume certificate signed by non-replica %d", sig.Signer)
+		}
+	}
+	if types.CheckpointStateHash(h, res.ExecHash, res.Resume, res.Anchors) != res.Cert.StateHash {
+		return errors.New("core: resume preimage does not match the attested state hash")
+	}
+	claim := types.CheckpointBytes(h, res.Cert.StateHash)
+	for _, sig := range res.Cert.Sigs {
+		if err := prov.Verify(sig, claim); err != nil {
+			return fmt.Errorf("core: resume certificate signature (replica %d): %w", sig.Signer, err)
+		}
+	}
+	return nil
+}
+
+// applyResume rehydrates ordering-stage state from a verified resume at
+// construction time (before Start, so no posts are needed): the delivery
+// frontier jumps to the certified cut, the stable checkpoint and execution
+// hash are restored, an own attestation is synthesized (the replica holds
+// exactly the attested state — its ledger was re-verified against the
+// certificate by the restart path), and the per-instance frontiers advance
+// to the anchors. Start then posts installAnchor per instance so each
+// shard re-enters the rotation from its anchor.
+func (r *Replica) applyResume(res *ResumeState) {
+	h := res.Cert.Height
+	r.Delivered = h
+	r.deliveredMirror.Store(h)
+	r.ckpt.execHash = res.ExecHash
+	copy(r.ckpt.anchors, res.Anchors)
+	r.ckpt.stable = res.Cert
+	r.ckpt.stableExec = res.ExecHash
+	r.ckpt.stableResume = res.Resume
+	r.ckpt.stableAnch = append([]types.Anchor(nil), res.Anchors...)
+	r.ckpt.stableMirror.Store(h)
+	r.ckpt.own = &types.Checkpoint{Height: h, StateHash: res.Cert.StateHash,
+		Sig: r.ctx.Crypto().Sign(types.CheckpointBytes(h, res.Cert.StateHash))}
+	// The batch-dedup window restarts at every cut cluster-wide (see
+	// maybeCheckpoint); starting empty matches the veterans' window at this
+	// cut, and deliveries above it are re-earned through consensus.
+	for i, a := range res.Anchors {
+		if a.View > r.ord.frontiers[i] {
+			r.ord.frontiers[i] = a.View
+		}
+	}
+	r.ord.recomputeMin()
+	if r.cfg.Dissem != nil {
+		r.cfg.Dissem.GCToFrontier(h)
+	}
+	r.resumed = true
+	r.ctx.Logf("resumed from persisted checkpoint at height %d", h)
+}

@@ -123,7 +123,7 @@ type Layer struct {
 	ready   []*types.Batch // own certified batches awaiting proposal, FIFO
 	infly   int            // own batches pulled and not yet delivered
 
-	orderedQ   []types.Digest // FIFO of delivered entries, for bounded retention
+	orderedQ   []orderedRef   // FIFO of delivered entries with their delivery heights
 	unorderedQ []types.Digest // FIFO of foreign entries, for the MaxUnordered bound
 
 	tombs map[types.Digest]struct{} // delivered digests evicted from entries
@@ -522,10 +522,20 @@ func (l *Layer) Backfill(id types.Digest, hint types.NodeID) {
 	}
 }
 
-// Delivered marks a digest ordered and delivered: own in-flight credit is
-// returned (opening the window for the next pull) and old delivered
-// entries beyond the retention bound are dropped.
-func (l *Layer) Delivered(id types.Digest) {
+// orderedRef remembers at which global delivery height a digest was
+// ordered, so eviction can follow the checkpoint frontier.
+type orderedRef struct {
+	id     types.Digest
+	height uint64
+}
+
+// Delivered marks a digest ordered and delivered at the given global
+// delivery height: own in-flight credit is returned (opening the window for
+// the next pull). Retention of the delivered payload is frontier-driven —
+// GCToFrontier evicts everything at or below the stable checkpoint, where
+// re-proposal and backfill are impossible by construction — with the
+// RetainOrdered count as a fallback cap for checkpoint-less deployments.
+func (l *Layer) Delivered(id types.Digest, height uint64) {
 	l.mu.Lock()
 	e := l.entries[id]
 	if e == nil || e.ordered {
@@ -545,23 +555,44 @@ func (l *Layer) Delivered(id types.Digest) {
 			}
 		}
 	}
-	l.orderedQ = append(l.orderedQ, id)
+	l.orderedQ = append(l.orderedQ, orderedRef{id: id, height: height})
 	for len(l.orderedQ) > l.cfg.RetainOrdered {
-		drop := l.orderedQ[0]
-		l.orderedQ = l.orderedQ[1:]
-		delete(l.entries, drop)
-		// Keep a digest-sized tombstone well past payload eviction so a
-		// replayed certificate cannot resurrect the delivered digest.
-		l.tombs[drop] = struct{}{}
-		l.tombQ = append(l.tombQ, drop)
-		for len(l.tombQ) > l.cfg.RetainDelivered {
-			t := l.tombQ[0]
-			l.tombQ = l.tombQ[1:]
-			delete(l.tombs, t)
-		}
+		l.evictOrderedLocked()
 	}
 	l.mu.Unlock()
 	l.Pump()
+}
+
+// evictOrderedLocked drops the oldest delivered entry, leaving a
+// digest-sized tombstone well past payload eviction so a replayed
+// certificate cannot resurrect the delivered digest.
+func (l *Layer) evictOrderedLocked() {
+	drop := l.orderedQ[0].id
+	l.orderedQ = l.orderedQ[1:]
+	delete(l.entries, drop)
+	l.tombs[drop] = struct{}{}
+	l.tombQ = append(l.tombQ, drop)
+	for len(l.tombQ) > l.cfg.RetainDelivered {
+		t := l.tombQ[0]
+		l.tombQ = l.tombQ[1:]
+		delete(l.tombs, t)
+	}
+}
+
+// GCToFrontier evicts delivered payloads at or below the stable checkpoint
+// height. Behind the stable frontier consensus state is garbage-collected
+// cluster-wide: no correct replica will re-propose such a digest, and
+// rejoiners recover the region via state transfer rather than backfill —
+// so holding the payloads serves no one. Eviction keyed to the frontier
+// (instead of the fixed RetainOrdered count) makes the payload store track
+// exactly what consensus can still reference. Called from the ordering
+// stage at every stabilization and state install.
+func (l *Layer) GCToFrontier(stable uint64) {
+	l.mu.Lock()
+	for len(l.orderedQ) > 0 && l.orderedQ[0].height <= stable {
+		l.evictOrderedLocked()
+	}
+	l.mu.Unlock()
 }
 
 // Ordered reports whether the digest is known delivered — a retained

@@ -29,10 +29,10 @@ func newFakeCtx(id types.NodeID) *fakeCtx {
 	return &fakeCtx{id: id, prov: crypto.NewSimProvider(id, crypto.CostModel{}, nil)}
 }
 
-func (c *fakeCtx) ID() types.NodeID                          { return c.id }
-func (c *fakeCtx) N() int                                    { return 4 }
-func (c *fakeCtx) F() int                                    { return 1 }
-func (c *fakeCtx) Now() time.Duration                        { return c.now }
+func (c *fakeCtx) ID() types.NodeID   { return c.id }
+func (c *fakeCtx) N() int             { return 4 }
+func (c *fakeCtx) F() int             { return 1 }
+func (c *fakeCtx) Now() time.Duration { return c.now }
 func (c *fakeCtx) Send(to types.NodeID, m types.Message) {
 	c.sent = append(c.sent, m)
 	c.sends = append(c.sends, sendRec{to: to, msg: m})
@@ -281,7 +281,7 @@ func TestDeliveredTombstoneRefusesResurrection(t *testing.T) {
 	for _, b := range []*types.Batch{old, fresh} {
 		l.OnMessage(0, &types.BatchDigest{Origin: 0, Batch: b})
 		l.OnMessage(0, &types.BatchCert{BatchID: b.ID, Sigs: ack(b)})
-		l.Delivered(b.ID)
+		l.Delivered(b.ID, 1)
 	}
 	// RetainOrdered=1: delivering fresh evicted old into a tombstone.
 	if l.Payload(old.ID) != nil {

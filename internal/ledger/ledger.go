@@ -42,12 +42,54 @@ type Snapshot struct {
 	Resume types.Digest
 }
 
+// Store is a durable mirror of the ledger's mutations (internal/wal is the
+// production implementation). Every chain-shape change — append, truncate,
+// rollback, reset — persists through it, so a crashed replica replays its
+// chain from local disk instead of re-fetching it over the network. Methods
+// are invoked under the ledger's lock on the ordering stage.
+type Store interface {
+	AppendBlock(b Block) error
+	Truncate(below uint64, resume types.Digest) error
+	Rollback(from uint64) error
+	Reset(s Snapshot) error
+}
+
 // Ledger is a hash chain, append-only above its truncation point.
 type Ledger struct {
 	mu     sync.RWMutex
 	base   uint64       // height of blocks[0]
 	resume types.Digest // hash of block base−1 (zero at genesis)
 	blocks []Block
+
+	store    Store // optional durable mirror
+	storeErr error // sticky: first persistence failure stops mirroring
+}
+
+// Bind attaches a durable store. Later mutations mirror through it; on the
+// first store error the ledger stops persisting (a gap mid-chain would
+// poison every later record — the surviving on-disk prefix stays valid) and
+// reports it via StoreErr. The in-memory chain is never affected.
+func (l *Ledger) Bind(st Store) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.store = st
+}
+
+// StoreErr reports the sticky durable-store failure, if any.
+func (l *Ledger) StoreErr() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.storeErr
+}
+
+// persistLocked mirrors one mutation to the bound store (mu held).
+func (l *Ledger) persistLocked(op func(Store) error) {
+	if l.store == nil || l.storeErr != nil {
+		return
+	}
+	if err := op(l.store); err != nil {
+		l.storeErr = err
+	}
 }
 
 // New creates an empty ledger rooted at genesis.
@@ -66,6 +108,7 @@ func (l *Ledger) Reset(s Snapshot) {
 	l.base = s.Height
 	l.resume = s.Resume
 	l.blocks = nil
+	l.persistLocked(func(st Store) error { return st.Reset(s) })
 }
 
 // Append adds a block for an executed batch and returns it.
@@ -89,6 +132,7 @@ func (l *Ledger) Append(c types.Commit, results types.Digest) Block {
 	}
 	b.Hash = computeHash(&b)
 	l.blocks = append(l.blocks, b)
+	l.persistLocked(func(st Store) error { return st.AppendBlock(b) })
 	return b
 }
 
@@ -161,6 +205,7 @@ func (l *Ledger) Truncate(below uint64) error {
 	l.resume = l.blocks[keep-1].Hash
 	l.blocks = append([]Block(nil), l.blocks[keep:]...)
 	l.base = below
+	l.persistLocked(func(st Store) error { return st.Truncate(below, l.resume) })
 	return nil
 }
 
@@ -181,6 +226,7 @@ func (l *Ledger) Rollback(from uint64) error {
 		return nil
 	}
 	l.blocks = l.blocks[:from-l.base]
+	l.persistLocked(func(st Store) error { return st.Rollback(from) })
 	return nil
 }
 
@@ -203,7 +249,47 @@ func (l *Ledger) AppendRecord(b types.BlockRecord) error {
 		return ErrBadHash
 	}
 	l.blocks = append(l.blocks, b)
+	l.persistLocked(func(st Store) error { return st.AppendBlock(b) })
 	return nil
+}
+
+// Head returns the next height to be appended together with the hash the
+// next block will chain from (the last block's hash, or the resume hash
+// when no blocks are retained) — the requester's position in a suffix
+// state-transfer fetch.
+func (l *Ledger) Head() (uint64, types.Digest) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.blocks) > 0 {
+		return l.base + uint64(len(l.blocks)), l.blocks[len(l.blocks)-1].Hash
+	}
+	return l.base, l.resume
+}
+
+// Restore rebuilds a ledger from a durable store's recovery output: the
+// snapshot and the replayed block records. Every record is re-verified
+// (hash and chain link); at the first broken link the on-disk tail is
+// rolled back to match the verified prefix and the remainder is dropped —
+// a restored replica never serves records it cannot vouch for. The store
+// is bound to the returned ledger, so later mutations persist through it.
+// The returned count is the number of blocks kept; err (non-fatal) reports
+// a replay cut short.
+func Restore(s Snapshot, blocks []Block, st Store) (*Ledger, int, error) {
+	l := NewAt(s)
+	var replayErr error
+	for i := range blocks {
+		if err := l.AppendRecord(blocks[i]); err != nil {
+			replayErr = fmt.Errorf("replayed block %d: %w", blocks[i].Height, err)
+			if st != nil {
+				if rbErr := st.Rollback(l.base + uint64(len(l.blocks))); rbErr != nil {
+					replayErr = fmt.Errorf("%v (disk rollback failed: %v)", replayErr, rbErr)
+				}
+			}
+			break
+		}
+	}
+	l.Bind(st)
+	return l, len(l.blocks), replayErr
 }
 
 // Verify re-hashes the retained chain and checks every link from the resume

@@ -18,6 +18,7 @@ import (
 
 	"spotless/internal/core"
 	"spotless/internal/dissem"
+	"spotless/internal/wal"
 )
 
 // Source resolves the live objects a scrape reads. These are getter
@@ -32,6 +33,9 @@ type Source struct {
 	// Dissem yields the digest-ordering layer, or nil when the replica
 	// runs without dissemination — the dissem_* rows are omitted then.
 	Dissem func() *dissem.Layer
+	// WAL yields the durable ledger store, or nil when ledgers are
+	// memory-only — the wal_* durability rows are omitted then.
+	WAL func() *wal.Store
 }
 
 // Handler serves the text exposition for src.
@@ -54,20 +58,35 @@ func Handler(src Source) http.Handler {
 		fmt.Fprintf(w, "spotless_resyncs_total %d\n", r.Resyncs())
 		fmt.Fprintf(w, "spotless_last_resync_seconds %g\n", r.LastResync().Seconds())
 		fmt.Fprintf(w, "spotless_resync_stall_seconds_total %g\n", r.TotalResyncStall().Seconds())
-		if src.Dissem == nil {
-			return
+		if src.Dissem != nil {
+			if l := src.Dissem(); l != nil {
+				st := l.Stats()
+				fmt.Fprintf(w, "spotless_dissem_disseminated_total %d\n", st.Disseminated)
+				fmt.Fprintf(w, "spotless_dissem_certs_built_total %d\n", st.CertsBuilt)
+				fmt.Fprintf(w, "spotless_dissem_certs_seen_total %d\n", st.CertsSeen)
+				fmt.Fprintf(w, "spotless_dissem_backfills_total %d\n", st.Backfills)
+				fmt.Fprintf(w, "spotless_dissem_served_total %d\n", st.Served)
+				fmt.Fprintf(w, "spotless_dissem_requeued_total %d\n", st.Requeued)
+			}
 		}
-		l := src.Dissem()
-		if l == nil {
-			return
+		if src.WAL != nil {
+			if st := src.WAL(); st != nil {
+				ws := st.Stats()
+				fmt.Fprintf(w, "spotless_wal_segments %d\n", ws.Segments)
+				fmt.Fprintf(w, "spotless_wal_bytes_on_disk %d\n", ws.BytesOnDisk)
+				fmt.Fprintf(w, "spotless_wal_head_height %d\n", ws.Head)
+				fmt.Fprintf(w, "spotless_wal_appends_total %d\n", ws.Appended)
+				fmt.Fprintf(w, "spotless_wal_fsyncs_total %d\n", ws.Syncs)
+				fmt.Fprintf(w, "spotless_wal_last_fsync_seconds %g\n", ws.LastFsync.Seconds())
+				fmt.Fprintf(w, "spotless_wal_replayed_blocks %d\n", ws.Replayed)
+				fmt.Fprintf(w, "spotless_wal_recovery_truncations_total %d\n", ws.Truncations)
+				failed := 0
+				if ws.Failed {
+					failed = 1
+				}
+				fmt.Fprintf(w, "spotless_wal_failed %d\n", failed)
+			}
 		}
-		st := l.Stats()
-		fmt.Fprintf(w, "spotless_dissem_disseminated_total %d\n", st.Disseminated)
-		fmt.Fprintf(w, "spotless_dissem_certs_built_total %d\n", st.CertsBuilt)
-		fmt.Fprintf(w, "spotless_dissem_certs_seen_total %d\n", st.CertsSeen)
-		fmt.Fprintf(w, "spotless_dissem_backfills_total %d\n", st.Backfills)
-		fmt.Fprintf(w, "spotless_dissem_served_total %d\n", st.Served)
-		fmt.Fprintf(w, "spotless_dissem_requeued_total %d\n", st.Requeued)
 	})
 }
 

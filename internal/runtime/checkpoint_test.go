@@ -85,7 +85,7 @@ func TestExecuteRollsBackForgedResults(t *testing.T) {
 	}
 
 	rejoiner := runtime.NewReplicaExecutor(1, ycsb.NewStore(1000, 64), ledger.New(), nil, types.ClientIDBase)
-	if err := rejoiner.InstallState(0, types.Digest{}, forgedLedger.Blocks(0, 0)); err != nil {
+	if err := rejoiner.InstallState(&types.StateChunk{Blocks: forgedLedger.Blocks(0, 0)}); err != nil {
 		t.Fatalf("install of a self-consistent forged segment failed structurally: %v", err)
 	}
 	for _, c := range commits {

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"path/filepath"
 	stdruntime "runtime"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"spotless/internal/dissem"
 	"spotless/internal/ledger"
 	"spotless/internal/types"
+	"spotless/internal/wal"
 	"spotless/internal/ycsb"
 )
 
@@ -25,9 +27,14 @@ type ReplicaExecutor struct {
 	client types.NodeID
 	// delivered is the global delivery position (non-noop commits executed).
 	// It trails the ledger head during post-install catch-up, when the
-	// canonical blocks were already imported via state transfer and the
-	// replayed executions must not append duplicates.
+	// canonical blocks were already imported via state transfer (or replayed
+	// from the WAL at restart) and the replayed executions must not append
+	// duplicates.
 	delivered uint64
+	// durable is the WAL store mirroring the ledger; nil for memory-only
+	// replicas. Checkpoint metadata persists through it so a restart resumes
+	// from the stable cut instead of rejoining as an amnesiac.
+	durable *wal.Store
 
 	// Reply cache (§5): clients retransmit unanswered requests, but a batch
 	// that already executed is deduplicated at delivery and never executes
@@ -108,6 +115,16 @@ func (e *ReplicaExecutor) Execute(c types.Commit) {
 // Ledger exposes the replica's ledger.
 func (e *ReplicaExecutor) Ledger() *ledger.Ledger { return e.ledger }
 
+// BindDurable mirrors the ledger into a WAL store and routes checkpoint
+// persistence to its manifest.
+func (e *ReplicaExecutor) BindDurable(st *wal.Store) {
+	e.durable = st
+	e.ledger.Bind(st)
+}
+
+// Durable exposes the WAL store backing the ledger (nil when memory-only).
+func (e *ReplicaExecutor) Durable() *wal.Store { return e.durable }
+
 // Store exposes the replica's table.
 func (e *ReplicaExecutor) Store() *ycsb.Store { return e.store }
 
@@ -138,15 +155,141 @@ func (e *ReplicaExecutor) FetchBlocks(from uint64, max int) []types.BlockRecord 
 	return e.ledger.Blocks(from, max)
 }
 
-// InstallState implements core.StateHost: re-root the ledger at the stable
-// checkpoint — even when the segment is empty, so subsequent appends carry
-// cluster-consistent heights and the replica's future attestations match —
-// and ingest the transferred blocks, verifying every link. The YCSB table
-// itself is not re-shipped: its content at the checkpoint is attested by
-// the result digests chained into the ledger, and a production deployment
-// would bulk-copy the table alongside (see docs/ARCHITECTURE.md); the
-// rejoining replica serves reads for keys written after the install.
-func (e *ReplicaExecutor) InstallState(height uint64, resume types.Digest, blocks []types.BlockRecord) error {
+// Head implements core.StateHost: the retained chain head sent with
+// FetchState so a server can serve only the missing suffix.
+func (e *ReplicaExecutor) Head() (uint64, types.Digest) { return e.ledger.Head() }
+
+// BlockHash implements core.StateHost: the hash of the retained block at
+// the given height, for verifying a requester's claimed head.
+func (e *ReplicaExecutor) BlockHash(height uint64) (types.Digest, bool) {
+	b, ok := e.ledger.Block(height)
+	return b.Hash, ok
+}
+
+// PersistCheckpoint implements core.StateHost: record the stable
+// certificate and its state-hash preimage in the WAL manifest so a restart
+// resumes from this cut. No-op for memory-only replicas.
+func (e *ReplicaExecutor) PersistCheckpoint(cert types.CheckpointCert, execHash, resume types.Digest, anchors []types.Anchor) {
+	if e.durable != nil {
+		_ = e.durable.SetCheckpoint(cert, execHash, resume, anchors)
+	}
+}
+
+// chainHashAt returns lg's chain hash at the given height: the hash the
+// block at that height chains from (resume hash at the base, the previous
+// block's hash above it). ok is false when the height is outside the
+// retained chain.
+func chainHashAt(lg *ledger.Ledger, height uint64) (types.Digest, bool) {
+	if s := lg.Snapshot(); height == s.Height {
+		return s.Resume, true
+	}
+	if b, ok := lg.Block(height - 1); ok {
+		return b.Hash, true
+	}
+	return types.Digest{}, false
+}
+
+// extendChain appends transferred blocks that extend the retained head,
+// skipping overlap with blocks already held, and stops quietly at the first
+// record that does not link: everything above the certified cut is
+// provisional either way, and the consensus replay arbitrates (Execute).
+func (e *ReplicaExecutor) extendChain(blocks []types.BlockRecord) {
+	for _, b := range blocks {
+		head, _ := e.ledger.Head()
+		if b.Height < head {
+			continue
+		}
+		if e.ledger.AppendRecord(b) != nil {
+			return
+		}
+	}
+}
+
+// InstallState implements core.StateHost: adopt a verified stable
+// checkpoint at the certificate height. Three paths, cheapest first:
+//
+//   - keep-chain: the retained chain already covers the certified cut and
+//     matches the attested resume hash (a WAL-restarted replica whose local
+//     replay reached the new frontier). Nothing is re-fetched; the chain is
+//     pruned to the cut and any transferred extension is grafted on.
+//   - suffix: the transferred blocks link onto the retained head and carry
+//     the chain to the certified cut, where the hash must equal the attested
+//     resume — transitively certifying the local prefix they build on. A
+//     cap-bounded chunk that falls short is banked (advancing the head the
+//     next FetchState claims) but the install reports failure so delivery
+//     does not advance past unattested state.
+//   - full re-root: the seed path — the segment anchors at the attested
+//     resume hash, the ledger is reset to the cut and the segment ingested.
+//
+// A local tail that contradicts the certificate is rolled back to the
+// executed frontier, so the next fetch claims an honest head. The YCSB
+// table itself is not re-shipped: its content at the checkpoint is attested
+// by the result digests chained into the ledger, and a production
+// deployment would bulk-copy the table alongside (see docs/ARCHITECTURE.md).
+func (e *ReplicaExecutor) InstallState(chunk *types.StateChunk) error {
+	height, resume, blocks := chunk.Cert.Height, chunk.LedgerResume, chunk.Blocks
+	head, headHash := e.ledger.Head()
+
+	// Keep-chain: local chain covers the cut and vouches for the certificate.
+	if head >= height {
+		if have, ok := chainHashAt(e.ledger, height); ok && have == resume {
+			e.extendChain(blocks)
+			if err := e.ledger.Truncate(height); err != nil {
+				return err
+			}
+			e.delivered = height
+			return nil
+		}
+		// The provisional tail contradicts the certified cut. Drop it back
+		// to the executed frontier — everything at or below e.delivered was
+		// earned through consensus plus local execution — and re-evaluate
+		// against the (now honest) head.
+		_ = e.ledger.Rollback(e.delivered)
+		head, headHash = e.ledger.Head()
+	}
+
+	// Suffix: blocks link onto the retained head and must carry the chain to
+	// the certified cut.
+	if head > 0 && head < height && len(blocks) > 0 &&
+		blocks[0].Height == head && blocks[0].Prev == headHash {
+		probe := ledger.NewAt(ledger.Snapshot{Height: head, Resume: headHash})
+		for _, b := range blocks {
+			if err := probe.AppendRecord(b); err != nil {
+				return err
+			}
+		}
+		if covered, _ := probe.Head(); covered >= height {
+			if hh, ok := chainHashAt(probe, height); !ok || hh != resume {
+				// The combined chain contradicts the certificate: the local
+				// prefix the suffix builds on is not canonical. Discard the
+				// unattested tail; the next fetch claims the executed
+				// frontier and is answered from the stable cut instead.
+				_ = e.ledger.Rollback(e.delivered)
+				return ledger.ErrBrokenChain
+			}
+			for _, b := range blocks {
+				if err := e.ledger.AppendRecord(b); err != nil {
+					return err // unreachable: the segment was validated above
+				}
+			}
+			if err := e.ledger.Truncate(height); err != nil {
+				return err
+			}
+			e.delivered = height
+			return nil
+		}
+		// Cap-bounded chunk short of the cut: bank the verified-linking
+		// blocks so the next fetch resumes from a higher head, but report
+		// failure — nothing attests them until a chunk reaches the cut.
+		for _, b := range blocks {
+			if err := e.ledger.AppendRecord(b); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("ledger: state chunk ends at %d, certificate at %d", head+uint64(len(blocks)), height)
+	}
+
+	// Full re-root (the seed path).
 	if len(blocks) > 0 {
 		// Honest servers serve from their stable height, which equals the
 		// certificate height; a segment starting anywhere else is forged.
@@ -272,6 +415,7 @@ type Cluster struct {
 	Nodes     []*Node
 	Replicas  []*core.Replica
 	Execs     []*ReplicaExecutor
+	Stores    []*wal.Store // per-replica WAL store; nil entries when memory-only
 	Client    *Client
 	ClientID  types.NodeID
 
@@ -313,6 +457,18 @@ type ClusterConfig struct {
 	// so Source must carry one stream per REPLICA, not per instance), and
 	// consensus carries digest references instead of payloads.
 	Dissem bool
+	// DataDir enables durable WAL-backed ledgers: replica i keeps its
+	// segments and checkpoint manifest under DataDir/r<i>. Kill abandons the
+	// store without a final sync (the kill-9 model) and Restart replays it
+	// from disk, resuming from the persisted stable checkpoint. "" keeps
+	// ledgers memory-only (the seed behaviour).
+	DataDir string
+	// Fsync selects the WAL durability policy (default per-commit).
+	Fsync wal.FsyncPolicy
+	// FS overrides the WAL filesystem. Tests inject wal.MemFS for
+	// deterministic power-cut semantics (Crash drops unsynced bytes); nil
+	// uses the OS filesystem.
+	FS     wal.FS
 	Tune   func(i int, cfg *core.Config)
 	OnDone func(types.Digest)
 }
@@ -374,6 +530,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	cl.Nodes = make([]*Node, n)
 	cl.Replicas = make([]*core.Replica, n)
 	cl.Execs = make([]*ReplicaExecutor, n)
+	cl.Stores = make([]*wal.Store, n)
 	for i := 0; i < n; i++ {
 		if err := cl.buildReplica(i); err != nil {
 			return nil, err
@@ -385,15 +542,96 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return cl, nil
 }
 
+// OpenDurable mounts a replica's WAL directory, replays and re-verifies the
+// retained chain, and derives the consensus resume state from the persisted
+// stable checkpoint. Disk that contradicts itself degrades safely rather
+// than poisoning the replica: the chain keeps only its verified prefix, and
+// a chain that cannot vouch for the persisted certificate (or a truncated
+// chain with no certificate at all) is reset to genesis so the replica
+// rejoins over the network instead of serving records nobody attested.
+func OpenDurable(dir string, cfg wal.Config) (*ledger.Ledger, *wal.Store, *core.ResumeState, error) {
+	st, rec, err := wal.Open(dir, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lg, _, replayErr := ledger.Restore(rec.Snapshot, rec.Blocks, st)
+	if replayErr != nil {
+		cfg.Logf("wal: %v", replayErr)
+	}
+	if rec.Checkpoint == nil {
+		if lg.Snapshot().Height > 0 {
+			// A truncated chain whose certificate is gone cannot prove its
+			// own resume point. Fail loudly and start over.
+			cfg.Logf("wal: truncated chain at base %d has no checkpoint certificate; resetting", rec.Snapshot.Height)
+			lg.Reset(ledger.Snapshot{})
+		}
+		return lg, st, nil, nil
+	}
+	ck := rec.Checkpoint
+	res := &core.ResumeState{Cert: ck.Cert, ExecHash: ck.ExecHash, Resume: ck.Resume, Anchors: ck.Anchors}
+	// The replayed chain must vouch for the certificate: its hash at the
+	// certified height has to equal the attested resume. (A crash between
+	// manifest write and segment truncation leaves the base below the
+	// certified height — the chain still covers the cut and verifies.)
+	head, _ := lg.Head()
+	if hh, ok := chainHashAt(lg, ck.Cert.Height); head < ck.Cert.Height || !ok || hh != ck.Resume {
+		cfg.Logf("wal: replayed chain (head %d) cannot vouch for checkpoint at %d; resetting", head, ck.Cert.Height)
+		lg.Reset(ledger.Snapshot{})
+		return lg, st, nil, nil
+	}
+	return lg, st, res, nil
+}
+
+// ApplyResume validates a restored resume state against the replica's
+// consensus configuration and wires it in: on success cfg.Resume is set and
+// the executor's delivery cursor jumps to the certified height, so the
+// catch-up replay confirms the WAL-replayed blocks instead of duplicating
+// them. On failure (tampered manifest, wrong cluster shape, checkpointing
+// disabled) the resume is dropped and the returned error says why; a chain
+// based above genesis is then reset, because consensus restarts at delivery
+// 0 and a truncated chain would desync every appended height. A nil res
+// only applies the reset rule.
+func ApplyResume(res *core.ResumeState, cfg *core.Config, prov crypto.Provider, exec *ReplicaExecutor) error {
+	var verr error
+	if res != nil {
+		if verr = core.VerifyResume(res, *cfg, prov); verr == nil {
+			cfg.Resume = res
+			exec.delivered = res.Cert.Height
+		}
+	}
+	if cfg.Resume == nil {
+		if lg := exec.Ledger(); lg.Snapshot().Height > 0 {
+			lg.Reset(ledger.Snapshot{})
+		}
+	}
+	return verr
+}
+
 // buildReplica constructs (or reconstructs) replica i with a fresh node,
-// executor, and protocol instance.
+// executor, and protocol instance. With DataDir set, the ledger is restored
+// from the replica's WAL and consensus resumes from the persisted stable
+// checkpoint (validated by core.VerifyResume; anything unverifiable is
+// dropped and the replica rejoins over the network).
 func (c *Cluster) buildReplica(i int) error {
 	id := types.NodeID(i)
 	prov, err := c.ring.Provider(id)
 	if err != nil {
 		return err
 	}
-	exec := NewReplicaExecutor(id, ycsb.NewStore(c.cfg.Records, 64), ledger.New(), c.Transport, c.ClientID)
+	lg := ledger.New()
+	var durable *wal.Store
+	var res *core.ResumeState
+	if c.cfg.DataDir != "" {
+		dir := filepath.Join(c.cfg.DataDir, fmt.Sprintf("r%d", i))
+		lg, durable, res, err = OpenDurable(dir, wal.Config{FS: c.cfg.FS, Fsync: c.cfg.Fsync})
+		if err != nil {
+			return fmt.Errorf("runtime: replica %d wal: %w", i, err)
+		}
+	}
+	exec := NewReplicaExecutor(id, ycsb.NewStore(c.cfg.Records, 64), lg, c.Transport, c.ClientID)
+	if durable != nil {
+		exec.BindDurable(durable)
+	}
 	node := NewNode(NodeConfig{
 		ID: id, N: c.N, F: c.F,
 		Transport: c.Transport, Crypto: prov, Source: c.src, Executor: exec,
@@ -415,25 +653,30 @@ func (c *Cluster) buildReplica(i int) error {
 	if c.cfg.Tune != nil {
 		c.cfg.Tune(i, &ccfg)
 	}
+	_ = ApplyResume(res, &ccfg, prov, exec)
 	rep := core.New(node, ccfg)
 	node.SetProtocol(rep)
 	c.Nodes[i] = node
 	c.Replicas[i] = rep
 	c.Execs[i] = exec
+	c.Stores[i] = durable
 	return nil
 }
 
 // Kill crashes replica i: its event loop stops and its in-memory state —
-// consensus bookkeeping, YCSB table, ledger — is abandoned.
+// consensus bookkeeping, YCSB table, ledger — is abandoned. The WAL store,
+// if any, is abandoned too WITHOUT a final sync (the kill-9 model): only
+// what the fsync policy already made durable survives a subsequent
+// power-cut (wal.MemFS.Crash) and is replayed by Restart.
 func (c *Cluster) Kill(i int) {
 	c.Nodes[i].Stop()
 }
 
-// Restart brings a killed replica back with empty state, as a crashed
-// process would restart. The fresh replica rejoins through the checkpoint
-// subsystem: it hears peers' attestations, fetches the stable checkpoint,
-// installs the anchors and the transferred ledger segment, and resumes
-// committing new batches.
+// Restart brings a killed replica back, as a crashed process would restart.
+// Memory-only replicas rejoin empty through the checkpoint subsystem (hear
+// attestations, fetch the stable checkpoint, install anchors and the
+// transferred segment). Durable replicas replay their WAL first and resume
+// from the persisted stable checkpoint, fetching only the missing suffix.
 func (c *Cluster) Restart(i int) error {
 	if err := c.buildReplica(i); err != nil {
 		return err
@@ -442,9 +685,15 @@ func (c *Cluster) Restart(i int) error {
 	return nil
 }
 
-// Stop shuts down all replicas.
+// Stop shuts down all replicas, closing durable stores cleanly (final
+// sync) — the opposite of Kill.
 func (c *Cluster) Stop() {
 	for _, nd := range c.Nodes {
 		nd.Stop()
+	}
+	for _, st := range c.Stores {
+		if st != nil {
+			_ = st.Close()
+		}
 	}
 }

@@ -557,6 +557,9 @@ type LocalTransport struct {
 	recvs map[types.NodeID]func(from types.NodeID, msg types.Message)
 	// Drop simulates link failure for (from, to) pairs (testing).
 	drop map[[2]types.NodeID]bool
+	// meter observes every delivered message (benchmarks tally rejoin
+	// traffic with it); nil when unset.
+	meter func(from, to types.NodeID, msg types.Message)
 }
 
 // NewLocalTransport creates an empty in-process transport.
@@ -579,9 +582,13 @@ func (t *LocalTransport) Send(from, to types.NodeID, msg types.Message) {
 	t.mu.RLock()
 	recv := t.recvs[to]
 	blocked := t.drop[[2]types.NodeID{from, to}]
+	meter := t.meter
 	t.mu.RUnlock()
 	if recv == nil || blocked {
 		return
+	}
+	if meter != nil {
+		meter(from, to, msg)
 	}
 	recv(from, msg)
 }
@@ -591,4 +598,13 @@ func (t *LocalTransport) SetDrop(from, to types.NodeID, drop bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.drop[[2]types.NodeID{from, to}] = drop
+}
+
+// SetMeter installs (or, with nil, removes) an observer for every delivered
+// message. The power-cut benchmark uses it to measure a rejoiner's traffic
+// in wire bytes.
+func (t *LocalTransport) SetMeter(meter func(from, to types.NodeID, msg types.Message)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.meter = meter
 }

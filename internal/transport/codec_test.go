@@ -58,7 +58,7 @@ func codecMessages() []types.Message {
 		&types.NarwhalCert{BatchID: d(9), Sigs: []types.Signature{sig(0, 7), sig(1, 8)}},
 		// Checkpointing & state transfer
 		&types.Checkpoint{Height: 64, StateHash: d(10), Sig: sig(3, 9)},
-		&types.FetchState{Have: 12},
+		&types.FetchState{Have: 12, Head: 66, HeadHash: d(17)},
 		&types.StateChunk{
 			Cert:         types.CheckpointCert{Height: 64, StateHash: d(10), Sigs: []types.Signature{sig(0, 1), sig(1, 2), sig(2, 3)}},
 			ExecHash:     d(11),

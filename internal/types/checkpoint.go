@@ -103,6 +103,14 @@ func CheckpointStateHash(height uint64, execHash, stateDigest Digest, anchors []
 // stable checkpoint beyond its own progress.
 type FetchState struct {
 	Have uint64 // requester's delivered height
+	// Head and HeadHash describe the requester's retained ledger tail: the
+	// next height its ledger would append and the hash of the block below it.
+	// A server whose retained chain contains that block serves only the
+	// suffix from Head — a crash-restarted replica that replayed its WAL
+	// re-fetches O(missing suffix) bytes, not the whole retained segment.
+	// Head 0 (no verifiable local tail) requests a full transfer.
+	Head     uint64
+	HeadHash Digest
 }
 
 // WireSize implements Message.

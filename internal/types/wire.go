@@ -770,11 +770,13 @@ func decodeCheckpoint(r *wireReader) Message {
 
 // AppendBinary appends the fixed-layout wire body to b.
 func (m *FetchState) AppendBinary(b []byte) []byte {
-	return appendU64(b, m.Have)
+	b = appendU64(b, m.Have)
+	b = appendU64(b, m.Head)
+	return append(b, m.HeadHash[:]...)
 }
 
 func decodeFetchState(r *wireReader) Message {
-	return &FetchState{Have: r.u64()}
+	return &FetchState{Have: r.u64(), Head: r.u64(), HeadHash: r.digest()}
 }
 
 // AppendBinary appends the fixed-layout wire body to b.

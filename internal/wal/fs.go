@@ -1,0 +1,313 @@
+// Package wal persists a replica's hash-chained ledger to append-only
+// segment files so a crashed replica restarts from its own disk and fetches
+// only the missing suffix over the network (O(suffix) rejoin instead of the
+// O(chain) full state transfer an amnesiac replica needs).
+//
+// Layout of a data directory:
+//
+//	MANIFEST              crash-consistent snapshot + stable checkpoint cert
+//	seg-<base16>.wal      append-only block records from height <base>
+//
+// Segments are aligned to checkpoint cuts: Truncate seals the active
+// segment and rolls a new one, so GC to the stable frontier is whole-file
+// deletion. Every record is CRC32C-framed; recovery truncates the torn
+// tail at the first corrupt record instead of refusing to start.
+package wal
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the narrow filesystem surface the store needs. The production
+// implementation is the OS; tests drive the store through MemFS, whose
+// crash and fault knobs make every corruption class deterministic.
+type FS interface {
+	// OpenFile opens name with os-style flags (O_RDWR|O_CREATE|O_APPEND...).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newname with oldname (the manifest commit).
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	MkdirAll(dir string) error
+}
+
+// File is the per-file surface: sequential reads for recovery, appends for
+// the hot path, Truncate for torn tails and rollbacks, Sync for durability.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// osFS is the production FS.
+type osFS struct{}
+
+// OSFS returns the real filesystem.
+func OSFS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// --- MemFS: in-memory FS with crash semantics and fault injection ---
+
+// memFile models a file as bytes plus a durable watermark: Sync promotes
+// everything written so far; Crash discards the unsynced tail. That is the
+// worst-case (and deterministic) power-cut model — anything not fsynced is
+// gone.
+type memFile struct {
+	data   []byte
+	synced int // durable length
+}
+
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	f      *memFile
+	off    int // read offset (handles are either scanned or appended, never both interleaved)
+	append bool
+	closed bool
+}
+
+// MemFS is a deterministic in-memory FS for recovery drills. The fault
+// knobs cover the injected-fault matrix: short writes, fsync errors,
+// bit flips, dropped files, failed renames, and whole-FS crashes.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+
+	// fault knobs (all one-shot unless noted)
+	shortWrite  int   // >0: next Write persists only this many bytes, then errors
+	failSync    error // non-nil: every Sync fails with this (sticky until cleared)
+	failRename  error // non-nil: next Rename fails (file stays at old name)
+	failedSyncs int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memFile)} }
+
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		f = &memFile{}
+		m.files[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = f.data[:0]
+		f.synced = 0
+	}
+	return &memHandle{fs: m, name: name, f: f, append: flag&os.O_APPEND != 0}, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failRename != nil {
+		err := m.failRename
+		m.failRename = nil
+		return err
+	}
+	f, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	// Renames are modelled as immediately durable (journaled-metadata FS);
+	// payload durability still requires the temp file to have been synced.
+	m.files[newname] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(dir string) error { return nil }
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := filepath.Clean(dir) + string(filepath.Separator)
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == filepath.Clean(dir) {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Crash simulates a power cut: every file loses its unsynced tail. The
+// store must be reopened (via Open) to observe the result; handles from
+// before the crash are poisoned.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.data = f.data[:f.synced]
+	}
+}
+
+// ShortWrite arranges for the next Write to persist only n bytes of its
+// payload and report an I/O error — the classic torn record.
+func (m *MemFS) ShortWrite(n int) {
+	m.mu.Lock()
+	m.shortWrite = n
+	m.mu.Unlock()
+}
+
+// FailSyncs makes every subsequent Sync fail with err (nil clears).
+func (m *MemFS) FailSyncs(err error) {
+	m.mu.Lock()
+	m.failSync = err
+	m.mu.Unlock()
+}
+
+// FailNextRename makes the next Rename fail with err (the manifest commit
+// that never lands).
+func (m *MemFS) FailNextRename(err error) {
+	m.mu.Lock()
+	m.failRename = err
+	m.mu.Unlock()
+}
+
+// FlipBit XORs one bit in the named file — silent media corruption.
+func (m *MemFS) FlipBit(name string, off int64, bit uint) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || off < 0 || off >= int64(len(f.data)) {
+		return false
+	}
+	f.data[off] ^= 1 << (bit % 8)
+	return true
+}
+
+// TruncateFile chops the named file to size — a torn tail without a crash.
+func (m *MemFS) TruncateFile(name string, size int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || size < 0 || size > int64(len(f.data)) {
+		return false
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return true
+}
+
+// Size reports the named file's length (-1 if absent).
+func (m *MemFS) Size(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return int64(len(f.data))
+	}
+	return -1
+}
+
+// FailedSyncs counts Syncs rejected by FailSyncs.
+func (m *MemFS) FailedSyncs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failedSyncs
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.fs.shortWrite > 0 && h.fs.shortWrite < len(p) {
+		n := h.fs.shortWrite
+		h.fs.shortWrite = 0
+		h.f.data = append(h.f.data, p[:n]...)
+		return n, io.ErrShortWrite
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.failSync != nil {
+		h.fs.failedSyncs++
+		return h.fs.failSync
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if size < 0 || size > int64(len(h.f.data)) {
+		return fs.ErrInvalid
+	}
+	h.f.data = h.f.data[:size]
+	if h.f.synced > int(size) {
+		h.f.synced = int(size)
+	}
+	if h.off > int(size) {
+		h.off = int(size)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	h.closed = true
+	h.fs.mu.Unlock()
+	return nil
+}

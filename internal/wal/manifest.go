@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"spotless/internal/ledger"
+	"spotless/internal/types"
+)
+
+// The manifest is the store's commit point: a small file naming the ledger
+// snapshot (retained base + chain-resume hash) and the stable checkpoint
+// certificate the chain was last attested under. It is replaced atomically
+// (write temp, fsync, rename), so a crash leaves either the old or the new
+// manifest — never a half-written one. The payload is checksummed JSON:
+// debuggable with cat, and a partial or flipped file reads as corrupt
+// instead of as a different snapshot.
+const (
+	manifestName = "MANIFEST"
+	manifestTmp  = "MANIFEST.tmp"
+	manifestMag  = "SPLM"
+)
+
+var errNoManifest = errors.New("wal: no manifest")
+
+// Checkpoint is the stable-checkpoint metadata persisted in the manifest:
+// everything a restarted replica needs to resume consensus without a full
+// state transfer — the quorum certificate, the state-hash preimage parts,
+// and the per-instance anchors of the cut.
+type Checkpoint struct {
+	Cert     types.CheckpointCert
+	ExecHash types.Digest
+	Resume   types.Digest // chain-resume hash at the certified height
+	Anchors  []types.Anchor
+}
+
+type manifestJSON struct {
+	Version  int             `json:"version"`
+	Height   uint64          `json:"height"` // retained ledger base
+	Resume   string          `json:"resume"` // chain-resume hash at Height
+	Cert     *manifestCert   `json:"cert,omitempty"`
+	ExecHash string          `json:"exec_hash,omitempty"`
+	CkptRes  string          `json:"ckpt_resume,omitempty"`
+	Anchors  []manifestAnchr `json:"anchors,omitempty"`
+}
+
+type manifestCert struct {
+	Height    uint64        `json:"height"`
+	StateHash string        `json:"state_hash"`
+	Sigs      []manifestSig `json:"sigs"`
+}
+
+type manifestSig struct {
+	Signer uint32 `json:"signer"`
+	Bytes  string `json:"bytes"`
+}
+
+type manifestAnchr struct {
+	View   uint64 `json:"view"`
+	Digest string `json:"digest"`
+}
+
+func hexDigest(d types.Digest) string { return hex.EncodeToString(d[:]) }
+
+func unhexDigest(s string) (types.Digest, error) {
+	var d types.Digest
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(d) {
+		return d, ErrCorrupt
+	}
+	copy(d[:], b)
+	return d, nil
+}
+
+func encodeManifest(snap ledger.Snapshot, ckpt *Checkpoint) ([]byte, error) {
+	m := manifestJSON{Version: 1, Height: snap.Height, Resume: hexDigest(snap.Resume)}
+	if ckpt != nil {
+		c := &manifestCert{Height: ckpt.Cert.Height, StateHash: hexDigest(ckpt.Cert.StateHash)}
+		for _, s := range ckpt.Cert.Sigs {
+			c.Sigs = append(c.Sigs, manifestSig{Signer: uint32(s.Signer), Bytes: hex.EncodeToString(s.Bytes)})
+		}
+		m.Cert = c
+		m.ExecHash = hexDigest(ckpt.ExecHash)
+		m.CkptRes = hexDigest(ckpt.Resume)
+		for _, a := range ckpt.Anchors {
+			m.Anchors = append(m.Anchors, manifestAnchr{View: uint64(a.View), Digest: hexDigest(a.Digest)})
+		}
+	}
+	payload, err := json.Marshal(&m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 12+len(payload))
+	out = append(out, manifestMag...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...), nil
+}
+
+func decodeManifest(data []byte) (ledger.Snapshot, *Checkpoint, error) {
+	var snap ledger.Snapshot
+	if len(data) < 12 || string(data[:4]) != manifestMag {
+		return snap, nil, ErrCorrupt
+	}
+	plen := binary.LittleEndian.Uint32(data[4:])
+	crc := binary.LittleEndian.Uint32(data[8:])
+	if int(plen) != len(data)-12 {
+		return snap, nil, ErrCorrupt
+	}
+	payload := data[12:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return snap, nil, ErrCorrupt
+	}
+	var m manifestJSON
+	if err := json.Unmarshal(payload, &m); err != nil || m.Version != 1 {
+		return snap, nil, ErrCorrupt
+	}
+	snap.Height = m.Height
+	var err error
+	if snap.Resume, err = unhexDigest(m.Resume); err != nil {
+		return snap, nil, err
+	}
+	if m.Cert == nil {
+		return snap, nil, nil
+	}
+	ckpt := &Checkpoint{Cert: types.CheckpointCert{Height: m.Cert.Height}}
+	if ckpt.Cert.StateHash, err = unhexDigest(m.Cert.StateHash); err != nil {
+		return snap, nil, err
+	}
+	for _, s := range m.Cert.Sigs {
+		raw, err := hex.DecodeString(s.Bytes)
+		if err != nil {
+			return snap, nil, ErrCorrupt
+		}
+		ckpt.Cert.Sigs = append(ckpt.Cert.Sigs, types.Signature{Signer: types.NodeID(s.Signer), Bytes: raw})
+	}
+	if ckpt.ExecHash, err = unhexDigest(m.ExecHash); err != nil {
+		return snap, nil, err
+	}
+	if ckpt.Resume, err = unhexDigest(m.CkptRes); err != nil {
+		return snap, nil, err
+	}
+	for _, a := range m.Anchors {
+		d, err := unhexDigest(a.Digest)
+		if err != nil {
+			return snap, nil, err
+		}
+		ckpt.Anchors = append(ckpt.Anchors, types.Anchor{View: types.View(a.View), Digest: d})
+	}
+	return snap, ckpt, nil
+}
+
+// readManifest loads and validates the manifest; errNoManifest when absent,
+// ErrCorrupt when present but unreadable.
+func readManifest(fsys FS, dir string) (ledger.Snapshot, *Checkpoint, error) {
+	f, err := fsys.OpenFile(filepath.Join(dir, manifestName), os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return ledger.Snapshot{}, nil, errNoManifest
+		}
+		return ledger.Snapshot{}, nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return ledger.Snapshot{}, nil, err
+	}
+	return decodeManifest(data)
+}
+
+// writeManifest commits a new manifest atomically: temp file, fsync, rename.
+func writeManifest(fsys FS, dir string, snap ledger.Snapshot, ckpt *Checkpoint) error {
+	data, err := encodeManifest(snap, ckpt)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestTmp)
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, filepath.Join(dir, manifestName))
+}

@@ -1,0 +1,614 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"spotless/internal/ledger"
+	"spotless/internal/types"
+)
+
+// FsyncPolicy selects when appended records are forced to stable media.
+type FsyncPolicy int
+
+const (
+	// FsyncPerCommit syncs after every appended block: a power cut loses at
+	// most the record being written. The default.
+	FsyncPerCommit FsyncPolicy = iota
+	// FsyncBatched syncs at most once per BatchInterval (and at every
+	// segment seal): bounded loss, amortized latency.
+	FsyncBatched
+	// FsyncOff never syncs data records (the OS flushes eventually): a
+	// benchmark/throwaway mode — a power cut can lose everything since the
+	// last segment seal. The manifest commit is still synced.
+	FsyncOff
+)
+
+// ParseFsyncPolicy maps the operator spelling ("percommit", "batched",
+// "off"; empty = percommit) to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "percommit", "per-commit":
+		return FsyncPerCommit, nil
+	case "batched":
+		return FsyncBatched, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want percommit, batched, off)", s)
+}
+
+// Config parameterizes Open.
+type Config struct {
+	FS            FS            // nil = the real filesystem
+	Fsync         FsyncPolicy   // default FsyncPerCommit
+	BatchInterval time.Duration // FsyncBatched cadence (default 2ms)
+	Logf          func(format string, args ...any)
+}
+
+// Recovery reports what Open reconstructed from disk: the retained-chain
+// snapshot, the replayed block records (framing- and height-validated;
+// hash-chain validation happens in ledger.Restore), and the persisted
+// stable-checkpoint metadata, if any survived.
+type Recovery struct {
+	Snapshot   ledger.Snapshot
+	Blocks     []types.BlockRecord
+	Checkpoint *Checkpoint
+
+	ReplayedBlocks  int
+	Truncations     int  // torn-tail cuts + quarantined segment files
+	ManifestMissing bool // no (readable) manifest on disk
+	Quarantined     bool // chain was unusable without it; started empty
+}
+
+type segInfo struct {
+	base, end uint64
+	name      string
+	size      int64
+}
+
+// Store is a durable backing for one replica's ledger. It implements
+// ledger.Store; all mutators are called under the ledger's lock on the
+// ordering stage, so internal locking only guards the metrics readers.
+type Store struct {
+	mu   sync.Mutex
+	fs   FS
+	dir  string
+	cfg  Config
+	open bool
+
+	snapshot ledger.Snapshot // manifest snapshot (retained base)
+	ckpt     *Checkpoint     // manifest stable-checkpoint metadata
+
+	head       uint64 // next height to append
+	lastHash   types.Digest
+	active     File
+	activeName string
+	activeBase uint64
+	activeSize int64
+	offsets    []int64 // byte offset of record for height activeBase+i
+	sealed     []segInfo
+
+	dirty       bool
+	lastSyncAt  time.Time
+	lastSync    time.Duration
+	syncs       uint64
+	appended    uint64
+	truncations int
+	replayed    int
+	err         error
+
+	scratch []byte
+}
+
+// Stats is a point-in-time durability snapshot for /metrics.
+type Stats struct {
+	Segments    int
+	BytesOnDisk int64
+	Head        uint64
+	Appended    uint64
+	Syncs       uint64
+	LastFsync   time.Duration
+	Replayed    int // blocks replayed at last Open
+	Truncations int // recovery truncation events (lifetime of this Open)
+	Failed      bool
+}
+
+// Open mounts (creating if needed) the data directory and recovers its
+// contents: manifest first, then every segment in base order, truncating
+// the torn tail at the first corrupt record and quarantining anything
+// unreachable past it. It never refuses to start over recoverable damage —
+// and never returns records it cannot vouch for.
+func Open(dir string, cfg Config) (*Store, *Recovery, error) {
+	if cfg.FS == nil {
+		cfg.FS = OSFS()
+	}
+	if cfg.BatchInterval <= 0 {
+		cfg.BatchInterval = 2 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := cfg.FS.MkdirAll(dir); err != nil {
+		return nil, nil, err
+	}
+	s := &Store{fs: cfg.FS, dir: dir, cfg: cfg, open: true, scratch: make([]byte, 0, recordSize)}
+	rec, err := s.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rec, nil
+}
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+// quarantine renames a damaged or unreachable segment aside instead of
+// deleting it: recovery must never destroy the only copy of evidence.
+func (s *Store) quarantine(name string, rec *Recovery) {
+	if err := s.fs.Rename(s.path(name), s.path("quarantine-"+name)); err != nil {
+		_ = s.fs.Remove(s.path(name)) // fall back: unreachable data must not resurrect
+	}
+	rec.Truncations++
+	s.cfg.Logf("wal: quarantined segment %s", name)
+}
+
+func (s *Store) recover() (*Recovery, error) {
+	rec := &Recovery{}
+	snap, ckpt, err := readManifest(s.fs, s.dir)
+	switch err {
+	case nil:
+	case errNoManifest:
+		rec.ManifestMissing = true
+	default:
+		// Unreadable counts as missing — but loudly, and the old file is
+		// kept aside for post-mortem.
+		s.cfg.Logf("wal: manifest unreadable (%v); treating as missing", err)
+		_ = s.fs.Rename(s.path(manifestName), s.path("quarantine-"+manifestName))
+		rec.ManifestMissing = true
+		rec.Truncations++
+	}
+	_ = s.fs.Remove(s.path(manifestTmp)) // leftover of an interrupted commit
+
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segInfo
+	for _, name := range names {
+		if base, ok := parseSegmentFile(name); ok {
+			segs = append(segs, segInfo{base: base, name: name})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+
+	// A manifest-less store is only rootable at genesis: with segments
+	// starting above height 0 there is nothing tying the chain to a
+	// snapshot, so fail loudly and start empty (the replica rejoins via
+	// network state transfer — a corrupt root must never be served).
+	if rec.ManifestMissing && len(segs) > 0 && segs[0].base > 0 {
+		s.cfg.Logf("wal: manifest lost with segments based at %d — quarantining chain, starting empty", segs[0].base)
+		for _, sg := range segs {
+			s.quarantine(sg.name, rec)
+		}
+		rec.Quarantined = true
+		segs = nil
+	}
+
+	s.snapshot, s.ckpt = snap, ckpt
+	s.head = snap.Height
+	s.lastHash = snap.Resume
+	expected := snap.Height
+	stopped := false
+	for _, sg := range segs {
+		if stopped {
+			s.quarantine(sg.name, rec)
+			continue
+		}
+		data, err := s.readFile(sg.name)
+		if err != nil {
+			s.quarantine(sg.name, rec)
+			stopped = true
+			continue
+		}
+		base, _, blocks, good, scanErr := scanSegment(data)
+		if scanErr != nil && good == 0 {
+			// Header damage: nothing in this file is trustworthy.
+			s.quarantine(sg.name, rec)
+			stopped = true
+			continue
+		}
+		end := base + uint64(len(blocks))
+		if end <= expected {
+			if scanErr == nil {
+				// Wholly behind the retained chain: GC leftover from an
+				// interrupted truncate. Deleting it completes that truncate.
+				_ = s.fs.Remove(s.path(sg.name))
+			} else {
+				s.quarantine(sg.name, rec)
+				stopped = true
+			}
+			continue
+		}
+		if base > expected {
+			// A hole in the chain: everything from here is unreachable.
+			s.cfg.Logf("wal: segment %s starts at %d, chain ends at %d — quarantining", sg.name, base, expected)
+			s.quarantine(sg.name, rec)
+			stopped = true
+			continue
+		}
+		if scanErr != nil {
+			// Torn tail or mid-file corruption: truncate at the last valid
+			// record and drop everything past it (including later segments).
+			s.cfg.Logf("wal: segment %s damaged (%v); truncating at %d bytes (%d records kept)",
+				sg.name, scanErr, good, len(blocks))
+			rec.Truncations++
+			stopped = true
+		}
+		for _, b := range blocks {
+			if b.Height >= expected {
+				rec.Blocks = append(rec.Blocks, b)
+			}
+		}
+		expected = end
+		s.sealed = append(s.sealed, segInfo{base: base, end: end, name: sg.name, size: int64(good)})
+	}
+	s.head = expected
+	if len(rec.Blocks) > 0 {
+		s.lastHash = rec.Blocks[len(rec.Blocks)-1].Hash
+	}
+
+	// Reopen the last surviving segment for appends (truncating any torn
+	// tail in place); with none, start a fresh segment at the head.
+	if len(s.sealed) > 0 {
+		last := s.sealed[len(s.sealed)-1]
+		s.sealed = s.sealed[:len(s.sealed)-1]
+		if err := s.openForAppend(last.name, last.size); err != nil {
+			return nil, err
+		}
+	} else if err := s.rollNew(); err != nil {
+		return nil, err
+	}
+
+	rec.Snapshot = s.snapshot
+	rec.Checkpoint = s.ckpt
+	rec.ReplayedBlocks = len(rec.Blocks)
+	s.replayed = len(rec.Blocks)
+	s.truncations = rec.Truncations
+	return rec, nil
+}
+
+func (s *Store) readFile(name string) ([]byte, error) {
+	f, err := s.fs.OpenFile(s.path(name), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// openForAppend re-mounts an existing segment as the active one, chopping
+// it to size (the last valid offset) and rebuilding the record index.
+func (s *Store) openForAppend(name string, size int64) error {
+	f, err := s.fs.OpenFile(s.path(name), os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	base, ok := parseSegmentFile(name)
+	if !ok {
+		f.Close()
+		return fmt.Errorf("wal: bad segment name %s", name)
+	}
+	s.active, s.activeName, s.activeBase, s.activeSize = f, name, base, size
+	s.offsets = s.offsets[:0]
+	for off := int64(segHeaderSize); off < size; off += recordSize {
+		s.offsets = append(s.offsets, off)
+	}
+	return nil
+}
+
+// rollNew starts a fresh active segment at the current head.
+func (s *Store) rollNew() error {
+	name := segmentFile(s.head)
+	f, err := s.fs.OpenFile(s.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := encodeSegHeader(s.scratch[:0], s.head, s.lastHash)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if s.cfg.Fsync != FsyncOff {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	s.active, s.activeName, s.activeBase, s.activeSize = f, name, s.head, segHeaderSize
+	s.offsets = s.offsets[:0]
+	return nil
+}
+
+func (s *Store) fail(err error) error {
+	if s.err == nil {
+		s.err = err
+		s.cfg.Logf("wal: store failed, persistence stopped: %v", err)
+	}
+	return s.err
+}
+
+func (s *Store) syncLocked() error {
+	start := time.Now()
+	err := s.active.Sync()
+	s.lastSync = time.Since(start)
+	s.lastSyncAt = start
+	s.syncs++
+	if err != nil {
+		return s.fail(err)
+	}
+	s.dirty = false
+	return nil
+}
+
+// AppendBlock implements ledger.Store: frame, append, and sync per policy.
+func (s *Store) AppendBlock(b types.BlockRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if b.Height != s.head {
+		return s.fail(fmt.Errorf("wal: append height %d, head is %d", b.Height, s.head))
+	}
+	buf := appendFramedRecord(s.scratch[:0], &b)
+	off := s.activeSize
+	if _, err := s.active.Write(buf); err != nil {
+		// Chop the torn record so the on-disk tail stays clean, then stop
+		// persisting: a gap mid-chain would poison every later record.
+		_ = s.active.Truncate(off)
+		return s.fail(err)
+	}
+	s.offsets = append(s.offsets, off)
+	s.activeSize += int64(len(buf))
+	s.head++
+	s.lastHash = b.Hash
+	s.appended++
+	s.dirty = true
+	switch s.cfg.Fsync {
+	case FsyncPerCommit:
+		return s.syncLocked()
+	case FsyncBatched:
+		if time.Since(s.lastSyncAt) >= s.cfg.BatchInterval {
+			return s.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Truncate implements ledger.Store: commit the new retained base to the
+// manifest, seal the active segment at the checkpoint cut, and delete
+// segments wholly behind it (GC is whole-file by construction).
+func (s *Store) Truncate(below uint64, resume types.Digest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if below <= s.snapshot.Height {
+		return nil
+	}
+	s.snapshot = ledger.Snapshot{Height: below, Resume: resume}
+	if err := writeManifest(s.fs, s.dir, s.snapshot, s.ckpt); err != nil {
+		return s.fail(err)
+	}
+	if err := s.sealAndRollLocked(); err != nil {
+		return err
+	}
+	// Whole-file GC: a straddling segment survives until a later cut
+	// clears its end (bounded by one checkpoint interval of extra disk).
+	kept := s.sealed[:0]
+	for _, sg := range s.sealed {
+		if sg.end <= below {
+			_ = s.fs.Remove(s.path(sg.name))
+		} else {
+			kept = append(kept, sg)
+		}
+	}
+	s.sealed = kept
+	return nil
+}
+
+func (s *Store) sealAndRollLocked() error {
+	if s.activeSize == segHeaderSize && s.activeBase == s.head {
+		return nil // empty active segment already sits at the head
+	}
+	if s.dirty || s.cfg.Fsync != FsyncOff {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := s.active.Close(); err != nil {
+		return s.fail(err)
+	}
+	s.sealed = append(s.sealed, segInfo{base: s.activeBase, end: s.head, name: s.activeName, size: s.activeSize})
+	if err := s.rollNew(); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+// Rollback implements ledger.Store: rewind the on-disk tail so heights
+// ≥ from are gone — whole segments by deletion, the straddler by truncation.
+func (s *Store) Rollback(from uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if from >= s.head {
+		return nil
+	}
+	if from < s.snapshot.Height {
+		return s.fail(fmt.Errorf("wal: rollback to %d below retained base %d", from, s.snapshot.Height))
+	}
+	// Drop whole segments rooted at/above the rollback point, promoting the
+	// newest survivor back to active. Sealed segments tile the retained
+	// range contiguously, so the survivor (if any) straddles `from`.
+	for s.activeBase >= from {
+		_ = s.active.Close()
+		_ = s.fs.Remove(s.path(s.activeName))
+		if len(s.sealed) == 0 {
+			// Nothing retained below: re-root at the snapshot base.
+			s.head = from
+			s.lastHash = s.snapshot.Resume
+			if err := s.rollNew(); err != nil {
+				return s.fail(err)
+			}
+			return nil
+		}
+		last := s.sealed[len(s.sealed)-1]
+		s.sealed = s.sealed[:len(s.sealed)-1]
+		if err := s.openForAppend(last.name, last.size); err != nil {
+			return s.fail(err)
+		}
+	}
+	// Truncate within the (now) active segment.
+	if idx := from - s.activeBase; idx < uint64(len(s.offsets)) {
+		off := s.offsets[idx]
+		if err := s.active.Truncate(off); err != nil {
+			return s.fail(err)
+		}
+		s.offsets = s.offsets[:idx]
+		s.activeSize = off
+		if s.cfg.Fsync != FsyncOff {
+			if err := s.syncLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	// The pre-rollback chain hash is unknown without a rescan; the segment
+	// header's resume digest is informational, so zero is acceptable.
+	s.head = from
+	s.lastHash = types.Digest{} // unknown until the next append re-chains
+	return nil
+}
+
+// Reset implements ledger.Store: discard every segment and re-root at the
+// snapshot (the full state-transfer install path). The persisted checkpoint
+// metadata is cleared — the caller re-persists the new certificate via
+// SetCheckpoint immediately after; a crash in between quarantines cleanly.
+func (s *Store) Reset(snap ledger.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	_ = s.active.Close()
+	_ = s.fs.Remove(s.path(s.activeName))
+	for _, sg := range s.sealed {
+		_ = s.fs.Remove(s.path(sg.name))
+	}
+	s.sealed = s.sealed[:0]
+	s.snapshot, s.ckpt = snap, nil
+	s.head, s.lastHash = snap.Height, snap.Resume
+	if err := writeManifest(s.fs, s.dir, s.snapshot, nil); err != nil {
+		return s.fail(err)
+	}
+	if err := s.rollNew(); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+// SetCheckpoint persists stable-checkpoint metadata into the manifest: the
+// certificate, state-hash preimage parts, and per-instance anchors a
+// restarted replica resumes consensus from.
+func (s *Store) SetCheckpoint(cert types.CheckpointCert, execHash, resume types.Digest, anchors []types.Anchor) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.ckpt = &Checkpoint{Cert: cert, ExecHash: execHash, Resume: resume,
+		Anchors: append([]types.Anchor(nil), anchors...)}
+	if err := writeManifest(s.fs, s.dir, s.snapshot, s.ckpt); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+// Sync forces any batched appends to media.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.dirty {
+		return s.syncLocked()
+	}
+	return nil
+}
+
+// Close syncs (regardless of policy — clean shutdown is durable) and
+// releases the active segment. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.open {
+		return nil
+	}
+	s.open = false
+	var err error
+	if s.err == nil && s.dirty {
+		err = s.syncLocked()
+	}
+	if cerr := s.active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Err reports the sticky store failure, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Head reports the next height the store would persist.
+func (s *Store) Head() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.head
+}
+
+// Stats snapshots durability telemetry for /metrics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Segments:    len(s.sealed) + 1,
+		BytesOnDisk: s.activeSize,
+		Head:        s.head,
+		Appended:    s.appended,
+		Syncs:       s.syncs,
+		LastFsync:   s.lastSync,
+		Replayed:    s.replayed,
+		Truncations: s.truncations,
+		Failed:      s.err != nil,
+	}
+	for _, sg := range s.sealed {
+		st.BytesOnDisk += sg.size
+	}
+	return st
+}

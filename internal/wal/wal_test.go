@@ -1,0 +1,470 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spotless/internal/ledger"
+	"spotless/internal/types"
+)
+
+const testDir = "data"
+
+func openTest(t *testing.T, fsys *MemFS, pol FsyncPolicy) (*Store, *Recovery) {
+	t.Helper()
+	st, rec, err := Open(testDir, Config{FS: fsys, Fsync: pol})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return st, rec
+}
+
+// appendChain grows lg by n blocks (mirrored into any bound store).
+func appendChain(lg *ledger.Ledger, n int) {
+	for i := 0; i < n; i++ {
+		h := lg.Height()
+		lg.Append(types.Commit{Instance: 0, View: types.View(h + 1), Proposal: types.Digest{byte(h + 1)}},
+			types.Digest{0xEE, byte(h)})
+	}
+}
+
+func mustRestore(t *testing.T, rec *Recovery, st *Store) *ledger.Ledger {
+	t.Helper()
+	lg, _, err := ledger.Restore(rec.Snapshot, rec.Blocks, st)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if err := lg.Verify(); err != nil {
+		t.Fatalf("restored chain does not verify: %v", err)
+	}
+	return lg
+}
+
+func seg(base uint64) string { return filepath.Join(testDir, segmentFile(base)) }
+
+// TestRoundTripRestart: a cleanly closed store replays its whole chain, the
+// restored ledger verifies, and appending continues seamlessly.
+func TestRoundTripRestart(t *testing.T) {
+	fsys := NewMemFS()
+	st, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ReplayedBlocks != 0 || rec.Quarantined {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 10)
+	wantHead, wantHash := lg.Head()
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, rec2 := openTest(t, fsys, FsyncPerCommit)
+	if rec2.ReplayedBlocks != 10 || rec2.Truncations != 0 {
+		t.Fatalf("recovery = %+v, want 10 clean blocks", rec2)
+	}
+	if !rec2.ManifestMissing {
+		t.Fatal("no truncate or checkpoint ran; manifest should not exist yet")
+	}
+	lg2 := mustRestore(t, rec2, st2)
+	if h, hash := lg2.Head(); h != wantHead || hash != wantHash {
+		t.Fatalf("restored head (%d,%x), want (%d,%x)", h, hash[:4], wantHead, wantHash[:4])
+	}
+	appendChain(lg2, 1)
+	if err := lg2.StoreErr(); err != nil {
+		t.Fatalf("append after restart failed to persist: %v", err)
+	}
+	if st2.Head() != wantHead+1 {
+		t.Fatalf("store head %d, want %d", st2.Head(), wantHead+1)
+	}
+}
+
+// TestTornTailTruncated: a record cut mid-frame (torn write at power-cut)
+// is dropped; everything before it survives and appends continue.
+func TestTornTailTruncated(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 10)
+	_ = st.Close()
+	if !fsys.TruncateFile(seg(0), fsys.Size(seg(0))-37) {
+		t.Fatal("truncate fault failed")
+	}
+
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ReplayedBlocks != 9 || rec.Truncations != 1 {
+		t.Fatalf("recovery = %+v, want 9 blocks and 1 truncation", rec)
+	}
+	lg2 := mustRestore(t, rec, st2)
+	if lg2.Height() != 9 {
+		t.Fatalf("restored height %d, want 9", lg2.Height())
+	}
+	appendChain(lg2, 2)
+	if err := lg2.StoreErr(); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+	if st2.Head() != 11 {
+		t.Fatalf("store head %d, want 11", st2.Head())
+	}
+}
+
+// TestBitFlipTruncatesAndQuarantines: silent media corruption mid-segment
+// cuts the replay at the last valid record; the unreachable later segment
+// is quarantined — renamed aside, never deleted, never served.
+func TestBitFlipTruncatesAndQuarantines(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 10)
+	if err := lg.Truncate(4); err != nil { // manifest base 4; seals [0,10), rolls seg-10
+		t.Fatal(err)
+	}
+	appendChain(lg, 5) // seg-10 holds [10,15)
+	_ = st.Close()
+	// Flip a payload bit in record 6 of the first segment.
+	off := int64(segHeaderSize + 6*recordSize + recordHdrSize + 3)
+	if !fsys.FlipBit(seg(0), off, 2) {
+		t.Fatal("bit-flip fault failed")
+	}
+
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	// Heights 4,5 survive (6 is corrupt, everything past it unreachable).
+	if rec.ReplayedBlocks != 2 {
+		t.Fatalf("replayed %d blocks, want 2 (got %+v)", rec.ReplayedBlocks, rec)
+	}
+	if rec.Truncations != 2 { // the corrupt cut + the quarantined successor
+		t.Fatalf("truncations = %d, want 2", rec.Truncations)
+	}
+	if fsys.Size(seg(10)) != -1 {
+		t.Fatal("unreachable segment still at its original name")
+	}
+	if fsys.Size(filepath.Join(testDir, "quarantine-"+segmentFile(10))) < 0 {
+		t.Fatal("unreachable segment was deleted, not quarantined")
+	}
+	lg2 := mustRestore(t, rec, st2)
+	if lg2.Height() != 6 {
+		t.Fatalf("restored height %d, want 6", lg2.Height())
+	}
+	appendChain(lg2, 1)
+	if err := lg2.StoreErr(); err != nil {
+		t.Fatalf("append after corruption recovery: %v", err)
+	}
+}
+
+// TestShortWriteStopsPersistence: a short write fails the store loudly and
+// stickily; the on-disk prefix stays clean and replays in full.
+func TestShortWriteStopsPersistence(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 5)
+	fsys.ShortWrite(50)
+	appendChain(lg, 1)
+	if lg.StoreErr() == nil || st.Err() == nil {
+		t.Fatal("short write did not fail the store")
+	}
+	appendChain(lg, 2) // in-memory chain keeps going; store must stay failed
+	if !st.Stats().Failed {
+		t.Fatal("stats do not report the failure")
+	}
+	_ = st.Close()
+
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ReplayedBlocks != 5 || rec.Truncations != 0 {
+		t.Fatalf("recovery = %+v, want exactly the 5 pre-fault blocks", rec)
+	}
+	mustRestore(t, rec, st2)
+}
+
+// TestFsyncErrorFailsSticky: an fsync error stops persistence permanently
+// (clearing the fault does not resurrect the store), and a power-cut after
+// the failure loses only the unsynced tail.
+func TestFsyncErrorFailsSticky(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 3)
+	fsys.FailSyncs(errors.New("injected: EIO"))
+	appendChain(lg, 1)
+	if st.Err() == nil || lg.StoreErr() == nil {
+		t.Fatal("fsync error did not fail the store")
+	}
+	if fsys.FailedSyncs() == 0 {
+		t.Fatal("fault never fired")
+	}
+	fsys.FailSyncs(nil)
+	appendChain(lg, 1) // store is dead; clearing the fault must not revive it
+	if st.Head() != 4 {
+		t.Fatalf("store head %d; the failed store accepted appends past the unsynced record", st.Head())
+	}
+	fsys.Crash() // drop the record whose fsync failed
+
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ReplayedBlocks != 3 || rec.Truncations != 0 {
+		t.Fatalf("recovery = %+v, want the 3 synced blocks", rec)
+	}
+}
+
+// TestLostManifestQuarantinesChain: segments based above genesis with no
+// manifest cannot prove their snapshot; recovery quarantines them and
+// starts empty (fails loudly) instead of serving an unrooted chain.
+func TestLostManifestQuarantinesChain(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 10)
+	if err := lg.Truncate(10); err != nil { // GCs [0,10) wholly; chain now based at 10
+		t.Fatal(err)
+	}
+	appendChain(lg, 5)
+	_ = st.Close()
+	if err := fsys.Remove(filepath.Join(testDir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	if !rec.ManifestMissing || !rec.Quarantined {
+		t.Fatalf("recovery = %+v, want manifest-missing + quarantined", rec)
+	}
+	if rec.ReplayedBlocks != 0 || rec.Snapshot.Height != 0 {
+		t.Fatalf("recovery served %d blocks at base %d from an unrooted chain",
+			rec.ReplayedBlocks, rec.Snapshot.Height)
+	}
+	if fsys.Size(filepath.Join(testDir, "quarantine-"+segmentFile(10))) < 0 {
+		t.Fatal("unrooted segment was deleted, not quarantined")
+	}
+	lg2 := mustRestore(t, rec, st2)
+	appendChain(lg2, 3) // fresh genesis chain works
+	if err := lg2.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissingManifestGenesisChain: a chain still rooted at height 0 needs
+// no manifest to prove its snapshot — it replays in full.
+func TestMissingManifestGenesisChain(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 7)
+	_ = st.Close()
+
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if !rec.ManifestMissing || rec.Quarantined || rec.ReplayedBlocks != 7 {
+		t.Fatalf("recovery = %+v, want 7 blocks from a manifest-less genesis chain", rec)
+	}
+}
+
+// TestManifestRenameFailure: a manifest commit whose rename never lands
+// fails the store; the previous manifest (and its checkpoint) survive.
+func TestManifestRenameFailure(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 8)
+	cert := types.CheckpointCert{Height: 4, StateHash: types.Digest{9},
+		Sigs: []types.Signature{{Signer: 1, Bytes: []byte{1, 2}}, {Signer: 2, Bytes: []byte{3}}}}
+	b3, _ := lg.Block(3)
+	if err := st.SetCheckpoint(cert, types.Digest{7}, b3.Hash,
+		[]types.Anchor{{View: 5, Digest: types.Digest{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	fsys.FailNextRename(errors.New("injected: rename EIO"))
+	if err := lg.Truncate(8); lg.StoreErr() == nil && err == nil {
+		t.Fatal("failed manifest commit did not surface")
+	}
+	_ = st.Close()
+
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.Snapshot.Height != 0 {
+		t.Fatalf("snapshot base %d, want 0 (old manifest)", rec.Snapshot.Height)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.Cert.Height != 4 {
+		t.Fatalf("checkpoint lost: %+v", rec.Checkpoint)
+	}
+	if len(rec.Checkpoint.Cert.Sigs) != 2 || rec.Checkpoint.Cert.Sigs[0].Signer != 1 {
+		t.Fatalf("certificate signatures did not round-trip: %+v", rec.Checkpoint.Cert.Sigs)
+	}
+	if rec.Checkpoint.Resume != b3.Hash || len(rec.Checkpoint.Anchors) != 1 {
+		t.Fatalf("checkpoint preimage did not round-trip: %+v", rec.Checkpoint)
+	}
+	if rec.ReplayedBlocks != 8 {
+		t.Fatalf("replayed %d, want 8", rec.ReplayedBlocks)
+	}
+}
+
+// TestCrashPolicyMatrix: what a power-cut preserves is exactly what the
+// fsync policy promised — everything (percommit), the last synced batch
+// (batched), or possibly nothing (off).
+func TestCrashPolicyMatrix(t *testing.T) {
+	t.Run("percommit", func(t *testing.T) {
+		fsys := NewMemFS()
+		st, _ := openTest(t, fsys, FsyncPerCommit)
+		lg := ledger.New()
+		lg.Bind(st)
+		appendChain(lg, 10)
+		fsys.Crash() // no Close: kill -9
+		_, rec := openTest(t, fsys, FsyncPerCommit)
+		if rec.ReplayedBlocks != 10 {
+			t.Fatalf("percommit lost blocks: %+v", rec)
+		}
+	})
+	t.Run("batched", func(t *testing.T) {
+		fsys := NewMemFS()
+		st, _, err := Open(testDir, Config{FS: fsys, Fsync: FsyncBatched, BatchInterval: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg := ledger.New()
+		lg.Bind(st)
+		appendChain(lg, 10) // only the first append syncs within the hour
+		fsys.Crash()
+		_, rec := openTest(t, fsys, FsyncPerCommit)
+		if rec.ReplayedBlocks != 1 || rec.Truncations != 0 {
+			t.Fatalf("batched crash recovered %+v, want exactly the 1 synced block", rec)
+		}
+	})
+	t.Run("off", func(t *testing.T) {
+		fsys := NewMemFS()
+		st, _ := openTest(t, fsys, FsyncOff)
+		lg := ledger.New()
+		lg.Bind(st)
+		appendChain(lg, 10)
+		fsys.Crash() // nothing was ever synced
+		_, rec := openTest(t, fsys, FsyncPerCommit)
+		if rec.ReplayedBlocks != 0 {
+			t.Fatalf("fsync=off crash still recovered %d blocks", rec.ReplayedBlocks)
+		}
+	})
+	t.Run("close-is-durable-regardless", func(t *testing.T) {
+		fsys := NewMemFS()
+		st, _ := openTest(t, fsys, FsyncOff)
+		lg := ledger.New()
+		lg.Bind(st)
+		appendChain(lg, 10)
+		_ = st.Close() // clean shutdown syncs even with fsync=off
+		fsys.Crash()
+		_, rec := openTest(t, fsys, FsyncPerCommit)
+		if rec.ReplayedBlocks != 10 {
+			t.Fatalf("clean close lost blocks: %+v", rec)
+		}
+	})
+}
+
+// TestRollbackRewindsDiskTail: ledger.Rollback mirrored through the store
+// rewinds the persisted tail — across segment boundaries — so a restart
+// replays exactly the post-rollback chain.
+func TestRollbackRewindsDiskTail(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 10)
+	if err := lg.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	appendChain(lg, 5) // seg-10 holds [10,15)
+	if err := lg.Truncate(12); err != nil {
+		t.Fatal(err) // seals [10,15) (straddles the cut), rolls seg-15
+	}
+	appendChain(lg, 3) // seg-15 holds [15,18)
+	// Roll back to 13: drops seg-15 wholly, truncates seg-10 within.
+	if err := lg.Rollback(13); err != nil {
+		t.Fatal(err)
+	}
+	if st.Head() != 13 {
+		t.Fatalf("store head %d after rollback, want 13", st.Head())
+	}
+	appendChain(lg, 2) // re-chain different blocks over the rewound tail
+	want := lg.Blocks(12, 0)
+	_ = st.Close()
+
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.Snapshot.Height != 12 {
+		t.Fatalf("snapshot base %d, want 12", rec.Snapshot.Height)
+	}
+	lg2 := mustRestore(t, rec, st2)
+	got := lg2.Blocks(12, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d blocks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block %d diverges after rollback+restart", want[i].Height)
+		}
+	}
+}
+
+// TestResetReRoots: ledger.Reset (the full state-transfer install) drops
+// every segment and restarts the store at the new snapshot.
+func TestResetReRoots(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	lg := ledger.New()
+	lg.Bind(st)
+	appendChain(lg, 6)
+	resume := types.Digest{0xAB}
+	lg.Reset(ledger.Snapshot{Height: 100, Resume: resume})
+	if fsys.Size(seg(0)) != -1 {
+		t.Fatal("pre-reset segment survived")
+	}
+	_ = st.Close()
+
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.Snapshot != (ledger.Snapshot{Height: 100, Resume: resume}) {
+		t.Fatalf("snapshot %+v after reset", rec.Snapshot)
+	}
+	if rec.ReplayedBlocks != 0 || rec.Checkpoint != nil {
+		t.Fatalf("reset did not clear state: %+v", rec)
+	}
+}
+
+// FuzzSegmentDecode: the record decoder and segment scanner must never
+// panic on arbitrary bytes — only ever return ErrCorrupt, a clean torn-tail
+// cut, or a valid decode that re-encodes identically.
+func FuzzSegmentDecode(f *testing.F) {
+	valid := appendFramedRecord(nil, &types.BlockRecord{Height: 3, Instance: 1, View: 9,
+		Prev: types.Digest{1}, Hash: types.Digest{2}})
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:10])
+	full := encodeSegHeader(nil, 3, types.Digest{5})
+	full = appendFramedRecord(full, &types.BlockRecord{Height: 3})
+	f.Add(full)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, n, err := decodeFramedRecord(data)
+		switch {
+		case err == nil:
+			if n != recordSize {
+				t.Fatalf("consumed %d bytes, want %d", n, recordSize)
+			}
+			if re := appendFramedRecord(nil, &b); string(re) != string(data[:n]) {
+				t.Fatal("valid record does not re-encode identically")
+			}
+		case errors.Is(err, ErrCorrupt) || errors.Is(err, errShortRecord):
+		default:
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		base, _, blocks, good, scanErr := scanSegment(data)
+		if scanErr == nil || errors.Is(scanErr, ErrCorrupt) || errors.Is(scanErr, errShortRecord) {
+			if good > len(data) {
+				t.Fatalf("truncation point %d beyond input %d", good, len(data))
+			}
+			for i, blk := range blocks {
+				if blk.Height != base+uint64(i) {
+					t.Fatal("scan returned non-contiguous heights")
+				}
+			}
+		} else {
+			t.Fatalf("unexpected scan error class: %v", scanErr)
+		}
+	})
+}
