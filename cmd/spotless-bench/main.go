@@ -37,7 +37,10 @@ func main() {
 		safetyDissem = flag.Bool("safety-dissem", false, "run the -safety-drill under digest ordering (internal/dissem)")
 		safetyPace   = flag.String("safety-pacemaker", "", "view-synchronizer arm for the -safety-drill (spotless, relay, doubling; empty = spotless)")
 
-		powercut = flag.Bool("powercut", false, "run the power-cut drill on the real runtime (kill -9 a durable replica under load, restart, meter the rejoin) against a memory-only control, and exit non-zero unless the durable replica replayed its chain from disk and transferred strictly less than the control")
+		powercut = flag.Bool("powercut", false, "run the power-cut drill on the real runtime (kill -9 a durable replica under load, restart, meter the rejoin) against a memory-only control, and exit non-zero unless the durable replica restored its execution snapshot, answered every pre-checkpoint-key read correctly at restart with zero blocks replayed below the snapshot anchor, and transferred strictly less than the control")
+
+		crashSoak     = flag.Int("crashsoak", 0, "run the crash/disk-fault chaos soak on the real runtime over this many seeds (kill -9 + snapshot/segment faults between checkpoints, restart, compare every table byte-for-byte with a never-crashed control) and exit non-zero on any divergence")
+		crashSoakSeed = flag.Int64("crashsoak-seed-base", 1, "first seed of the -crashsoak sweep")
 
 		soak      = flag.Int("soak", 0, "run the seeded soak/chaos bake-off over this many seeds per (fault profile × pacemaker arm) cell — time-to-resync p50/p99 and commits-lost-per-fault on simulator virtual time — and exit non-zero on any divergence")
 		soakSeed  = flag.Int64("soak-seed-base", 1, "first chaos seed of the -soak sweep")
@@ -64,6 +67,50 @@ func main() {
 		if warm.ChunkBlocks >= cold.ChunkBlocks {
 			fmt.Fprintf(os.Stderr, "POWERCUT FAILED: durable rejoin transferred %d blocks, control transferred %d — suffix fetch did not engage\n",
 				warm.ChunkBlocks, cold.ChunkBlocks)
+			os.Exit(1)
+		}
+		if !warm.SnapRestored {
+			fmt.Fprintln(os.Stderr, "POWERCUT FAILED: durable replica did not restore its execution snapshot at restart")
+			os.Exit(1)
+		}
+		if warm.PreKeys == 0 {
+			fmt.Fprintln(os.Stderr, "POWERCUT FAILED: the stable cut held no pre-checkpoint keys to attest")
+			os.Exit(1)
+		}
+		if warm.PreKeyMisses != 0 {
+			fmt.Fprintf(os.Stderr, "POWERCUT FAILED: restarted replica answered %d of %d pre-checkpoint-key reads wrongly\n",
+				warm.PreKeyMisses, warm.PreKeys)
+			os.Exit(1)
+		}
+		if warm.BelowAnchor != 0 {
+			fmt.Fprintf(os.Stderr, "POWERCUT FAILED: restart replayed %d blocks below the snapshot anchor\n", warm.BelowAnchor)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *crashSoak > 0 {
+		start := time.Now()
+		res, err := bench.RunCrashSoak(bench.CrashSoakOptions{Seeds: *crashSoak, SeedBase: *crashSoakSeed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashsoak: %v\n", err)
+			os.Exit(2)
+		}
+		t := bench.CrashSoakTable(res)
+		fmt.Println(t.String())
+		fmt.Printf("(crashsoak completed in %s)\n", time.Since(start).Round(time.Millisecond))
+		if res.Divergent > 0 {
+			fmt.Fprintf(os.Stderr, "CRASHSOAK FAILED: %d of %d seeds diverged from the never-crashed control\n",
+				res.Divergent, len(res.Seeds))
+			for _, s := range res.Seeds {
+				if s.Diverged {
+					fmt.Fprintf(os.Stderr, "seed %d (%v):\n%s", s.Seed, s.Faults, s.Report)
+				}
+			}
+			os.Exit(1)
+		}
+		if res.Restored == 0 || res.Fallbacks+res.Quarantined == 0 {
+			fmt.Fprintln(os.Stderr, "CRASHSOAK FAILED: the sweep did not exercise both recovery paths (clean restore AND corruption fallback)")
 			os.Exit(1)
 		}
 		return

@@ -142,12 +142,13 @@ func main() {
 	lg := ledger.New()
 	var durable *wal.Store
 	var resume *core.ResumeState
+	var snapData []byte
 	if *dataDir != "" {
 		pol, err := wal.ParseFsyncPolicy(*fsyncPol)
 		if err != nil {
 			log.Fatalf("spotless-replica: %v", err)
 		}
-		lg, durable, resume, err = runtime.OpenDurable(*dataDir, wal.Config{Fsync: pol, Logf: log.Printf})
+		lg, durable, resume, snapData, err = runtime.OpenDurable(*dataDir, wal.Config{Fsync: pol, Logf: log.Printf})
 		if err != nil {
 			log.Fatalf("spotless-replica: open %s: %v", *dataDir, err)
 		}
@@ -210,10 +211,20 @@ func main() {
 	if *useDissem {
 		cfg.Dissem = dissem.New(dissem.Config{N: *n, F: (*n - 1) / 3})
 	}
-	if err := runtime.ApplyResume(resume, &cfg, prov, exec); err != nil {
+	if err := runtime.ApplyResume(resume, snapData, &cfg, prov, exec); err != nil {
 		log.Printf("wal: resume state rejected (%v); rejoining over the network", err)
 	} else if cfg.Resume != nil {
-		log.Printf("wal: resuming from stable checkpoint at height %d", cfg.Resume.Cert.Height)
+		// Distinguish the restored-table restart from the forward-replay
+		// fallback: the latter serves initial values for cold keys until
+		// state transfer or fresh writes cover them, and an operator chasing
+		// stale reads needs to see which of the two happened.
+		if cfg.Resume.SnapshotHeight != 0 {
+			log.Printf("wal: resuming from stable checkpoint at height %d (execution snapshot restored, table attested)",
+				cfg.Resume.Cert.Height)
+		} else {
+			log.Printf("wal: resuming from stable checkpoint at height %d (NO execution snapshot — cold keys serve initial values until overwritten)",
+				cfg.Resume.Cert.Height)
+		}
 	}
 	rep := core.New(node, cfg)
 	node.SetProtocol(rep)

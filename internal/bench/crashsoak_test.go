@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestCrashSoakNoDivergence: the PR's headline invariant as a regression
+// bar. Across seeded kill-9/disk-fault/restart schedules, every restarted
+// replica's table converges byte-for-byte with the never-crashed control —
+// and the sweep must exercise both recovery paths: clean snapshot restores
+// AND the corruption signature (fallback or quarantine). A soak that only
+// ever saw the happy path proves nothing about the fault matrix.
+func TestCrashSoakNoDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time chaos soak")
+	}
+	res, err := RunCrashSoak(CrashSoakOptions{Seeds: 6, Episodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Seeds {
+		if s.Diverged {
+			t.Errorf("seed %d diverged after %v:\n%s", s.Seed, s.Faults, s.Report)
+		}
+	}
+	if res.Divergent != 0 {
+		t.Fatalf("%d of %d seeds diverged", res.Divergent, len(res.Seeds))
+	}
+	if res.Restored == 0 {
+		t.Fatal("soak never exercised a snapshot restore")
+	}
+	if res.Fallbacks+res.Quarantined == 0 {
+		t.Fatal("soak never exercised the corruption/loss path")
+	}
+}

@@ -50,12 +50,16 @@ func (o PowerCutOptions) WithDefaults() PowerCutOptions {
 // PowerCutArm is one arm of the drill: a replica kill-9'd under load and
 // restarted, with every byte to or from it metered until it has rejoined.
 type PowerCutArm struct {
-	Durable     bool
-	Replayed    int           // ledger blocks replayed from local disk at restart
-	ChunkBlocks int           // ledger blocks re-transferred over the network
-	ChunkBytes  int           // state-chunk bytes of those transfers
-	RejoinBytes int           // all bytes to/from the victim, restart → rejoined
-	Rejoin      time.Duration // restart → caught up with the healthy quorum
+	Durable      bool
+	Replayed     int           // ledger blocks replayed from local disk at restart
+	ChunkBlocks  int           // ledger blocks re-transferred over the network
+	ChunkBytes   int           // state-chunk bytes of those transfers
+	RejoinBytes  int           // all bytes to/from the victim, restart → rejoined
+	Rejoin       time.Duration // restart → caught up with the healthy quorum
+	SnapRestored bool          // execution snapshot restored from the WAL at restart
+	PreKeys      int           // keys last written before the stable cut (attested state)
+	PreKeyMisses int           // of those, reads answered wrongly right after restart
+	BelowAnchor  int           // replayed ledger blocks below the snapshot anchor (must be 0)
 }
 
 // pcSource is a paced FIFO batch source: it feeds one consensus lane at full
@@ -173,6 +177,16 @@ func powerCutArm(durable bool, o PowerCutOptions) (PowerCutArm, error) {
 		}
 	}
 	cl.Kill(victim)
+	// The victim's event loop is stopped: its retained stable snapshot is the
+	// attested table at the cut — exactly what a durable restart must serve
+	// before replaying a single block above the anchor.
+	anchorH, anchorBlob := cl.Execs[victim].StableSnapshot()
+	var atCut *ycsb.TableSnapshot
+	if anchorBlob != nil {
+		if atCut, err = ycsb.DecodeSnapshot(anchorBlob); err != nil {
+			return arm, fmt.Errorf("powercut: stable snapshot at the cut does not decode: %v", err)
+		}
+	}
 	if err := await(o.Outage, "outage commits"); err != nil {
 		return arm, err
 	}
@@ -196,7 +210,32 @@ func powerCutArm(durable bool, o PowerCutOptions) (PowerCutArm, error) {
 		return arm, err
 	}
 	if durable {
-		arm.Replayed = cl.Stores[victim].Stats().Replayed
+		st := cl.Stores[victim].Stats()
+		arm.Replayed = st.Replayed
+		arm.SnapRestored = st.SnapshotsRestored > 0
+		// Forward replay must start at the snapshot anchor, not below it: the
+		// restored ledger base sitting under the anchor would mean pre-cut
+		// blocks were re-executed instead of served from the attested table.
+		if base := cl.Execs[victim].Ledger().Snapshot().Height; base < anchorH {
+			arm.BelowAnchor = int(anchorH - base)
+		}
+	}
+	// Read pre-checkpoint keys immediately after restart, before the victim
+	// exchanges a single message: whatever answers now is what restart alone
+	// produced. Keys whose value in the cut snapshot is workload-sized (not
+	// the 64-byte initial payload) were last written before the checkpoint —
+	// the attested state a durable restart serves and a cold one cannot.
+	if atCut != nil {
+		store := cl.Execs[victim].Store()
+		for k, v := range atCut.Records {
+			if len(v) == 64 {
+				continue
+			}
+			arm.PreKeys++
+			if string(store.Read(k)) != string(v) {
+				arm.PreKeyMisses++
+			}
+		}
 	}
 	deadline = time.Now().Add(60 * time.Second)
 	for {
@@ -228,13 +267,16 @@ func PowerCutTable(warm, cold PowerCutArm, o PowerCutOptions) Table {
 	t := Table{ID: "ablation-powercut",
 		Title: fmt.Sprintf("power-cut rejoin, n=4, checkpoint every %d, crash %d past the checkpoint, %d-batch outage",
 			o.CheckpointInterval, o.Warmup%o.CheckpointInterval, o.Outage),
-		Headers: []string{"variant", "replayed from disk", "blocks over network", "state bytes", "rejoin bytes", "rejoin ms"}}
+		Headers: []string{"variant", "snapshot restored", "pre-ckpt keys served", "replayed below anchor", "replayed from disk", "blocks over network", "state bytes", "rejoin bytes", "rejoin ms"}}
 	for _, a := range []PowerCutArm{warm, cold} {
 		name := "memory-only (O(chain since stable))"
 		if a.Durable {
 			name = "durable WAL (O(missing suffix))"
 		}
 		t.Rows = append(t.Rows, []string{name,
+			fmt.Sprintf("%t", a.SnapRestored),
+			fmt.Sprintf("%d/%d", a.PreKeys-a.PreKeyMisses, a.PreKeys),
+			fmt.Sprintf("%d", a.BelowAnchor),
 			fmt.Sprintf("%d", a.Replayed), fmt.Sprintf("%d", a.ChunkBlocks),
 			fmt.Sprintf("%d", a.ChunkBytes), fmt.Sprintf("%d", a.RejoinBytes), lat(a.Rejoin)})
 	}

@@ -8,6 +8,7 @@ import (
 
 	"spotless/internal/core"
 	"spotless/internal/loadgen"
+	"spotless/internal/protocol"
 	"spotless/internal/simnet"
 	"spotless/internal/types"
 )
@@ -90,12 +91,31 @@ func runSoakSeed(o SoakOptions, profile, arm string, seed int64) ([]FaultOutcome
 	scfg.BaseHandlerCost = time.Microsecond
 	sim := simnet.New(scfg)
 
+	mkCfg := func() core.Config {
+		cfg := core.DefaultConfig(n, m)
+		cfg.InitialRecordingTimeout = 20 * time.Millisecond
+		cfg.InitialCertifyTimeout = 20 * time.Millisecond
+		cfg.MinTimeout = 5 * time.Millisecond
+		cfg.Pacemaker = arm
+		// Checkpointing on: the soak's faults leave replicas hundreds of
+		// commits behind, and state transfer is the designed recovery path
+		// for that (one-proposal-per-Ask backfill alone never drains it).
+		cfg.CheckpointInterval = 128
+		return cfg
+	}
 	plan, err := sim.InstallChaos(simnet.ChaosConfig{
 		Profile: profile,
 		Seed:    seed,
 		N:       n,
 		Start:   300 * time.Millisecond,
 		End:     o.Duration - 500*time.Millisecond,
+		// Crash episodes rebuild the victim amnesiac, with the same
+		// constructor used at setup; it rejoins through state transfer.
+		Restart: func(id types.NodeID) {
+			sim.Restart(id, func(ctx protocol.Context) protocol.Protocol {
+				return core.New(ctx, mkCfg())
+			})
+		},
 	})
 	if err != nil {
 		return nil, nil, 0, err
@@ -120,16 +140,7 @@ func runSoakSeed(o SoakOptions, profile, arm string, seed int64) ([]FaultOutcome
 
 	for i := 0; i < n; i++ {
 		id := types.NodeID(i)
-		cfg := core.DefaultConfig(n, m)
-		cfg.InitialRecordingTimeout = 20 * time.Millisecond
-		cfg.InitialCertifyTimeout = 20 * time.Millisecond
-		cfg.MinTimeout = 5 * time.Millisecond
-		cfg.Pacemaker = arm
-		// Checkpointing on: the soak's faults leave replicas hundreds of
-		// commits behind, and state transfer is the designed recovery path
-		// for that (one-proposal-per-Ask backfill alone never drains it).
-		cfg.CheckpointInterval = 128
-		sim.SetProtocol(id, core.New(sim.Context(id), cfg))
+		sim.SetProtocol(id, core.New(sim.Context(id), mkCfg()))
 	}
 	sim.Start()
 	sim.Run(o.Duration)

@@ -3,6 +3,8 @@ package bench
 import (
 	"testing"
 	"time"
+
+	"spotless/internal/simnet"
 )
 
 // regressionSoakOptions is the CI soak profile: 20 seeds per fault profile,
@@ -48,6 +50,42 @@ func TestSoakRegressionDefaultPacemaker(t *testing.T) {
 		}
 		if c.ResyncP99 > resyncCeiling {
 			t.Fatalf("%s/%s: resync p99 %v exceeds the %v ceiling", c.Profile, c.Pacemaker, c.ResyncP99, resyncCeiling)
+		}
+	}
+}
+
+// TestSoakCrashProfile: across 20 seeded kill-9 schedules, a replica that
+// crashes mid-soak (all in-memory consensus state lost) and restarts
+// amnesiac rejoins through state transfer without ever forking an honest
+// ledger. The resync ceiling is looser than the partition/gray/skew bar:
+// an amnesiac victim has to re-fetch the stable checkpoint before its
+// first post-heal delivery, not merely re-engage its timers.
+func TestSoakCrashProfile(t *testing.T) {
+	o := regressionSoakOptions()
+	o.Profiles = []string{simnet.ProfileCrash}
+	if testing.Short() {
+		o.Seeds = 8
+	}
+	res, err := RunSoak(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const resyncCeiling = 900 * time.Millisecond
+	for _, c := range res.Cells {
+		if len(c.Divergent) != 0 {
+			for _, d := range c.Divergent {
+				t.Log(d.Report)
+			}
+			t.Fatalf("%s/%s: %d seeds diverged after crash/restart", c.Profile, c.Pacemaker, len(c.Divergent))
+		}
+		if c.Faults == 0 {
+			t.Fatalf("%s/%s: the chaos plan injected no crashes", c.Profile, c.Pacemaker)
+		}
+		if c.Unhealed*5 > c.Faults {
+			t.Fatalf("%s/%s: %d of %d crash victims never delivered again (>20%%)", c.Profile, c.Pacemaker, c.Unhealed, c.Faults)
+		}
+		if c.ResyncP99 > resyncCeiling {
+			t.Fatalf("%s/%s: crash resync p99 %v exceeds the %v ceiling", c.Profile, c.Pacemaker, c.ResyncP99, resyncCeiling)
 		}
 	}
 }

@@ -130,7 +130,9 @@ func (r *Replica) maybeCheckpoint() {
 	}
 	var stateDigest types.Digest
 	if r.cfg.Host != nil {
-		stateDigest = r.cfg.Host.StateDigest(h)
+		// The exec hash rides along so the host can capture its execution
+		// snapshot at this exact cut, bound to the attestation-to-be.
+		stateDigest = r.cfg.Host.StateDigest(h, r.ckpt.execHash)
 	}
 	anchors := append([]types.Anchor(nil), r.ckpt.anchors...)
 	stateHash := types.CheckpointStateHash(h, r.ckpt.execHash, stateDigest, anchors)
@@ -306,8 +308,11 @@ func (r *Replica) maybeFetchState() {
 	if r.cfg.Host != nil {
 		// Advertise the retained chain head: a server that finds it on its
 		// own chain serves only the missing suffix — the O(suffix) rejoin
-		// path for a replica that replayed its chain from local disk.
+		// path for a replica that replayed its chain from local disk. Hosts
+		// execute application state, so ask for the attested table snapshot
+		// too; pure-ordering substrates skip the table bytes.
 		req.Head, req.HeadHash = r.cfg.Host.Head()
+		req.WantSnapshot = true
 	}
 	for i, id := range ids {
 		if i >= w {
@@ -399,6 +404,14 @@ func (r *Replica) onFetchState(from types.NodeID, msg *types.FetchState) {
 			}
 		}
 		chunk.Blocks = r.cfg.Host.FetchBlocks(serveFrom, limit)
+		if msg.WantSnapshot {
+			// The stable execution snapshot rides in the same chunk so the
+			// requester installs table and checkpoint atomically (a separate
+			// fetch could land after post-cut re-deliveries and clobber
+			// them). The requester re-verifies the envelope binding against
+			// the certificate before touching its table.
+			chunk.Snapshot = r.cfg.Host.StateSnapshot(r.ckpt.stable.Height)
+		}
 	}
 	r.ctx.Send(from, chunk)
 }

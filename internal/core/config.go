@@ -145,8 +145,11 @@ type StateHost interface {
 	// StateDigest returns the digest of the durable state after height
 	// delivered batches (the ledger's chain-resume hash); it is folded into
 	// the checkpoint attestation so divergent execution is detected at
-	// checkpoint time.
-	StateDigest(height uint64) types.Digest
+	// checkpoint time. The rolling execution hash at the cut is passed along
+	// so the host can capture an execution snapshot bound to the exact
+	// (height, execHash) pair the attestation will cover — the table content
+	// at this instant is precisely the first `height` delivered batches.
+	StateDigest(height uint64, execHash types.Digest) types.Digest
 	// TruncateBelow garbage-collects durable state below the stable height.
 	TruncateBelow(height uint64)
 	// FetchBlocks returns up to max retained ledger blocks from the given
@@ -169,8 +172,17 @@ type StateHost interface {
 	// PersistCheckpoint records stable-checkpoint metadata in durable
 	// storage (the WAL manifest) so a restarted replica can resume from it.
 	// Called on every stabilization; a host without durable storage may
-	// no-op.
+	// no-op. The host also promotes its pending execution snapshot for
+	// cert.Height (captured at StateDigest time) to stable here, persisting
+	// it after the manifest so recovery never finds a snapshot the manifest
+	// cannot vouch for.
 	PersistCheckpoint(cert types.CheckpointCert, execHash, resume types.Digest, anchors []types.Anchor)
+	// StateSnapshot returns the execution snapshot captured at the stable
+	// checkpoint height (the ycsb envelope bytes), or nil if none is
+	// retained. Served inside StateChunk replies when the requester set
+	// WantSnapshot, so a far-behind rejoiner installs the attested table
+	// instead of replaying from genesis.
+	StateSnapshot(height uint64) []byte
 }
 
 // DefaultConfig returns a configuration for n replicas with m instances.

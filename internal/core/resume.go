@@ -28,6 +28,16 @@ type ResumeState struct {
 	ExecHash types.Digest
 	Resume   types.Digest // chain-resume hash at the certified height
 	Anchors  []types.Anchor
+
+	// SnapshotHeight/SnapshotExec record the binding of the execution
+	// snapshot the restart path restored into its table, if any — zero when
+	// the table starts empty and rebuilds by forward-replay. Set by the
+	// execution layer after it decoded the recovered snapshot; VerifyResume
+	// re-checks the binding against the certificate (defense in depth on top
+	// of the WAL's recovery-time verification) so a mismatched table is
+	// caught before the replica advertises its head.
+	SnapshotHeight uint64
+	SnapshotExec   types.Digest
 }
 
 // VerifyResume validates a persisted resume state against a configuration
@@ -71,6 +81,18 @@ func VerifyResume(res *ResumeState, cfg Config, prov crypto.Provider) error {
 			return fmt.Errorf("core: resume certificate signature (replica %d): %w", sig.Signer, err)
 		}
 	}
+	if res.SnapshotHeight != 0 {
+		// A restored table must be the exact state the certificate attests:
+		// same cut, same execution hash (which the preimage check above just
+		// tied to the certificate). A snapshot from any other cut silently
+		// serving reads would be an unattested table.
+		if res.SnapshotHeight != h {
+			return fmt.Errorf("core: restored snapshot at height %d, certificate at %d", res.SnapshotHeight, h)
+		}
+		if res.SnapshotExec != res.ExecHash {
+			return errors.New("core: restored snapshot exec hash does not match the certificate preimage")
+		}
+	}
 	return nil
 }
 
@@ -108,5 +130,9 @@ func (r *Replica) applyResume(res *ResumeState) {
 		r.cfg.Dissem.GCToFrontier(h)
 	}
 	r.resumed = true
-	r.ctx.Logf("resumed from persisted checkpoint at height %d", h)
+	if res.SnapshotHeight != 0 {
+		r.ctx.Logf("resumed from persisted checkpoint at height %d (execution snapshot restored)", h)
+	} else {
+		r.ctx.Logf("resumed from persisted checkpoint at height %d (no execution snapshot; table rebuilds by forward-replay)", h)
+	}
 }

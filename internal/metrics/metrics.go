@@ -85,6 +85,11 @@ func Handler(src Source) http.Handler {
 					failed = 1
 				}
 				fmt.Fprintf(w, "spotless_wal_failed %d\n", failed)
+				fmt.Fprintf(w, "spotless_wal_snapshot_written_total %d\n", ws.SnapshotsWritten)
+				fmt.Fprintf(w, "spotless_wal_snapshot_restored_total %d\n", ws.SnapshotsRestored)
+				fmt.Fprintf(w, "spotless_wal_snapshot_bytes %d\n", ws.SnapshotBytes)
+				fmt.Fprintf(w, "spotless_wal_snapshot_quarantined_total %d\n", ws.SnapshotsQuarantined)
+				fmt.Fprintf(w, "spotless_wal_snapshot_restore_fallbacks_total %d\n", ws.RestoreFallbacks)
 			}
 		}
 	})

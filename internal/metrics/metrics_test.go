@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,9 @@ import (
 	"spotless/internal/core"
 	"spotless/internal/dissem"
 	"spotless/internal/simnet"
+	"spotless/internal/types"
+	"spotless/internal/wal"
+	"spotless/internal/ycsb"
 )
 
 func scrape(t *testing.T, h http.Handler) (int, string) {
@@ -64,6 +68,50 @@ func TestHandlerExposition(t *testing.T) {
 		"spotless_dissem_backfills_total 0\n",
 		"spotless_dissem_served_total 0\n",
 		"spotless_dissem_requeued_total 0\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestHandlerWalSnapshotRows: binding a durable store adds the wal_* rows,
+// including the execution-snapshot counters — written/restored/bytes plus
+// the corruption signature (quarantined, restore fallbacks) an operator
+// alerts on.
+func TestHandlerWalSnapshotRows(t *testing.T) {
+	sim := simnet.New(simnet.DefaultConfig(4))
+	r := core.New(sim.Context(0), core.DefaultConfig(4, 2))
+	fsys := wal.NewMemFS()
+	st, _, err := wal.Open("data", wal.Config{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := types.Digest{0xE7}
+	store := ycsb.NewStore(16, 8)
+	blob := store.Snapshot(64, exec)
+	cert := types.CheckpointCert{Height: 64, StateHash: types.Digest{1},
+		Sigs: []types.Signature{{Signer: 0, Bytes: []byte{1}}}}
+	if err := st.SetCheckpoint(cert, exec, types.Digest{2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot(64, blob); err != nil {
+		t.Fatal(err)
+	}
+	st.NoteSnapshotRestored(len(blob))
+	st.NoteRestoreFallback()
+
+	_, body := scrape(t, Handler(Source{
+		Replica: func() *core.Replica { return r },
+		WAL:     func() *wal.Store { return st },
+	}))
+	for _, want := range []string{
+		"spotless_wal_segments ",
+		"spotless_wal_snapshot_written_total 1\n",
+		"spotless_wal_snapshot_restored_total 1\n",
+		fmt.Sprintf("spotless_wal_snapshot_bytes %d\n", len(blob)),
+		"spotless_wal_snapshot_quarantined_total 0\n",
+		"spotless_wal_snapshot_restore_fallbacks_total 1\n",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q:\n%s", want, body)

@@ -36,6 +36,19 @@ type ReplicaExecutor struct {
 	// from the stable cut instead of rejoining as an amnesiac.
 	durable *wal.Store
 
+	// pendingSnaps holds execution snapshots captured at checkpoint cuts
+	// (StateDigest time, when the table content is exactly the attested
+	// prefix) awaiting stabilization; PersistCheckpoint promotes the winning
+	// cut to stableSnap and drops the rest. Bounded: cuts that never
+	// stabilize are evicted oldest-first. All access is on the ordering
+	// stage, like every other StateHost path.
+	pendingSnaps map[uint64][]byte
+	// stableSnap is the snapshot at the stable checkpoint — served inside
+	// StateChunk replies (memory-only replicas serve it too) and persisted
+	// through the WAL on durable ones.
+	stableSnap       []byte
+	stableSnapHeight uint64
+
 	// Reply cache (§5): clients retransmit unanswered requests, but a batch
 	// that already executed is deduplicated at delivery and never executes
 	// (or Informs) again — so replicas remember recent results and answer
@@ -71,10 +84,13 @@ func (e *ReplicaExecutor) Reply(id types.Digest) (types.Digest, bool) {
 	return r, ok
 }
 
+// maxPendingSnaps bounds snapshots held for cuts that have not stabilized.
+const maxPendingSnaps = 4
+
 // NewReplicaExecutor creates an executor for a replica.
 func NewReplicaExecutor(id types.NodeID, store *ycsb.Store, lg *ledger.Ledger, trans Transport, client types.NodeID) *ReplicaExecutor {
 	return &ReplicaExecutor{id: id, store: store, ledger: lg, trans: trans, client: client,
-		replies: make(map[types.Digest]types.Digest)}
+		replies: make(map[types.Digest]types.Digest), pendingSnaps: make(map[uint64][]byte)}
 }
 
 // Execute implements Executor.
@@ -133,11 +149,24 @@ func (e *ReplicaExecutor) Store() *ycsb.Store { return e.store }
 // StateDigest implements core.StateHost: the chain hash at the checkpoint
 // height, folding execution results into the attestation. Execute runs
 // synchronously on the event loop, so the ledger head equals the delivered
-// height when the checkpoint is cut.
-func (e *ReplicaExecutor) StateDigest(height uint64) types.Digest {
+// height when the checkpoint is cut — which is also why the execution
+// snapshot is captured here, not at stabilization: at this instant the table
+// is exactly the attested prefix, while by the time the certificate
+// assembles the table has moved on.
+func (e *ReplicaExecutor) StateDigest(height uint64, execHash types.Digest) types.Digest {
 	if height == 0 {
 		return types.Digest{}
 	}
+	if len(e.pendingSnaps) >= maxPendingSnaps {
+		lowest := uint64(0)
+		for h := range e.pendingSnaps {
+			if lowest == 0 || h < lowest {
+				lowest = h
+			}
+		}
+		delete(e.pendingSnaps, lowest)
+	}
+	e.pendingSnaps[height] = e.store.Snapshot(height, execHash)
 	if b, ok := e.ledger.Block(height - 1); ok {
 		return b.Hash
 	}
@@ -168,11 +197,45 @@ func (e *ReplicaExecutor) BlockHash(height uint64) (types.Digest, bool) {
 
 // PersistCheckpoint implements core.StateHost: record the stable
 // certificate and its state-hash preimage in the WAL manifest so a restart
-// resumes from this cut. No-op for memory-only replicas.
+// resumes from this cut, then promote and persist the execution snapshot
+// captured at that cut. Manifest strictly first: recovery must never find a
+// snapshot the manifest cannot vouch for (the crash window leaves a stale
+// or missing snapshot, which recovery treats as a forward-replay fallback).
+// Memory-only replicas still promote the snapshot so they can serve it in
+// state-transfer chunks.
 func (e *ReplicaExecutor) PersistCheckpoint(cert types.CheckpointCert, execHash, resume types.Digest, anchors []types.Anchor) {
+	h := cert.Height
+	if data, ok := e.pendingSnaps[h]; ok {
+		e.stableSnap, e.stableSnapHeight = data, h
+	}
+	for ph := range e.pendingSnaps {
+		if ph <= h {
+			delete(e.pendingSnaps, ph)
+		}
+	}
 	if e.durable != nil {
 		_ = e.durable.SetCheckpoint(cert, execHash, resume, anchors)
+		if e.stableSnapHeight == h && e.stableSnap != nil {
+			_ = e.durable.SaveSnapshot(h, e.stableSnap)
+		}
 	}
+}
+
+// StateSnapshot implements core.StateHost: the execution snapshot at the
+// stable checkpoint, served inside StateChunk replies so a far-behind
+// rejoiner installs the attested table instead of replaying from genesis.
+func (e *ReplicaExecutor) StateSnapshot(height uint64) []byte {
+	if e.stableSnapHeight == height {
+		return e.stableSnap
+	}
+	return nil
+}
+
+// StableSnapshot returns the stable-checkpoint snapshot the executor
+// retains and its anchor height (0, nil before the first cut). Read-only
+// harness accessor — call only while the replica's event loop is stopped.
+func (e *ReplicaExecutor) StableSnapshot() (uint64, []byte) {
+	return e.stableSnapHeight, e.stableSnap
 }
 
 // chainHashAt returns lg's chain hash at the given height: the hash the
@@ -223,12 +286,31 @@ func (e *ReplicaExecutor) extendChain(blocks []types.BlockRecord) {
 //
 // A local tail that contradicts the certificate is rolled back to the
 // executed frontier, so the next fetch claims an honest head. The YCSB
-// table itself is not re-shipped: its content at the checkpoint is attested
-// by the result digests chained into the ledger, and a production
-// deployment would bulk-copy the table alongside (see docs/ARCHITECTURE.md).
+// table rides in the chunk's Snapshot arm when the server retains one: it
+// is decoded and bound to the certificate BEFORE any ledger mutation (a
+// present-but-invalid snapshot aborts the whole install — unverified state
+// is never served), and installed atomically with the checkpoint so cold
+// keys read the attested values instead of initial payloads.
 func (e *ReplicaExecutor) InstallState(chunk *types.StateChunk) error {
 	height, resume, blocks := chunk.Cert.Height, chunk.LedgerResume, chunk.Blocks
 	head, headHash := e.ledger.Head()
+
+	// Verify the snapshot arm first: its embedded binding must name exactly
+	// the certificate being installed. CheckpointStateHash already tied
+	// (height, ExecHash) to the quorum's signatures upstream, so a snapshot
+	// matching (height, ExecHash) is the attested table.
+	var snap *ycsb.TableSnapshot
+	if len(chunk.Snapshot) > 0 {
+		s, err := ycsb.DecodeSnapshot(chunk.Snapshot)
+		if err != nil {
+			return fmt.Errorf("state chunk snapshot: %w", err)
+		}
+		if s.Height != height || s.ExecHash != chunk.ExecHash {
+			return fmt.Errorf("state chunk snapshot bound to (%d, %x), certificate is (%d, %x)",
+				s.Height, s.ExecHash[:4], height, chunk.ExecHash[:4])
+		}
+		snap = s
+	}
 
 	// Keep-chain: local chain covers the cut and vouches for the certificate.
 	if head >= height {
@@ -237,6 +319,7 @@ func (e *ReplicaExecutor) InstallState(chunk *types.StateChunk) error {
 			if err := e.ledger.Truncate(height); err != nil {
 				return err
 			}
+			e.adoptSnapshot(chunk, snap)
 			e.delivered = height
 			return nil
 		}
@@ -275,6 +358,7 @@ func (e *ReplicaExecutor) InstallState(chunk *types.StateChunk) error {
 			if err := e.ledger.Truncate(height); err != nil {
 				return err
 			}
+			e.adoptSnapshot(chunk, snap)
 			e.delivered = height
 			return nil
 		}
@@ -319,8 +403,35 @@ func (e *ReplicaExecutor) InstallState(chunk *types.StateChunk) error {
 	// Delivery resumes at the checkpoint height; imported blocks above it
 	// are provisional-canonical — kept unless the consensus replay
 	// contradicts them (see Execute).
+	e.adoptSnapshot(chunk, snap)
 	e.delivered = height
 	return nil
+}
+
+// adoptSnapshot installs a verified chunk snapshot into the table at the
+// moment an install commits (every install path funnels through here before
+// the delivery cursor jumps). With a snapshot, the table becomes the
+// attested state at the cut and the replica can itself serve and persist it
+// — the full checkpoint metadata is re-persisted alongside, so a crash
+// right after the install restarts from the cut instead of rejoining as an
+// amnesiac. Without one, the jump leaves cold keys at initial values until
+// overwritten (the pre-snapshot semantics), which is counted as a restore
+// fallback on durable replicas so operators can see it.
+func (e *ReplicaExecutor) adoptSnapshot(chunk *types.StateChunk, snap *ycsb.TableSnapshot) {
+	if snap == nil {
+		if chunk.Cert.Height > e.delivered && e.durable != nil {
+			e.durable.NoteRestoreFallback()
+		}
+		return
+	}
+	e.store.Restore(snap)
+	e.stableSnap = append([]byte(nil), chunk.Snapshot...)
+	e.stableSnapHeight = chunk.Cert.Height
+	if e.durable != nil {
+		_ = e.durable.SetCheckpoint(chunk.Cert, chunk.ExecHash, chunk.LedgerResume, chunk.Anchors)
+		_ = e.durable.SaveSnapshot(chunk.Cert.Height, e.stableSnap)
+		e.durable.NoteSnapshotRestored(len(chunk.Snapshot))
+	}
 }
 
 // SafeSource makes any BatchSource safe for concurrent nodes.
@@ -468,7 +579,12 @@ type ClusterConfig struct {
 	// FS overrides the WAL filesystem. Tests inject wal.MemFS for
 	// deterministic power-cut semantics (Crash drops unsynced bytes); nil
 	// uses the OS filesystem.
-	FS     wal.FS
+	FS wal.FS
+	// FSFor overrides FS per replica. MemFS fault knobs (FailSyncs, FlipBit,
+	// Crash, ...) are filesystem-global, so a drill that injects faults into
+	// one replica's disk without touching the others needs one MemFS per
+	// replica. Takes precedence over FS when non-nil.
+	FSFor  func(i int) wal.FS
 	Tune   func(i int, cfg *core.Config)
 	OnDone func(types.Digest)
 }
@@ -549,10 +665,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // a chain that cannot vouch for the persisted certificate (or a truncated
 // chain with no certificate at all) is reset to genesis so the replica
 // rejoins over the network instead of serving records nobody attested.
-func OpenDurable(dir string, cfg wal.Config) (*ledger.Ledger, *wal.Store, *core.ResumeState, error) {
+//
+// The fourth return is the execution snapshot the WAL recovered and
+// frame-verified against the manifest (nil when none survived — the
+// forward-replay fallback). Callers decode it with ycsb.DecodeSnapshot and
+// restore the table only when the resume itself verifies; a decode failure
+// quarantines through Store.QuarantineSnapshot.
+func OpenDurable(dir string, cfg wal.Config) (*ledger.Ledger, *wal.Store, *core.ResumeState, []byte, error) {
 	st, rec, err := wal.Open(dir, cfg)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	lg, _, replayErr := ledger.Restore(rec.Snapshot, rec.Blocks, st)
 	if replayErr != nil {
@@ -565,7 +687,7 @@ func OpenDurable(dir string, cfg wal.Config) (*ledger.Ledger, *wal.Store, *core.
 			cfg.Logf("wal: truncated chain at base %d has no checkpoint certificate; resetting", rec.Snapshot.Height)
 			lg.Reset(ledger.Snapshot{})
 		}
-		return lg, st, nil, nil
+		return lg, st, nil, nil, nil
 	}
 	ck := rec.Checkpoint
 	res := &core.ResumeState{Cert: ck.Cert, ExecHash: ck.ExecHash, Resume: ck.Resume, Anchors: ck.Anchors}
@@ -577,9 +699,9 @@ func OpenDurable(dir string, cfg wal.Config) (*ledger.Ledger, *wal.Store, *core.
 	if hh, ok := chainHashAt(lg, ck.Cert.Height); head < ck.Cert.Height || !ok || hh != ck.Resume {
 		cfg.Logf("wal: replayed chain (head %d) cannot vouch for checkpoint at %d; resetting", head, ck.Cert.Height)
 		lg.Reset(ledger.Snapshot{})
-		return lg, st, nil, nil
+		return lg, st, nil, nil, nil
 	}
-	return lg, st, res, nil
+	return lg, st, res, rec.ExecSnapshot, nil
 }
 
 // ApplyResume validates a restored resume state against the replica's
@@ -591,12 +713,41 @@ func OpenDurable(dir string, cfg wal.Config) (*ledger.Ledger, *wal.Store, *core.
 // based above genesis is then reset, because consensus restarts at delivery
 // 0 and a truncated chain would desync every appended height. A nil res
 // only applies the reset rule.
-func ApplyResume(res *core.ResumeState, cfg *core.Config, prov crypto.Provider, exec *ReplicaExecutor) error {
+//
+// snapData is the WAL-recovered execution snapshot (OpenDurable's fourth
+// return; nil for none). It is decoded and bound to the certificate before
+// verification and restored into the table only after the resume verifies —
+// a table restored under a rejected resume would diverge from the
+// genesis-restarted execution. A snapshot that fails the canonical decode
+// or names a different cut is quarantined and the replica falls back to
+// forward-replay; the resume itself stays valid, since the ledger path is
+// attested independently.
+func ApplyResume(res *core.ResumeState, snapData []byte, cfg *core.Config, prov crypto.Provider, exec *ReplicaExecutor) error {
+	var snap *ycsb.TableSnapshot
+	if res != nil && len(snapData) > 0 {
+		s, err := ycsb.DecodeSnapshot(snapData)
+		if err != nil || s.Height != res.Cert.Height || s.ExecHash != res.ExecHash {
+			if exec.durable != nil {
+				exec.durable.QuarantineSnapshot(res.Cert.Height)
+			}
+		} else {
+			snap = s
+			res.SnapshotHeight, res.SnapshotExec = s.Height, s.ExecHash
+		}
+	}
 	var verr error
 	if res != nil {
 		if verr = core.VerifyResume(res, *cfg, prov); verr == nil {
 			cfg.Resume = res
 			exec.delivered = res.Cert.Height
+			if snap != nil {
+				exec.store.Restore(snap)
+				exec.stableSnap = append([]byte(nil), snapData...)
+				exec.stableSnapHeight = snap.Height
+				if exec.durable != nil {
+					exec.durable.NoteSnapshotRestored(len(snapData))
+				}
+			}
 		}
 	}
 	if cfg.Resume == nil {
@@ -621,9 +772,14 @@ func (c *Cluster) buildReplica(i int) error {
 	lg := ledger.New()
 	var durable *wal.Store
 	var res *core.ResumeState
+	var snapData []byte
 	if c.cfg.DataDir != "" {
 		dir := filepath.Join(c.cfg.DataDir, fmt.Sprintf("r%d", i))
-		lg, durable, res, err = OpenDurable(dir, wal.Config{FS: c.cfg.FS, Fsync: c.cfg.Fsync})
+		fsys := c.cfg.FS
+		if c.cfg.FSFor != nil {
+			fsys = c.cfg.FSFor(i)
+		}
+		lg, durable, res, snapData, err = OpenDurable(dir, wal.Config{FS: fsys, Fsync: c.cfg.Fsync})
 		if err != nil {
 			return fmt.Errorf("runtime: replica %d wal: %w", i, err)
 		}
@@ -653,7 +809,7 @@ func (c *Cluster) buildReplica(i int) error {
 	if c.cfg.Tune != nil {
 		c.cfg.Tune(i, &ccfg)
 	}
-	_ = ApplyResume(res, &ccfg, prov, exec)
+	_ = ApplyResume(res, snapData, &ccfg, prov, exec)
 	rep := core.New(node, ccfg)
 	node.SetProtocol(rep)
 	c.Nodes[i] = node

@@ -31,10 +31,16 @@ const (
 	ProfileSkew = "skew"
 	// ProfileMixed rotates among the three fault kinds episode by episode.
 	ProfileMixed = "mixed"
+	// ProfileCrash kill-9s one replica per episode — it goes fully dark at
+	// the fault (all in-memory consensus state lost) and is rebuilt at the
+	// heal through ChaosConfig.Restart, rejoining via state transfer.
+	ProfileCrash = "crash"
 )
 
-// ChaosProfiles lists the built-in soak profiles in display order.
-var ChaosProfiles = []string{ProfilePartitions, ProfileGray, ProfileSkew, ProfileMixed}
+// ChaosProfiles lists the built-in soak profiles in display order. Crash is
+// listed last: ProfileMixed draws episode kinds from the first three, so
+// appending keeps every existing (profile, seed) plan bit-identical.
+var ChaosProfiles = []string{ProfilePartitions, ProfileGray, ProfileSkew, ProfileMixed, ProfileCrash}
 
 // ChaosConfig parameterizes one seeded chaos plan.
 type ChaosConfig struct {
@@ -49,6 +55,13 @@ type ChaosConfig struct {
 	// gap; each is jittered ±50% per episode. Defaults: 120ms / 150ms.
 	MeanFault time.Duration
 	MeanGap   time.Duration
+	// Restart rebuilds a crashed replica at a crash episode's heal point —
+	// required by ProfileCrash, which otherwise fails InstallChaos. The
+	// callback runs inside the simulation loop and should call
+	// Simulation.Restart with the same protocol constructor used at setup
+	// (the amnesiac-rejoin model: all in-memory state lost, recovery through
+	// state transfer).
+	Restart func(types.NodeID)
 }
 
 // FaultRecord is one planned fault episode: the harness measures
@@ -72,6 +85,9 @@ func (s *Simulation) InstallChaos(cfg ChaosConfig) ([]FaultRecord, error) {
 	}
 	if !valid {
 		return nil, fmt.Errorf("unknown chaos profile %q (have %v)", cfg.Profile, ChaosProfiles)
+	}
+	if cfg.Profile == ProfileCrash && cfg.Restart == nil {
+		return nil, fmt.Errorf("chaos profile %q requires a Restart callback", ProfileCrash)
 	}
 	if cfg.N <= 0 {
 		cfg.N = s.cfg.N
@@ -115,6 +131,9 @@ func (s *Simulation) InstallChaos(cfg ChaosConfig) ([]FaultRecord, error) {
 				skew = -skew
 			}
 			s.scheduleSkew(rec.Victims[0], skew, rec.At, rec.Heal)
+		case ProfileCrash:
+			rec.Victims = pickVictims(rng, cfg.N, 1)
+			s.scheduleCrash(rec.Victims[0], cfg.Restart, rec.At, rec.Heal)
 		}
 		plan = append(plan, rec)
 		at = rec.Heal + jitter(rng, cfg.MeanGap)
@@ -195,6 +214,15 @@ func (s *Simulation) scheduleGray(rng *rand.Rand, victim types.NodeID, n int, at
 			s.adv.Uninstall(t)
 		}
 	})
+}
+
+// scheduleCrash kill-9s the victim at `at` (fully dark: drops all input,
+// produces nothing, loses every pending timer when rebuilt) and hands it to
+// the harness's Restart callback at `heal` — the amnesiac-rejoin model,
+// where recovery runs through the protocol's own state-transfer path.
+func (s *Simulation) scheduleCrash(victim types.NodeID, restart func(types.NodeID), at, heal time.Duration) {
+	s.Schedule(at, func() { s.SetDown(victim, true) })
+	s.Schedule(heal, func() { restart(victim) })
 }
 
 // scheduleSkew drifts the victim's timer clock by the given factor over

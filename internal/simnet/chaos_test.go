@@ -3,6 +3,8 @@ package simnet
 import (
 	"testing"
 	"time"
+
+	"spotless/internal/types"
 )
 
 func chaosCfg(profile string, seed int64) ChaosConfig {
@@ -12,6 +14,7 @@ func chaosCfg(profile string, seed int64) ChaosConfig {
 		N:       4,
 		Start:   200 * time.Millisecond,
 		End:     2 * time.Second,
+		Restart: func(types.NodeID) {}, // satisfies ProfileCrash validation
 	}
 }
 
@@ -84,6 +87,55 @@ func TestChaosPlanShape(t *testing.T) {
 func TestChaosUnknownProfile(t *testing.T) {
 	if _, err := New(DefaultConfig(4)).InstallChaos(chaosCfg("partition", 1)); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestChaosCrashRequiresRestart: a crash plan without a rebuild callback is
+// a configuration error — healing a kill-9 victim needs the harness's
+// protocol constructor, and silently never restarting it would turn the
+// soak into a permanent-failure run.
+func TestChaosCrashRequiresRestart(t *testing.T) {
+	cfg := chaosCfg(ProfileCrash, 1)
+	cfg.Restart = nil
+	if _, err := New(DefaultConfig(4)).InstallChaos(cfg); err == nil {
+		t.Fatal("crash profile accepted without a Restart callback")
+	}
+}
+
+// TestChaosCrashDownsAndRestarts: crash episodes actually take the victim
+// dark at the fault point and hand exactly that victim to the Restart
+// callback at the heal point, in plan order.
+func TestChaosCrashDownsAndRestarts(t *testing.T) {
+	s := New(DefaultConfig(4))
+	cfg := chaosCfg(ProfileCrash, 3)
+	var restarted []types.NodeID
+	cfg.Restart = func(id types.NodeID) {
+		if !s.node(id).down {
+			t.Errorf("restart callback for node %d fired while it was still up", id)
+		}
+		s.node(id).down = false
+		restarted = append(restarted, id)
+	}
+	plan, err := s.InstallChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(cfg.End + 100*time.Millisecond)
+	if len(restarted) != len(plan) {
+		t.Fatalf("restarted %d victims, plan has %d crash episodes", len(restarted), len(plan))
+	}
+	for i, rec := range plan {
+		if rec.Kind != ProfileCrash || len(rec.Victims) != 1 {
+			t.Fatalf("episode %d is %+v, want a single-victim crash", i, rec)
+		}
+		if restarted[i] != rec.Victims[0] {
+			t.Fatalf("episode %d restarted %d, plan names %d", i, restarted[i], rec.Victims[0])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if s.node(types.NodeID(i)).down {
+			t.Fatalf("node %d left dark after the final heal", i)
+		}
 	}
 }
 

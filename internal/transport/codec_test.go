@@ -58,7 +58,7 @@ func codecMessages() []types.Message {
 		&types.NarwhalCert{BatchID: d(9), Sigs: []types.Signature{sig(0, 7), sig(1, 8)}},
 		// Checkpointing & state transfer
 		&types.Checkpoint{Height: 64, StateHash: d(10), Sig: sig(3, 9)},
-		&types.FetchState{Have: 12, Head: 66, HeadHash: d(17)},
+		&types.FetchState{Have: 12, Head: 66, HeadHash: d(17), WantSnapshot: true},
 		&types.StateChunk{
 			Cert:         types.CheckpointCert{Height: 64, StateHash: d(10), Sigs: []types.Signature{sig(0, 1), sig(1, 2), sig(2, 3)}},
 			ExecHash:     d(11),
@@ -66,6 +66,7 @@ func codecMessages() []types.Message {
 			Anchors:      []types.Anchor{{View: 30, Digest: d(13)}, {View: 29, Digest: d(14)}},
 			Blocks: []types.BlockRecord{{Height: 64, Prev: d(12), Instance: 1, View: 30,
 				BatchID: d(9), Proposal: d(13), Results: d(15), Hash: d(16)}},
+			Snapshot: []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01},
 		},
 		// Batch dissemination (digest ordering)
 		&types.BatchDigest{Origin: 2, Batch: batch, Pull: true},

@@ -111,6 +111,11 @@ type FetchState struct {
 	// Head 0 (no verifiable local tail) requests a full transfer.
 	Head     uint64
 	HeadHash Digest
+	// WantSnapshot asks the server to include its stable execution snapshot
+	// in the chunk. Set by requesters that execute application state (the
+	// runtime); pure-ordering substrates (the simulator) leave it false and
+	// skip the table bytes.
+	WantSnapshot bool
 }
 
 // WireSize implements Message.
@@ -129,10 +134,18 @@ type StateChunk struct {
 	LedgerResume Digest // hash of the last pruned block (chain-resume hash)
 	Anchors      []Anchor
 	Blocks       []BlockRecord
+	// Snapshot is the server's execution snapshot at the checkpoint cut
+	// (ycsb envelope bytes), present only when the requester asked for one
+	// and the server retains it. Its embedded (height, exec hash) binding
+	// must match the certificate above — the requester verifies before
+	// installing. Empty means absent: the requester falls back to
+	// forward-replay semantics for the table.
+	Snapshot []byte
 }
 
 // WireSize implements Message.
 func (m *StateChunk) WireSize() int {
 	return ControlMsgSize + len(m.Cert.Sigs)*SignatureSize +
-		len(m.Anchors)*(8+32) + len(m.Blocks)*BlockRecordWireSize
+		len(m.Anchors)*(8+32) + len(m.Blocks)*BlockRecordWireSize +
+		len(m.Snapshot)
 }

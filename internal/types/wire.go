@@ -772,11 +772,12 @@ func decodeCheckpoint(r *wireReader) Message {
 func (m *FetchState) AppendBinary(b []byte) []byte {
 	b = appendU64(b, m.Have)
 	b = appendU64(b, m.Head)
-	return append(b, m.HeadHash[:]...)
+	b = append(b, m.HeadHash[:]...)
+	return appendBool(b, m.WantSnapshot)
 }
 
 func decodeFetchState(r *wireReader) Message {
-	return &FetchState{Have: r.u64(), Head: r.u64(), HeadHash: r.digest()}
+	return &FetchState{Have: r.u64(), Head: r.u64(), HeadHash: r.digest(), WantSnapshot: r.boolean()}
 }
 
 // AppendBinary appends the fixed-layout wire body to b.
@@ -803,7 +804,7 @@ func (m *StateChunk) AppendBinary(b []byte) []byte {
 		b = append(b, blk.Results[:]...)
 		b = append(b, blk.Hash[:]...)
 	}
-	return b
+	return appendBytes(b, m.Snapshot)
 }
 
 // blockRecordWire is the exact wire footprint of one BlockRecord.
@@ -836,6 +837,7 @@ func decodeStateChunk(r *wireReader) Message {
 			blk.Hash = r.digest()
 		}
 	}
+	m.Snapshot = r.bytes()
 	return m
 }
 

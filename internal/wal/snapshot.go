@@ -1,0 +1,267 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"spotless/internal/types"
+)
+
+// Execution-snapshot persistence. At every stabilized checkpoint the
+// execution layer hands the store an opaque snapshot blob (the ycsb table
+// envelope) captured at the cut; the store persists it with the manifest's
+// discipline — temp file + fsync + rename — and garbage-collects superseded
+// snapshots. On recovery the store returns the newest snapshot whose
+// embedded (height, exec hash) binding matches the persisted checkpoint;
+// anything torn, corrupt, or inexplicable is quarantined (never deleted),
+// and the replica falls back loudly to forward-replay. Persistence order is
+// manifest first, snapshot second: a crash in the window leaves an intact
+// manifest with a stale-or-missing snapshot, which recovery handles as a
+// fallback, never the reverse (a snapshot newer than the manifest is
+// evidence of tampering and is quarantined).
+//
+// The envelope header layout is mirrored from internal/ycsb (which owns the
+// format) so this package can select and verify snapshot files without
+// importing the execution layer; ycsb's snapshot_test pins the two against
+// each other.
+const (
+	snapMagic      = "SPLT"
+	snapHeaderSize = 4 + 4 + 8 + 32 + 8 + 8
+	snapMinSize    = snapHeaderSize + 4
+	snapPrefix     = "snap-"
+	snapTmp        = "snap.tmp"
+)
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// snapshotFile names the snapshot anchored at a checkpoint height.
+func snapshotFile(height uint64) string {
+	return fmt.Sprintf("%s%016x", snapPrefix, height)
+}
+
+// parseSnapshotFile inverts snapshotFile.
+func parseSnapshotFile(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, snapPrefix)
+	if !ok || len(rest) != 16 {
+		return 0, false
+	}
+	h, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return h, true
+}
+
+// verifySnapshotBlob checks the envelope frame — magic, size, whole-blob
+// CRC32C — and extracts the (height, exec hash) binding. Record-level
+// canonicality is the execution layer's concern at decode time; the frame
+// check here is what recovery needs to refuse torn or bit-flipped files.
+func verifySnapshotBlob(data []byte) (height uint64, execHash types.Digest, ok bool) {
+	if len(data) < snapMinSize || string(data[:4]) != snapMagic {
+		return 0, types.Digest{}, false
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, snapCRC) != binary.LittleEndian.Uint32(tail) {
+		return 0, types.Digest{}, false
+	}
+	height = binary.LittleEndian.Uint64(data[8:])
+	copy(execHash[:], data[16:48])
+	return height, execHash, true
+}
+
+// SaveSnapshot atomically persists the execution snapshot for a checkpoint
+// height (temp file + fsync + rename, the manifest's discipline) and then
+// removes superseded snapshot files — new state lands on disk before old
+// state is given up. Snapshot persistence is best-effort: a failure here is
+// logged and reported but does NOT fail the store, because ledger safety
+// never depends on a snapshot existing (recovery falls back to
+// forward-replay). Callers persist the manifest (SetCheckpoint) first.
+func (s *Store) SaveSnapshot(height uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.saveSnapshotLocked(height, data); err != nil {
+		s.cfg.Logf("wal: snapshot at %d not persisted (%v); recovery will forward-replay", height, err)
+		return err
+	}
+	s.snapsWritten++
+	s.snapBytes = int64(len(data))
+	return nil
+}
+
+func (s *Store) saveSnapshotLocked(height uint64, data []byte) error {
+	f, err := s.fs.OpenFile(s.path(snapTmp), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		_ = s.fs.Remove(s.path(snapTmp))
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = s.fs.Remove(s.path(snapTmp))
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(s.path(snapTmp))
+		return err
+	}
+	if err := s.fs.Rename(s.path(snapTmp), s.path(snapshotFile(height))); err != nil {
+		_ = s.fs.Remove(s.path(snapTmp))
+		return err
+	}
+	// GC superseded snapshots only after the replacement is durable.
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil // the new snapshot is safe; GC retries at the next save
+	}
+	for _, name := range names {
+		if h, ok := parseSnapshotFile(name); ok && h < height {
+			_ = s.fs.Remove(s.path(name))
+		}
+	}
+	return nil
+}
+
+// QuarantineSnapshot renames the snapshot file for a height aside after a
+// higher layer rejected its content (e.g. the execution layer's canonical
+// decode failed despite an intact frame). Counted as both a quarantine and
+// a restore fallback — the operator-visible signature of corruption, as
+// opposed to the silent absence of a pre-first-checkpoint cold start.
+func (s *Store) QuarantineSnapshot(height uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := snapshotFile(height)
+	if err := s.fs.Rename(s.path(name), s.path("quarantine-"+name)); err != nil {
+		_ = s.fs.Remove(s.path(name))
+	}
+	s.snapQuarantined++
+	s.snapFallbacks++
+	s.cfg.Logf("wal: execution snapshot at %d rejected by decoder — quarantined, falling back to forward-replay", height)
+}
+
+// recoverSnapshots scans the data directory for snapshot files and selects
+// the one the persisted checkpoint vouches for. Every outcome of the fault
+// matrix lands here:
+//
+//	stale snapshot, newer manifest  → deleted (completes an interrupted GC;
+//	                                  the blocks below it are gone anyway)
+//	snapshot above the manifest     → quarantined (persistence order makes
+//	                                  this impossible short of tampering)
+//	torn / bit-flipped / bad frame  → quarantined, fallback
+//	manifest lost, snapshot intact  → quarantined (nothing vouches for it)
+//	lost snapshot, intact manifest  → fallback (loud, counted)
+//	no checkpoint yet               → nothing to restore; silent cold start
+func (s *Store) recoverSnapshots(rec *Recovery) {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	_ = s.fs.Remove(s.path(snapTmp)) // leftover of an interrupted save
+	for _, name := range names {
+		h, ok := parseSnapshotFile(name)
+		if !ok {
+			continue
+		}
+		if s.ckpt == nil {
+			s.cfg.Logf("wal: snapshot %s present with no persisted checkpoint — quarantining", name)
+			s.quarantineSnapshotFile(name)
+			continue
+		}
+		want := s.ckpt.Cert.Height
+		switch {
+		case h < want:
+			_ = s.fs.Remove(s.path(name))
+		case h > want:
+			s.cfg.Logf("wal: snapshot %s is above the manifest checkpoint %d — quarantining", name, want)
+			s.quarantineSnapshotFile(name)
+		default:
+			data, err := s.readFile(name)
+			if err != nil {
+				s.quarantineSnapshotFile(name)
+				continue
+			}
+			gotH, gotExec, ok := verifySnapshotBlob(data)
+			if !ok || gotH != want || gotExec != s.ckpt.ExecHash {
+				s.cfg.Logf("wal: snapshot %s fails verification against the checkpoint manifest — quarantining", name)
+				s.quarantineSnapshotFile(name)
+				continue
+			}
+			rec.ExecSnapshot = data
+		}
+	}
+	if s.ckpt != nil && rec.ExecSnapshot == nil {
+		// A checkpoint exists but no snapshot survived for it: the table
+		// rebuilds by forward-replay from the cut, serving initial values
+		// for cold keys until state transfer or fresh writes cover them.
+		// Loud and counted — this is the corruption/loss signature, distinct
+		// from the silent pre-first-checkpoint cold start above.
+		s.snapFallbacks++
+		rec.SnapshotFallback = true
+		s.cfg.Logf("wal: no usable execution snapshot for checkpoint %d — falling back to forward-replay", s.ckpt.Cert.Height)
+	}
+	rec.SnapshotQuarantined = s.snapQuarantined
+}
+
+func (s *Store) quarantineSnapshotFile(name string) {
+	if err := s.fs.Rename(s.path(name), s.path("quarantine-"+name)); err != nil {
+		_ = s.fs.Remove(s.path(name))
+	}
+	s.snapQuarantined++
+}
+
+// NoteSnapshotRestored records that the execution layer successfully decoded
+// and installed the recovered snapshot into its table — the /metrics
+// "restored" row counts tables actually served from a snapshot, not blobs
+// merely found on disk.
+func (s *Store) NoteSnapshotRestored(bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapRestored++
+	s.snapBytes = int64(bytes)
+}
+
+// NoteRestoreFallback records that the execution layer jumped its delivery
+// frontier without a usable snapshot (e.g. a state-transfer install whose
+// chunk carried no table) — the replica's cold keys serve initial values
+// until overwritten, and the operator should see that.
+func (s *Store) NoteRestoreFallback() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapFallbacks++
+}
+
+// removeSnapshotsLocked deletes every snapshot file — the Reset path, where
+// the chain re-roots at a transferred checkpoint and local snapshots no
+// longer correspond to anything the manifest vouches for.
+func (s *Store) removeSnapshotsLocked() {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	_ = s.fs.Remove(s.path(snapTmp))
+	for _, name := range names {
+		if _, ok := parseSnapshotFile(name); ok {
+			_ = s.fs.Remove(s.path(name))
+		}
+	}
+}
+
+// readSnapshotFile is a test hook: the raw on-disk snapshot for a height.
+func (s *Store) readSnapshotFile(height uint64) ([]byte, error) {
+	f, err := s.fs.OpenFile(s.path(snapshotFile(height)), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -1,0 +1,413 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spotless/internal/ledger"
+	"spotless/internal/types"
+	"spotless/internal/ycsb"
+)
+
+// Execution-snapshot fault matrix. Every row of the recovery dispatch in
+// recoverSnapshots is pinned here against the real ycsb envelope: clean
+// round trip, torn write, bit flip, fsync failure, stale snapshot under a
+// newer manifest, lost snapshot with an intact manifest, a snapshot above
+// the manifest, and an orphan with no checkpoint at all. The invariants
+// under test: recovery never hands back an unverified blob, corruption is
+// quarantined (renamed aside, never deleted) and counted, and loss
+// degrades to a loud forward-replay fallback — never a wrong answer.
+
+// execBlob builds a genuine ycsb table snapshot bound to (height, exec).
+func execBlob(height uint64, exec types.Digest) []byte {
+	store := ycsb.NewStore(32, 16)
+	w := ycsb.NewWorkload(int64(height)+3, 0, 32, 16)
+	for i := 0; i < 4; i++ {
+		store.Apply(w.NextBatch(8))
+	}
+	return store.Snapshot(height, exec)
+}
+
+// ckptAt persists a (unverified-by-wal) checkpoint manifest at height.
+func ckptAt(t *testing.T, st *Store, height uint64, exec types.Digest) {
+	t.Helper()
+	cert := types.CheckpointCert{Height: height, StateHash: types.Digest{0xC, byte(height)},
+		Sigs: []types.Signature{{Signer: 1, Bytes: []byte{1}}, {Signer: 2, Bytes: []byte{2}}}}
+	if err := st.SetCheckpoint(cert, exec, types.Digest{0xAB}, nil); err != nil {
+		t.Fatalf("set checkpoint: %v", err)
+	}
+}
+
+func snapPath(height uint64) string { return filepath.Join(testDir, snapshotFile(height)) }
+
+// TestSnapshotSaveRecoverRoundTrip: the happy path — manifest then snapshot,
+// kill -9, reopen; recovery returns the exact blob and counts nothing as a
+// fault.
+func TestSnapshotSaveRecoverRoundTrip(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	exec := types.Digest{0xE1}
+	blob := execBlob(64, exec)
+	ckptAt(t, st, 64, exec)
+	if err := st.SaveSnapshot(64, blob); err != nil {
+		t.Fatalf("save snapshot: %v", err)
+	}
+	if got := st.Stats(); got.SnapshotsWritten != 1 || got.SnapshotBytes != int64(len(blob)) {
+		t.Fatalf("stats after save = %+v", got)
+	}
+	fsys.Crash() // no Close: snapshot save syncs unconditionally
+
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	if string(rec.ExecSnapshot) != string(blob) {
+		t.Fatalf("recovered snapshot differs (%d bytes, want %d)", len(rec.ExecSnapshot), len(blob))
+	}
+	if rec.SnapshotFallback || rec.SnapshotQuarantined != 0 {
+		t.Fatalf("clean round trip flagged faults: %+v", rec)
+	}
+	snap, err := ycsb.DecodeSnapshot(rec.ExecSnapshot)
+	if err != nil || snap.Height != 64 || snap.ExecHash != exec {
+		t.Fatalf("recovered blob does not decode to the saved table: %v %+v", err, snap)
+	}
+	if got := st2.Stats(); got.RestoreFallbacks != 0 || got.SnapshotsQuarantined != 0 {
+		t.Fatalf("stats after clean recovery = %+v", got)
+	}
+}
+
+// TestSnapshotGCSuperseded: a newer snapshot replaces the old one on disk
+// only after the new file is durable; recovery sees exactly the newest.
+func TestSnapshotGCSuperseded(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	e64, e128 := types.Digest{0x64}, types.Digest{0x28}
+	ckptAt(t, st, 64, e64)
+	if err := st.SaveSnapshot(64, execBlob(64, e64)); err != nil {
+		t.Fatal(err)
+	}
+	ckptAt(t, st, 128, e128)
+	blob := execBlob(128, e128)
+	if err := st.SaveSnapshot(128, blob); err != nil {
+		t.Fatal(err)
+	}
+	if fsys.Size(snapPath(64)) != -1 {
+		t.Fatal("superseded snapshot not garbage-collected")
+	}
+	fsys.Crash()
+
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if string(rec.ExecSnapshot) != string(blob) || rec.SnapshotFallback {
+		t.Fatalf("recovery after GC = %d bytes, fallback=%v", len(rec.ExecSnapshot), rec.SnapshotFallback)
+	}
+}
+
+// TestSnapshotTornWrite: the write itself tears (short write + I/O error).
+// The save reports failure, leaves no temp debris, and recovery falls back
+// loudly — the manifest survives untouched.
+func TestSnapshotTornWrite(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	exec := types.Digest{0x71}
+	ckptAt(t, st, 64, exec)
+	fsys.ShortWrite(10)
+	if err := st.SaveSnapshot(64, execBlob(64, exec)); err == nil {
+		t.Fatal("torn snapshot write reported success")
+	}
+	if got := st.Stats(); got.SnapshotsWritten != 0 {
+		t.Fatalf("torn write still counted as written: %+v", got)
+	}
+	if fsys.Size(filepath.Join(testDir, snapTmp)) != -1 {
+		t.Fatal("temp file left behind after failed save")
+	}
+
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || !rec.SnapshotFallback {
+		t.Fatalf("recovery after torn write = %+v, want loud fallback", rec)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.Cert.Height != 64 {
+		t.Fatal("manifest checkpoint lost alongside the snapshot")
+	}
+	if got := st2.Stats(); got.RestoreFallbacks != 1 {
+		t.Fatalf("fallback not counted: %+v", got)
+	}
+}
+
+// TestSnapshotCrashMidSave: power cut after the temp file is written but
+// before rename — recovery sweeps the temp file and falls back.
+func TestSnapshotCrashMidSave(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	exec := types.Digest{0x44}
+	ckptAt(t, st, 64, exec)
+	fsys.FailNextRename(errors.New("injected: power cut at rename"))
+	if err := st.SaveSnapshot(64, execBlob(64, exec)); err == nil {
+		t.Fatal("failed rename reported success")
+	}
+	// Simulate the temp file actually surviving the crash.
+	f, err := fsys.OpenFile(filepath.Join(testDir, snapTmp), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("partial"))
+	f.Close()
+
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || !rec.SnapshotFallback {
+		t.Fatalf("recovery = %+v, want fallback", rec)
+	}
+	if fsys.Size(filepath.Join(testDir, snapTmp)) != -1 {
+		t.Fatal("interrupted temp file not swept at recovery")
+	}
+}
+
+// TestSnapshotBitFlip: silent media corruption in the snapshot body. The
+// file is quarantined — renamed aside, never deleted — and counted.
+func TestSnapshotBitFlip(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	exec := types.Digest{0x0F}
+	blob := execBlob(64, exec)
+	ckptAt(t, st, 64, exec)
+	if err := st.SaveSnapshot(64, blob); err != nil {
+		t.Fatal(err)
+	}
+	if !fsys.FlipBit(snapPath(64), int64(len(blob)/2), 3) {
+		t.Fatal("bit-flip fault failed")
+	}
+
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || !rec.SnapshotFallback || rec.SnapshotQuarantined != 1 {
+		t.Fatalf("recovery after bit flip = %+v, want quarantine + fallback", rec)
+	}
+	if fsys.Size(snapPath(64)) != -1 {
+		t.Fatal("corrupt snapshot still at its live name")
+	}
+	if fsys.Size(filepath.Join(testDir, "quarantine-"+snapshotFile(64))) != int64(len(blob)) {
+		t.Fatal("corrupt snapshot was deleted, not quarantined")
+	}
+	if got := st2.Stats(); got.SnapshotsQuarantined != 1 || got.RestoreFallbacks != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+// TestSnapshotTornTail: the file tears at rest (truncated tail). Same
+// quarantine row as the bit flip — the CRC frame refuses it.
+func TestSnapshotTornTail(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	exec := types.Digest{0x55}
+	blob := execBlob(64, exec)
+	ckptAt(t, st, 64, exec)
+	if err := st.SaveSnapshot(64, blob); err != nil {
+		t.Fatal(err)
+	}
+	if !fsys.TruncateFile(snapPath(64), int64(len(blob))-9) {
+		t.Fatal("truncate fault failed")
+	}
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || rec.SnapshotQuarantined != 1 {
+		t.Fatalf("recovery after torn tail = %+v, want quarantine", rec)
+	}
+}
+
+// TestSnapshotFsyncError: the disk rejects the sync. The save fails without
+// poisoning the store — the ledger keeps appending, and only the snapshot
+// arm degrades.
+func TestSnapshotFsyncError(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	exec := types.Digest{0x99}
+	ckptAt(t, st, 64, exec)
+	fsys.FailSyncs(errors.New("injected: EIO on fsync"))
+	if err := st.SaveSnapshot(64, execBlob(64, exec)); err == nil {
+		t.Fatal("failed fsync reported success")
+	}
+	fsys.FailSyncs(nil)
+	// Best-effort means NOT sticky: the store still takes ledger appends and
+	// manifest updates afterwards.
+	ckptAt(t, st, 128, types.Digest{0x9A})
+	if err := st.SaveSnapshot(128, execBlob(128, types.Digest{0x9A})); err != nil {
+		t.Fatalf("store poisoned by earlier snapshot fsync failure: %v", err)
+	}
+}
+
+// TestSnapshotStaleUnderNewerManifest: crash in the persistence window —
+// manifest advanced to 128, snapshot still at 64. The stale file completes
+// its interrupted GC (deleted, not quarantined) and recovery falls back.
+func TestSnapshotStaleUnderNewerManifest(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	e64 := types.Digest{0x64}
+	ckptAt(t, st, 64, e64)
+	if err := st.SaveSnapshot(64, execBlob(64, e64)); err != nil {
+		t.Fatal(err)
+	}
+	ckptAt(t, st, 128, types.Digest{0x28}) // crash before SaveSnapshot(128, ...)
+	fsys.Crash()
+
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || !rec.SnapshotFallback {
+		t.Fatalf("recovery = %+v, want fallback from stale snapshot", rec)
+	}
+	if rec.SnapshotQuarantined != 0 {
+		t.Fatal("stale snapshot quarantined; it should complete the interrupted GC")
+	}
+	if fsys.Size(snapPath(64)) != -1 {
+		t.Fatal("stale snapshot survived recovery")
+	}
+}
+
+// TestSnapshotLostWithIntactManifest: the snapshot file vanishes outright.
+// Loud, counted fallback — distinct from the silent cold start below.
+func TestSnapshotLostWithIntactManifest(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	exec := types.Digest{0x31}
+	ckptAt(t, st, 64, exec)
+	if err := st.SaveSnapshot(64, execBlob(64, exec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(snapPath(64)); err != nil {
+		t.Fatal(err)
+	}
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || !rec.SnapshotFallback || rec.SnapshotQuarantined != 0 {
+		t.Fatalf("recovery = %+v, want counted fallback with no quarantine", rec)
+	}
+	if got := st2.Stats(); got.RestoreFallbacks != 1 {
+		t.Fatalf("fallback not counted: %+v", got)
+	}
+}
+
+// TestSnapshotColdStartSilent: no checkpoint has ever been persisted. No
+// snapshot is expected, so nothing is counted — satellite distinction
+// between "nothing yet" and "something was rejected".
+func TestSnapshotColdStartSilent(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	_ = st.Close()
+	st2, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || rec.SnapshotFallback || rec.SnapshotQuarantined != 0 {
+		t.Fatalf("cold start flagged snapshot faults: %+v", rec)
+	}
+	if got := st2.Stats(); got.RestoreFallbacks != 0 {
+		t.Fatalf("cold start counted a fallback: %+v", got)
+	}
+}
+
+// TestSnapshotAboveManifest: a snapshot file newer than the manifest can
+// only exist if the persistence order was violated — quarantine it.
+func TestSnapshotAboveManifest(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	ckptAt(t, st, 64, types.Digest{0x64})
+	if err := st.SaveSnapshot(128, execBlob(128, types.Digest{0x28})); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || rec.SnapshotQuarantined != 1 {
+		t.Fatalf("recovery = %+v, want quarantine of above-manifest snapshot", rec)
+	}
+	if fsys.Size(filepath.Join(testDir, "quarantine-"+snapshotFile(128))) < 0 {
+		t.Fatal("above-manifest snapshot not renamed aside")
+	}
+}
+
+// TestSnapshotOrphanNoCheckpoint: a snapshot with no manifest at all has
+// nothing vouching for it — quarantined, never served.
+func TestSnapshotOrphanNoCheckpoint(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	if err := st.SaveSnapshot(64, execBlob(64, types.Digest{0x13})); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || rec.SnapshotQuarantined != 1 {
+		t.Fatalf("recovery = %+v, want orphan quarantined", rec)
+	}
+}
+
+// TestSnapshotBindingMismatch: intact frame, wrong content — the embedded
+// exec hash disagrees with the manifest. Quarantined, not served.
+func TestSnapshotBindingMismatch(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	ckptAt(t, st, 64, types.Digest{0xAA})
+	if err := st.SaveSnapshot(64, execBlob(64, types.Digest{0xBB})); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openTest(t, fsys, FsyncPerCommit)
+	if rec.ExecSnapshot != nil || rec.SnapshotQuarantined != 1 || !rec.SnapshotFallback {
+		t.Fatalf("recovery = %+v, want quarantine + fallback on binding mismatch", rec)
+	}
+}
+
+// TestQuarantineSnapshotRename: the execution layer rejecting a blob after
+// recovery (canonical-decode failure) renames the file aside and counts
+// both a quarantine and a fallback.
+func TestQuarantineSnapshotRename(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	exec := types.Digest{0x77}
+	blob := execBlob(64, exec)
+	ckptAt(t, st, 64, exec)
+	if err := st.SaveSnapshot(64, blob); err != nil {
+		t.Fatal(err)
+	}
+	st.QuarantineSnapshot(64)
+	if got := st.Stats(); got.SnapshotsQuarantined != 1 || got.RestoreFallbacks != 1 {
+		t.Fatalf("stats after quarantine = %+v", got)
+	}
+	if fsys.Size(snapPath(64)) != -1 {
+		t.Fatal("quarantined snapshot still at its live name")
+	}
+	if fsys.Size(filepath.Join(testDir, "quarantine-"+snapshotFile(64))) != int64(len(blob)) {
+		t.Fatal("quarantined snapshot content lost")
+	}
+}
+
+// TestSnapshotResetRemoves: Reset (chain re-root at a transferred
+// checkpoint) drops local snapshots along with segments.
+func TestSnapshotResetRemoves(t *testing.T) {
+	fsys := NewMemFS()
+	st, _ := openTest(t, fsys, FsyncPerCommit)
+	exec := types.Digest{0x21}
+	ckptAt(t, st, 64, exec)
+	if err := st.SaveSnapshot(64, execBlob(64, exec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Reset(ledger.Snapshot{Height: 200, Resume: types.Digest{0x5E}}); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if fsys.Size(snapPath(64)) != -1 {
+		t.Fatal("reset left a stale snapshot behind")
+	}
+}
+
+// TestWalEnvelopeCompat pins wal's mirrored frame constants against the
+// envelope internal/ycsb actually emits: the blob verifies, and the
+// binding wal extracts matches the one ycsb embeds.
+func TestWalEnvelopeCompat(t *testing.T) {
+	exec := types.Digest{0xC0, 0xFF, 0xEE}
+	blob := execBlob(4096, exec)
+	h, e, ok := verifySnapshotBlob(blob)
+	if !ok {
+		t.Fatal("wal frame check rejects a genuine ycsb snapshot")
+	}
+	if h != 4096 || e != exec {
+		t.Fatalf("wal extracted binding (%d, %x), want (4096, %x)", h, e[:4], exec[:4])
+	}
+	wh, we, err := ycsb.SnapshotBinding(blob)
+	if err != nil || wh != h || we != e {
+		t.Fatalf("ycsb and wal disagree on the binding: %v (%d vs %d)", err, wh, h)
+	}
+	if len(blob) < snapMinSize {
+		t.Fatal("genuine snapshot smaller than wal's minimum frame")
+	}
+	// A single flipped bit anywhere must fail the frame check.
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/3] ^= 0x10
+	if _, _, ok := verifySnapshotBlob(flipped); ok {
+		t.Fatal("wal frame check accepted a bit-flipped blob")
+	}
+}

@@ -60,10 +60,21 @@ type Recovery struct {
 	Blocks     []types.BlockRecord
 	Checkpoint *Checkpoint
 
-	ReplayedBlocks  int
-	Truncations     int  // torn-tail cuts + quarantined segment files
-	ManifestMissing bool // no (readable) manifest on disk
-	Quarantined     bool // chain was unusable without it; started empty
+	// ExecSnapshot is the raw execution-snapshot blob whose embedded
+	// (height, exec hash) binding matches Checkpoint — nil when none
+	// survived. The execution layer decodes and restores it (and verifies
+	// again end to end through core.VerifyResume) before serving reads.
+	ExecSnapshot []byte
+
+	ReplayedBlocks      int
+	Truncations         int  // torn-tail cuts + quarantined segment files
+	ManifestMissing     bool // no (readable) manifest on disk
+	Quarantined         bool // chain was unusable without it; started empty
+	SnapshotQuarantined int  // snapshot files set aside this recovery
+	// SnapshotFallback: a checkpoint exists but no usable snapshot does —
+	// the corruption/loss signature, distinct from a pre-first-checkpoint
+	// cold start (Checkpoint == nil, silent).
+	SnapshotFallback bool
 }
 
 type segInfo struct {
@@ -103,6 +114,12 @@ type Store struct {
 	replayed    int
 	err         error
 
+	snapsWritten    uint64
+	snapBytes       int64 // size of the last snapshot written or restored
+	snapRestored    uint64
+	snapQuarantined int
+	snapFallbacks   int
+
 	scratch []byte
 }
 
@@ -117,6 +134,12 @@ type Stats struct {
 	Replayed    int // blocks replayed at last Open
 	Truncations int // recovery truncation events (lifetime of this Open)
 	Failed      bool
+
+	SnapshotsWritten     uint64
+	SnapshotBytes        int64 // last execution snapshot written or restored
+	SnapshotsRestored    uint64
+	SnapshotsQuarantined int
+	RestoreFallbacks     int // recoveries that had a checkpoint but no usable snapshot
 }
 
 // Open mounts (creating if needed) the data directory and recovers its
@@ -273,6 +296,8 @@ func (s *Store) recover() (*Recovery, error) {
 	} else if err := s.rollNew(); err != nil {
 		return nil, err
 	}
+
+	s.recoverSnapshots(rec)
 
 	rec.Snapshot = s.snapshot
 	rec.Checkpoint = s.ckpt
@@ -518,6 +543,7 @@ func (s *Store) Reset(snap ledger.Snapshot) error {
 		_ = s.fs.Remove(s.path(sg.name))
 	}
 	s.sealed = s.sealed[:0]
+	s.removeSnapshotsLocked() // local snapshots no longer match the new root
 	s.snapshot, s.ckpt = snap, nil
 	s.head, s.lastHash = snap.Height, snap.Resume
 	if err := writeManifest(s.fs, s.dir, s.snapshot, nil); err != nil {
@@ -606,6 +632,12 @@ func (s *Store) Stats() Stats {
 		Replayed:    s.replayed,
 		Truncations: s.truncations,
 		Failed:      s.err != nil,
+
+		SnapshotsWritten:     s.snapsWritten,
+		SnapshotBytes:        s.snapBytes,
+		SnapshotsRestored:    s.snapRestored,
+		SnapshotsQuarantined: s.snapQuarantined,
+		RestoreFallbacks:     s.snapFallbacks,
 	}
 	for _, sg := range s.sealed {
 		st.BytesOnDisk += sg.size

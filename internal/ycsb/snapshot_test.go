@@ -1,0 +1,213 @@
+package ycsb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"spotless/internal/types"
+)
+
+// populated builds a store with a spread of applied writes so snapshots have
+// real content to round-trip.
+func populated(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(200, 16)
+	wl := NewWorkload(7, types.ClientIDBase, 200, 16)
+	for i := 0; i < 8; i++ {
+		s.Apply(wl.NextBatch(25))
+	}
+	return s
+}
+
+// TestSnapshotRoundTrip: encode → decode → restore reproduces the table
+// exactly, binding and counters included.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := populated(t)
+	exec := types.Digest{1, 2, 3}
+	data := s.Snapshot(640, exec)
+
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Height != 640 || snap.ExecHash != exec {
+		t.Fatalf("binding: height=%d exec=%x", snap.Height, snap.ExecHash[:4])
+	}
+	if snap.Applied != s.Applied() {
+		t.Fatalf("applied: %d != %d", snap.Applied, s.Applied())
+	}
+
+	fresh := NewStore(200, 16)
+	fresh.Restore(snap)
+	if fresh.Fingerprint() != s.Fingerprint() {
+		t.Fatal("restored table fingerprint diverges from the source")
+	}
+	if fresh.Applied() != s.Applied() {
+		t.Fatal("restored applied counter diverges")
+	}
+	for k, want := range s.Dump() {
+		if got := fresh.Read(k); !bytes.Equal(got, want) {
+			t.Fatalf("key %d: restored %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestSnapshotDeterministic: two stores that executed the same batches emit
+// byte-identical snapshots (map iteration order must not leak in).
+func TestSnapshotDeterministic(t *testing.T) {
+	a, b := populated(t), populated(t)
+	exec := types.Digest{9}
+	if !bytes.Equal(a.Snapshot(64, exec), b.Snapshot(64, exec)) {
+		t.Fatal("identical stores encoded different snapshots")
+	}
+}
+
+// TestSnapshotEncodeIdentity: Encode(Decode(x)) == x for a real snapshot.
+func TestSnapshotEncodeIdentity(t *testing.T) {
+	s := populated(t)
+	data := s.Snapshot(128, types.Digest{5})
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(snap.Encode(), data) {
+		t.Fatal("decode/re-encode is not the identity")
+	}
+}
+
+// TestSnapshotRejectsCorruption: every class of envelope damage is refused —
+// no partial decode ever escapes.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	s := populated(t)
+	good := s.Snapshot(64, types.Digest{3})
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := append([]byte(nil), good...)
+		if b = f(b); b == nil {
+			return
+		}
+		if _, err := DecodeSnapshot(b); err == nil {
+			t.Errorf("%s: corrupt snapshot decoded cleanly", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	mutate("bad version", func(b []byte) []byte { b[4] = 99; return b })
+	mutate("flipped bit mid-record", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b })
+	mutate("flipped CRC", func(b []byte) []byte { b[len(b)-1] ^= 1; return b })
+	mutate("truncated", func(b []byte) []byte { return b[:len(b)-9] })
+	mutate("trailing garbage", func(b []byte) []byte { return append(b, 0xAB) })
+	mutate("empty", func(b []byte) []byte { return nil })
+
+	if _, err := DecodeSnapshot(nil); err == nil {
+		t.Error("nil input decoded cleanly")
+	}
+	if _, err := DecodeSnapshot([]byte("SPLT")); err == nil {
+		t.Error("bare magic decoded cleanly")
+	}
+}
+
+// TestSnapshotRejectsNonCanonical: a well-CRC'd envelope with out-of-order
+// keys is refused, so encode(decode(x)) == x holds on everything accepted.
+func TestSnapshotRejectsNonCanonical(t *testing.T) {
+	s := NewStore(4, 4)
+	b := &types.Batch{Txns: []types.Transaction{
+		{Op: types.OpWrite, Key: 1, Value: []byte("aa")},
+		{Op: types.OpWrite, Key: 2, Value: []byte("bb")},
+	}}
+	b.ID = types.ComputeBatchID(b.Txns)
+	s.Apply(b)
+	data := s.Snapshot(1, types.Digest{})
+
+	// Swap the two records in place (same sizes) and re-seal the CRC: the
+	// envelope is now internally consistent but non-canonical.
+	rec := data[snapHeaderSize : len(data)-4]
+	recLen := 8 + 4 + 2
+	if len(rec) < 2*recLen {
+		t.Fatalf("unexpected record section size %d", len(rec))
+	}
+	tmp := append([]byte(nil), rec[:recLen]...)
+	copy(rec[:recLen], rec[recLen:2*recLen])
+	copy(rec[recLen:2*recLen], tmp)
+	body := data[:len(data)-4]
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.Checksum(body, snapCRC))
+
+	if _, err := DecodeSnapshot(data); err == nil {
+		t.Fatal("out-of-order keys decoded cleanly")
+	}
+}
+
+// TestRestoreReplacesStaleState: restoring over a diverged table discards
+// every stale record, including keys the snapshot does not mention.
+func TestRestoreReplacesStaleState(t *testing.T) {
+	src := NewStore(10, 4)
+	w := &types.Batch{Txns: []types.Transaction{{Op: types.OpWrite, Key: 2, Value: []byte("good")}}}
+	w.ID = types.ComputeBatchID(w.Txns)
+	src.Apply(w)
+	snap, err := DecodeSnapshot(src.Snapshot(1, types.Digest{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewStore(10, 4)
+	stale := &types.Batch{Txns: []types.Transaction{
+		{Op: types.OpWrite, Key: 2, Value: []byte("BAD!")},
+		{Op: types.OpWrite, Key: 7, Value: []byte("BAD!")},
+	}}
+	stale.ID = types.ComputeBatchID(stale.Txns)
+	dst.Apply(stale)
+	dst.Restore(snap)
+
+	if got := string(dst.Read(2)); got != "good" {
+		t.Fatalf("key 2 after restore: %q", got)
+	}
+	if got := string(dst.Read(7)); got == "BAD!" {
+		t.Fatal("stale write to key 7 survived the restore")
+	}
+	if dst.Fingerprint() != src.Fingerprint() {
+		t.Fatal("restored fingerprint diverges")
+	}
+}
+
+// TestFingerprintSeesColdKeys: the fingerprint covers the whole table, so a
+// single cold-key divergence (a key never touched after restore) flips it.
+func TestFingerprintSeesColdKeys(t *testing.T) {
+	a := NewStore(100, 8)
+	b := NewStore(100, 8)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical initial tables fingerprint differently")
+	}
+	w := &types.Batch{Txns: []types.Transaction{{Op: types.OpWrite, Key: 99, Value: []byte("x")}}}
+	w.ID = types.ComputeBatchID(w.Txns)
+	b.Apply(w)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("one-key divergence invisible to the fingerprint")
+	}
+}
+
+// FuzzSnapshotDecode: DecodeSnapshot never panics, and every input it
+// accepts re-encodes to the identical bytes (canonical-form oracle, the same
+// discipline the wire codec fuzzer enforces).
+func FuzzSnapshotDecode(f *testing.F) {
+	s := NewStore(50, 8)
+	wl := NewWorkload(3, types.ClientIDBase, 50, 8)
+	s.Apply(wl.NextBatch(30))
+	good := s.Snapshot(32, types.Digest{7})
+	f.Add(good)
+	f.Add(good[:len(good)-5])
+	f.Add([]byte("SPLT"))
+	f.Add([]byte{})
+	empty := NewStore(0, 8)
+	f.Add(empty.Snapshot(0, types.Digest{}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(snap.Encode(), data) {
+			t.Fatalf("accepted non-canonical encoding (%d bytes)", len(data))
+		}
+	})
+}

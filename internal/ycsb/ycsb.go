@@ -62,10 +62,11 @@ func (s *Store) Applied() uint64 {
 // by the batch content, so a replica that rejoined via checkpoint state
 // transfer and replays the post-checkpoint batches reproduces it exactly.
 // Read values are executed but not folded in: they can depend on
-// pre-checkpoint writes the rejoiner never held (the table is not shipped
-// during state transfer; see docs/ARCHITECTURE.md), and attesting them
-// would permanently split the rejoiner's checkpoint attestations from the
-// quorum's.
+// pre-checkpoint writes a rejoiner only holds once the checkpoint's
+// execution snapshot is installed (shipped inside state chunks and
+// restored from the WAL; see docs/ARCHITECTURE.md), and attesting them
+// would make checkpoint attestations depend on when each replica's
+// snapshot arrived rather than on the agreed batch sequence.
 func (s *Store) Apply(b *types.Batch) types.Digest {
 	if b == nil || b.NoOp {
 		return types.Digest{}
