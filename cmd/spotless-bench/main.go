@@ -35,6 +35,7 @@ func main() {
 		safetySeed   = flag.Int64("safety-seed-base", 1, "first adversary seed of the -safety-drill sweep")
 		safetyOld    = flag.Bool("safety-legacy", false, "point the -safety-drill at the pre-refactor resolution rules (negative control: divergence is the expected outcome)")
 		safetyDissem = flag.Bool("safety-dissem", false, "run the -safety-drill under digest ordering (internal/dissem)")
+		safetyCode   = flag.Int("safety-dissem-code", 0, "run the -safety-dissem drill with erasure-coded dissemination using this many data chunks (0 = full push; implies -safety-dissem)")
 		safetyPace   = flag.String("safety-pacemaker", "", "view-synchronizer arm for the -safety-drill (spotless, relay, doubling; empty = spotless)")
 
 		powercut = flag.Bool("powercut", false, "run the power-cut drill on the real runtime (kill -9 a durable replica under load, restart, meter the rejoin) against a memory-only control, and exit non-zero unless the durable replica restored its execution snapshot, answered every pre-checkpoint-key read correctly at restart with zero blocks replayed below the snapshot anchor, and transferred strictly less than the control")
@@ -141,7 +142,8 @@ func main() {
 	if *safetyDrill > 0 {
 		start := time.Now()
 		res := bench.RunSafetyDrill(bench.SafetyDrillOptions{
-			Seeds: *safetyDrill, SeedBase: *safetySeed, Legacy: *safetyOld, Dissem: *safetyDissem,
+			Seeds: *safetyDrill, SeedBase: *safetySeed, Legacy: *safetyOld,
+			Dissem: *safetyDissem || *safetyCode > 0, DissemCode: *safetyCode,
 			Pacemaker: *safetyPace,
 		})
 		fmt.Print(res.String())

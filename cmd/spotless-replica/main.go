@@ -91,6 +91,7 @@ func main() {
 		idleWait  = flag.Duration("idle-backoff", 25*time.Millisecond, "pace view entry when no client batches are pending (0 disables; keep below -timeout)")
 		instWkrs  = flag.Int("instance-workers", 0, "event-loop goroutines hosting the m consensus instances (plus one ordering stage); 0 sizes adaptively to min(m, GOMAXPROCS), 1 keeps the classic single loop")
 		useDissem = flag.Bool("dissem", false, "digest ordering: disseminate client batches with availability certificates, consensus orders digests only")
+		dissemK   = flag.Int("dissem-code", 0, "erasure-coded dissemination: split each batch into k data chunks (plus n-1-k parity), one chunk per peer — origin egress drops to ~(n-1)/k of the payload; 0 keeps the full push; requires -dissem; clamped to n-2f")
 		pacemaker = flag.String("pacemaker", "", "view-synchronizer arm: spotless (adaptive, default), relay (linear escalation), doubling (exponential backoff)")
 		metrAddr  = flag.String("metrics-addr", "", "serve the plain-text /metrics endpoint on this address (e.g. 127.0.0.1:9090; empty disables)")
 		dataDir   = flag.String("data-dir", "", "durable WAL-backed ledger directory: appends and checkpoint manifests persist here, and a restart (even kill -9) replays the chain and resumes from the stable checkpoint (empty keeps the ledger in memory)")
@@ -209,7 +210,9 @@ func main() {
 		cfg.Host = exec
 	}
 	if *useDissem {
-		cfg.Dissem = dissem.New(dissem.Config{N: *n, F: (*n - 1) / 3})
+		cfg.Dissem = dissem.New(dissem.Config{N: *n, F: (*n - 1) / 3, CodeK: *dissemK})
+	} else if *dissemK > 0 {
+		log.Fatalf("spotless-replica: -dissem-code requires -dissem")
 	}
 	if err := runtime.ApplyResume(resume, snapData, &cfg, prov, exec); err != nil {
 		log.Printf("wal: resume state rejected (%v); rejoining over the network", err)
@@ -235,7 +238,10 @@ func main() {
 	if *metrAddr != "" {
 		// The source re-resolves through closures so the endpoint stays
 		// correct if the consensus stack is ever rebuilt in-process.
-		src := metrics.Source{Replica: func() *core.Replica { return rep }}
+		src := metrics.Source{
+			Replica:   func() *core.Replica { return rep },
+			Transport: func() *transport.TCP { return tr },
+		}
 		if layer := cfg.Dissem; layer != nil {
 			src.Dissem = func() *dissem.Layer { return layer }
 		}

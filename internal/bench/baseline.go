@@ -66,7 +66,32 @@ type DissemBaselinePoint struct {
 	Digest    DissemArm `json:"digest"`
 }
 
-// BaselineReport is the schema of BENCH_PR6.json.
+// CodedArm is one arm (full push or coded) of a coded-dissemination
+// baseline point.
+type CodedArm struct {
+	KTxnPerSec       float64 `json:"ktxn_per_sec"`
+	AvgLatencyMs     float64 `json:"avg_latency_ms"`
+	PushKBPerBatch   float64 `json:"push_kb_per_batch"`
+	Batches          uint64  `json:"batches"`
+	Reconstructions  uint64  `json:"reconstructions,omitempty"`
+	ReconstructFails uint64  `json:"reconstruct_fails,omitempty"`
+}
+
+// CodedBaselinePoint records the coded-vs-full comparison at one batch size
+// (ISSUE 10): same n=16 WAN cluster and load, the arms differing only in
+// DissemCode. EgressRatio is the headline number — coded origin push bytes
+// per delivered batch over the full push's.
+type CodedBaselinePoint struct {
+	BatchSize   int      `json:"batch_size"`
+	K           int      `json:"k"`
+	Full        CodedArm `json:"full"`
+	Coded       CodedArm `json:"coded"`
+	EgressRatio float64  `json:"egress_ratio"`
+}
+
+// BaselineReport is the schema of the committed baseline (BENCH_PR10.json;
+// v2 reports like BENCH_PR6.json parse identically with an empty coded
+// section).
 type BaselineReport struct {
 	Schema    string `json:"schema"`
 	Generated string `json:"generated_by"`
@@ -86,7 +111,11 @@ type BaselineReport struct {
 	// Dissemination sweep (ISSUE 6): digest ordering vs inline-payload
 	// ordering at 1x/10x/100x the paper's batch size, on the simulator.
 	Dissemination []DissemBaselinePoint `json:"dissemination"`
-	CoreLoop      CoreLoopStats         `json:"core_loop"`
+	// Coded dissemination sweep (ISSUE 10): erasure-coded chunks vs full
+	// push at n=16 under the WAN delay matrix with constrained bandwidth,
+	// on the simulator.
+	CodedDissemination []CodedBaselinePoint `json:"coded_dissemination,omitempty"`
+	CoreLoop           CoreLoopStats        `json:"core_loop"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -112,11 +141,32 @@ func dissemArm(res Result) DissemArm {
 	}
 }
 
+func codedArm(res Result) CodedArm {
+	return CodedArm{
+		KTxnPerSec:       res.Throughput / 1000,
+		AvgLatencyMs:     ms(res.AvgLatency),
+		PushKBPerBatch:   res.PushBytesPerBatch / 1024,
+		Batches:          res.Batches,
+		Reconstructions:  res.Reconstructions,
+		ReconstructFails: res.ReconstructFails,
+	}
+}
+
+func codedBaselinePoint(p CodedPoint) CodedBaselinePoint {
+	return CodedBaselinePoint{
+		BatchSize:   p.BatchSize,
+		K:           p.K,
+		Full:        codedArm(p.Full),
+		Coded:       codedArm(p.Coded),
+		EgressRatio: p.EgressRatio(),
+	}
+}
+
 // CollectBaseline measures every baseline point. The runtime sweep takes a
 // few wall-clock seconds per point.
 func CollectBaseline() (BaselineReport, error) {
 	var rep BaselineReport
-	rep.Schema = "spotless-bench-baseline/v2"
+	rep.Schema = "spotless-bench-baseline/v3"
 	rep.Generated = "spotless-bench -baseline"
 	rep.Host.GOOS = runtime.GOOS
 	rep.Host.GOARCH = runtime.GOARCH
@@ -153,6 +203,9 @@ func CollectBaseline() (BaselineReport, error) {
 			Inline:    dissemArm(p.Inline),
 			Digest:    dissemArm(p.Digest),
 		})
+	}
+	for _, p := range CodedSweep(nil) {
+		rep.CodedDissemination = append(rep.CodedDissemination, codedBaselinePoint(p))
 	}
 	rep.CoreLoop = measureCoreLoop()
 	return rep, nil
@@ -193,12 +246,47 @@ func CheckTrajectory(committed BaselineReport) error {
 				want.BatchSize, got.KTxnPerSec, floor, want.Digest.KTxnPerSec))
 		}
 	}
+	// Coded section (v3 baselines): re-run both arms and hold the two
+	// acceptance bounds — coded throughput within the tolerance of its
+	// committed value, and the egress ratio at or below the hard bound.
+	// The full-push arm (k=0 control) is additionally held to the same
+	// throughput floor as the digest arm above, so coding cannot regress
+	// the path it leaves untouched.
+	for _, want := range committed.CodedDissemination {
+		full := Run(codedOpts(want.BatchSize, 0))
+		coded := Run(codedOpts(want.BatchSize, want.K))
+		if floor := want.Full.KTxnPerSec * (1 - TrajectoryTolerance); full.Throughput/1000 < floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"batch=%d: full-push control %.1f ktxn/s < floor %.1f (committed %.1f)",
+				want.BatchSize, full.Throughput/1000, floor, want.Full.KTxnPerSec))
+		}
+		if floor := want.Coded.KTxnPerSec * (1 - TrajectoryTolerance); coded.Throughput/1000 < floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"batch=%d: coded k=%d %.1f ktxn/s < floor %.1f (committed %.1f)",
+				want.BatchSize, want.K, coded.Throughput/1000, floor, want.Coded.KTxnPerSec))
+		}
+		ratio := 0.0
+		if full.PushBytesPerBatch > 0 {
+			ratio = coded.PushBytesPerBatch / full.PushBytesPerBatch
+		}
+		if ratio == 0 || ratio > CodedEgressBound {
+			regressions = append(regressions, fmt.Sprintf(
+				"batch=%d: coded egress ratio %.2f exceeds the %.2f bound (committed %.2f)",
+				want.BatchSize, ratio, CodedEgressBound, want.EgressRatio))
+		}
+	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("dissemination trajectory regressed >%.0f%%:\n  %s",
 			TrajectoryTolerance*100, strings.Join(regressions, "\n  "))
 	}
 	return nil
 }
+
+// CodedEgressBound is the acceptance ceiling on the coded-vs-full origin
+// egress ratio at k=4, n=16 (the ideal is k/… ≈ 0.25 plus commitment
+// overhead; 0.35 leaves room for the overhead without letting the saving
+// erode silently).
+const CodedEgressBound = 0.35
 
 // WriteFile writes the report as indented JSON.
 func (r BaselineReport) WriteFile(path string) error {

@@ -88,6 +88,7 @@ type RuntimeOptions struct {
 	BatchSize       int
 	Outstanding     int  // closed-loop batches per instance
 	Dissem          bool // digest ordering via internal/dissem
+	DissemCode      int  // erasure-coded dissemination (requires Dissem)
 	Warmup          time.Duration
 	Measure         time.Duration
 }
@@ -239,7 +240,7 @@ func RunRuntime(o RuntimeOptions) (Result, error) {
 		cfg.InitialCertifyTimeout = 150 * time.Millisecond
 		cfg.MinTimeout = 10 * time.Millisecond
 		if o.Dissem {
-			cfg.Dissem = dissem.New(dissem.Config{N: n, F: f})
+			cfg.Dissem = dissem.New(dissem.Config{N: n, F: f, CodeK: o.DissemCode})
 		}
 		rep := core.New(node, cfg)
 		node.SetProtocol(rep)
@@ -269,7 +270,8 @@ func RunRuntime(o RuntimeOptions) (Result, error) {
 	res := Result{Options: Options{
 		Protocol: SpotLess, N: n, Instances: m, InstanceWorkers: o.InstanceWorkers,
 		BatchSize: o.BatchSize, Outstanding: o.Outstanding, Dissem: o.Dissem,
-		Warmup: o.Warmup, Measure: o.Measure,
+		DissemCode: o.DissemCode,
+		Warmup:     o.Warmup, Measure: o.Measure,
 	}}
 	client.mu.Lock()
 	var lats []time.Duration
@@ -301,6 +303,8 @@ func RunRuntime(o RuntimeOptions) (Result, error) {
 		res.NetMACRejections += st.MACRejections
 		res.NetDecodeFailures += st.DecodeFailures
 		res.NetIngressDrops += st.IngressDrops
+		res.NetBytesOut += st.BytesOut
+		res.NetBytesIn += st.BytesIn
 	}
 	return res, nil
 }

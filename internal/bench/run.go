@@ -100,6 +100,12 @@ type Options struct {
 	// delivery resolves them back through the dissemination store.
 	Dissem bool
 
+	// DissemCode selects erasure-coded dissemination (dissem.Config.CodeK,
+	// requires Dissem): origins push one coded chunk per peer instead of the
+	// full payload, cutting origin egress to ~(n−1)/k of the batch. 0 keeps
+	// the full push.
+	DissemCode int
+
 	// Ablation knobs (design-choice benchmarks; see the ablation-* figures).
 	FastPath     bool // SpotLess geo fast path (§6.1)
 	NoBuffering  bool // disable ResilientDB-style message buffering (§6.1)
@@ -138,6 +144,22 @@ type Result struct {
 	NetMACRejections  uint64
 	NetDecodeFailures uint64
 	NetIngressDrops   uint64
+	// Endpoint frame volume (transport.Stats.BytesOut/BytesIn summed over
+	// replicas; runtime substrate only).
+	NetBytesOut uint64
+	NetBytesIn  uint64
+
+	// Dissemination egress accounting (Dissem runs only): measurement-window
+	// deltas of internal/dissem counters summed over replicas.
+	DissemPushedBytes uint64 // origin push egress (full payloads or chunks)
+	DissemServedBytes uint64 // backfill-serving egress
+	DissemChunkPulls  uint64 // chunk backfill requests (coded mode)
+	Reconstructions   uint64 // payloads decoded from k chunks (coded mode)
+	ReconstructFails  uint64 // poisoned deliveries (coded mode)
+	// PushBytesPerBatch is origin push egress per delivered batch — the
+	// quantity the erasure-coding claim is about: full push spends
+	// (n−1)·|B| here, coded dissemination ~(n−1)/k·|B| plus commitments.
+	PushBytesPerBatch float64
 }
 
 // RegionNames are the paper's deployment regions (§6.3), indexed like the
@@ -328,8 +350,10 @@ func Run(o Options) Result {
 	sim.Start()
 	sim.Run(o.Warmup)
 	msgsBefore := sim.Stats().MessagesSent
+	dissemBefore := sumDissemStats(protos)
 	sim.Run(o.Warmup + o.Measure)
 	msgsDuring := sim.Stats().MessagesSent - msgsBefore
+	dissemDuring := sumDissemStats(protos)
 
 	// A revived replica may still be mid-recovery when the measurement
 	// window closes; run on (metrics are frozen at MeasureEnd) until it
@@ -362,12 +386,41 @@ func Run(o Options) Result {
 	if col.BatchesDone > 0 {
 		res.MsgsPerBatch = float64(msgsDuring) / float64(col.BatchesDone)
 	}
+	if o.Dissem {
+		res.DissemPushedBytes = dissemDuring.PushedBytes - dissemBefore.PushedBytes
+		res.DissemServedBytes = dissemDuring.ServedBytes - dissemBefore.ServedBytes
+		res.DissemChunkPulls = dissemDuring.ChunkPulls - dissemBefore.ChunkPulls
+		res.Reconstructions = dissemDuring.Reconstructions - dissemBefore.Reconstructions
+		res.ReconstructFails = dissemDuring.ReconstructFails - dissemBefore.ReconstructFails
+		if col.BatchesDone > 0 {
+			res.PushBytesPerBatch = float64(res.DissemPushedBytes) / float64(col.BatchesDone)
+		}
+	}
 	if o.TimelineBucket > 0 {
 		// Run past the measurement window so the timeline shows recovery.
 		sim.Run(o.Warmup + o.Measure + o.TimelineBucket)
 		res.Timeline = col.Timeline()
 	}
 	return res
+}
+
+// sumDissemStats aggregates the dissemination-layer counters across the
+// cluster's replicas (zero when the run doesn't use digest ordering).
+func sumDissemStats(protos []protocol.Protocol) dissem.Stats {
+	var tot dissem.Stats
+	for _, p := range protos {
+		rep, ok := p.(*core.Replica)
+		if !ok || rep.DissemLayer() == nil {
+			continue
+		}
+		s := rep.DissemLayer().Stats()
+		tot.PushedBytes += s.PushedBytes
+		tot.ServedBytes += s.ServedBytes
+		tot.ChunkPulls += s.ChunkPulls
+		tot.Reconstructions += s.Reconstructions
+		tot.ReconstructFails += s.ReconstructFails
+	}
+	return tot
 }
 
 // buildReplica attaches one protocol replica per node and returns them
@@ -406,7 +459,7 @@ func buildOne(ctx protocol.Context, o Options, m int, id types.NodeID, faulty, v
 			cfg.Behavior = core.Behavior{Mode: o.Attack, Victims: victims, Accomplices: faulty}
 		}
 		if o.Dissem {
-			cfg.Dissem = dissem.New(dissem.Config{N: n, F: cfg.F})
+			cfg.Dissem = dissem.New(dissem.Config{N: n, F: cfg.F, CodeK: o.DissemCode})
 		}
 		return core.New(ctx, cfg)
 	case Pbft:

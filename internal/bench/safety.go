@@ -42,6 +42,11 @@ type SafetyDrillOptions struct {
 	// the dissemination layer, instances propose certified digests only,
 	// and the same block-for-block agreement must hold.
 	Dissem bool
+	// DissemCode runs the Dissem drill with erasure-coded dissemination
+	// (dissem.Config.CodeK): payloads travel as chunks, delivery
+	// reconstructs, and agreement must still hold block-for-block — under
+	// the scheduler adversary AND the equivocating-origin composition.
+	DissemCode int
 	// Legacy runs the seed's unsafe view-resolution rules
 	// (core.Config.UnsafeLegacyResolution) — the negative control.
 	Legacy bool
@@ -122,7 +127,7 @@ func runSafetySeed(o SafetyDrillOptions, seed int64) ([][]SlotRecord, uint64) {
 		cfg.Pacemaker = o.Pacemaker
 		cfg.UnsafeLegacyResolution = o.Legacy
 		if o.Dissem {
-			cfg.Dissem = dissem.New(dissem.Config{N: n, F: f})
+			cfg.Dissem = dissem.New(dissem.Config{N: n, F: f, CodeK: o.DissemCode})
 		}
 		if equivocator && i == n-1 {
 			cfg.Behavior = core.Behavior{Mode: core.AttackEquivocate, Victims: victims}
@@ -238,6 +243,9 @@ func (r SafetyDrillResult) String() string {
 	}
 	if r.Options.Dissem {
 		mode += " + digest ordering"
+		if r.Options.DissemCode > 0 {
+			mode += fmt.Sprintf(" (coded k=%d)", r.Options.DissemCode)
+		}
 	}
 	if r.Options.Pacemaker != "" && r.Options.Pacemaker != "spotless" {
 		mode += " + " + r.Options.Pacemaker + " pacemaker"

@@ -196,6 +196,10 @@ func (r *Replica) post(shard int32, fn func()) {
 	fn()
 }
 
+// DissemLayer exposes the bound dissemination layer (nil without digest
+// ordering) so harnesses and metrics exporters can read its counters.
+func (r *Replica) DissemLayer() *dissem.Layer { return r.cfg.Dissem }
+
 // DeliveredCount reports the globally ordered non-noop batch count. Safe to
 // call from outside the event loops (operator polling, benchmarks).
 func (r *Replica) DeliveredCount() uint64 { return r.deliveredMirror.Load() }
@@ -242,7 +246,7 @@ func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) {
 		r.onFetchState(from, m)
 	case *types.StateChunk:
 		r.onStateChunk(from, m)
-	case *types.BatchDigest, *types.BatchAck, *types.BatchCert:
+	case *types.BatchDigest, *types.BatchAck, *types.BatchCert, *types.BatchChunk:
 		// Dissemination traffic runs on the ordering shard (InstanceOf's
 		// default); a replica without the layer drops it.
 		if r.cfg.Dissem != nil {
@@ -316,7 +320,7 @@ func (r *Replica) IngressJob(from types.NodeID, msg types.Message) (protocol.Ver
 			Checks: []crypto.Check{{Sig: m.Sig, Msg: types.CheckpointBytes(m.Height, m.StateHash)}},
 			Quorum: 1,
 		}, true
-	case *types.BatchDigest, *types.BatchAck, *types.BatchCert:
+	case *types.BatchDigest, *types.BatchAck, *types.BatchCert, *types.BatchChunk:
 		if r.cfg.Dissem == nil {
 			// No layer bound: drop at ingress (an empty infeasible job).
 			return protocol.VerifyJob{Quorum: 1}, true

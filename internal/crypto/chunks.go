@@ -1,0 +1,51 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"spotless/internal/types"
+)
+
+// Chunk hashing for coded dissemination (internal/dissem with CodeK > 0):
+// the origin hashes every erasure-coded chunk, the ordered hash list plus
+// the coding geometry forms the commitment, and acks sign the commitment
+// root (types.CodedAckBytes). Receivers verify each chunk against its
+// committed hash before storing or acking it, and re-verify the WHOLE
+// re-encoded codeword after reconstruction — if any k-subset of committed
+// chunks decodes to a codeword matching every committed hash, all subsets
+// decode identically, so delivery stays deterministic even under a
+// Byzantine origin that commits to inconsistent chunks.
+
+// chunkDomain separates chunk hashes from transaction/batch digests.
+var chunkDomain = []byte("chunk:")
+
+// ChunkHash hashes one erasure-coded chunk for the commitment.
+func ChunkHash(data []byte) types.Digest {
+	h := sha256.New()
+	h.Write(chunkDomain)
+	h.Write(data)
+	var out types.Digest
+	h.Sum(out[:0])
+	return out
+}
+
+// ChunkCommitRoot derives the commitment root over a coded batch's chunk
+// layout: the data-chunk count k, the unpadded payload length, and the
+// ordered per-chunk hashes. The root is what coded acks sign, binding the
+// availability certificate to exactly one chunk layout per batch id.
+func ChunkCommitRoot(k, dataLen uint32, hashes []types.Digest) types.Digest {
+	h := sha256.New()
+	h.Write([]byte("chunkroot:"))
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[0:], k)
+	binary.LittleEndian.PutUint32(buf[4:], dataLen)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(hashes)))
+	h.Write(buf[:])
+	for i := range hashes {
+		h.Write(hashes[i][:])
+	}
+	var out types.Digest
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,503 @@
+package dissem
+
+import (
+	"testing"
+	"time"
+
+	"spotless/internal/crypto"
+	"spotless/internal/rs"
+	"spotless/internal/types"
+)
+
+// newCodedLayer builds a coded-mode layer at n=4, f=1, k=2 (the maximum
+// the availability certificate guarantees at this size: n−2f = 2).
+func newCodedLayer(id types.NodeID) (*Layer, *fakeCtx, *[]types.Digest) {
+	ctx := newFakeCtx(id)
+	l := New(Config{N: 4, F: 1, CodeK: 2})
+	var notified []types.Digest
+	l.Bind(ctx, func(d types.Digest) { notified = append(notified, d) })
+	return l, ctx, &notified
+}
+
+// encodeChunks erasure-codes a payload the way an origin does and returns
+// the shards, the per-chunk hashes, and the commitment root.
+func encodeChunks(t *testing.T, k, m int, payload []byte) ([][]byte, []types.Digest, types.Digest) {
+	t.Helper()
+	shards, err := rs.Encode(k, m, payload)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	hashes := make([]types.Digest, m)
+	for i := range shards {
+		hashes[i] = crypto.ChunkHash(shards[i])
+	}
+	return shards, hashes, crypto.ChunkCommitRoot(uint32(k), uint32(len(payload)), hashes)
+}
+
+// chunkMsg builds one valid chunk push for the given layout.
+func chunkMsg(origin types.NodeID, id types.Digest, k, dataLen, idx int, shards [][]byte, hashes []types.Digest) *types.BatchChunk {
+	return &types.BatchChunk{
+		Origin: origin, BatchID: id,
+		K: uint32(k), DataLen: uint32(dataLen), Hashes: hashes,
+		Index: uint32(idx), Data: shards[idx],
+	}
+}
+
+func codedAckFrom(id types.NodeID, batchID, root types.Digest) *types.BatchAck {
+	prov := crypto.NewSimProvider(id, crypto.CostModel{}, nil)
+	return &types.BatchAck{Origin: 0, BatchID: batchID, Sig: prov.Sign(types.CodedAckBytes(batchID, root))}
+}
+
+// sentChunks collects the chunk pushes (non-pull) recorded by the context.
+func sentChunks(ctx *fakeCtx) []sendRec {
+	var out []sendRec
+	for _, s := range ctx.sends {
+		if c, ok := s.msg.(*types.BatchChunk); ok && !c.Pull {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func countAcks(ctx *fakeCtx) int {
+	n := 0
+	for _, m := range ctx.sent {
+		if _, ok := m.(*types.BatchAck); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCodedOriginSendsOneChunkPerPeerAndCertifies: in coded mode the origin
+// sends each peer exactly ONE chunk (its assigned index, with the full
+// commitment attached) instead of the whole payload — the egress cut under
+// test — and still assembles the unchanged BatchCert at n−f coded acks.
+func TestCodedOriginSendsOneChunkPerPeerAndCertifies(t *testing.T) {
+	l, ctx, _ := newCodedLayer(0)
+	// A payload big enough that the per-chunk commitment overhead (m hashes
+	// per message) does not swamp the coding gain — the regime coding targets.
+	txns := make([]types.Transaction, 64)
+	for i := range txns {
+		txns[i] = types.Transaction{Client: types.ClientIDBase, Seq: uint64(i), Op: types.OpWrite, Key: uint64(i), Value: []byte("value-payload-bytes")}
+	}
+	b := &types.Batch{Txns: txns, Submitted: 1}
+	b.ID = types.ComputeBatchID(b.Txns)
+	ctx.pending = append(ctx.pending, b)
+	l.Pump()
+
+	chunks := sentChunks(ctx)
+	if len(chunks) != 3 {
+		t.Fatalf("origin sent %d chunks, want one per peer = 3", len(chunks))
+	}
+	payload := types.EncodeBatchPayload(b)
+	seen := make(map[types.NodeID]bool)
+	var root types.Digest
+	for _, s := range chunks {
+		c := s.msg.(*types.BatchChunk)
+		if seen[s.to] {
+			t.Fatalf("peer %d pushed twice", s.to)
+		}
+		seen[s.to] = true
+		if int(c.Index) != peerIdx(0, s.to) {
+			t.Fatalf("peer %d got chunk %d, want its assigned %d", s.to, c.Index, peerIdx(0, s.to))
+		}
+		if len(c.Hashes) != 3 || int(c.K) != 2 || int(c.DataLen) != len(payload) {
+			t.Fatalf("chunk commitment malformed: k=%d m=%d dataLen=%d", c.K, len(c.Hashes), c.DataLen)
+		}
+		if len(c.Data) != rs.ShardLen(2, len(payload)) {
+			t.Fatalf("chunk data %d bytes, want shard length %d", len(c.Data), rs.ShardLen(2, len(payload)))
+		}
+		root = crypto.ChunkCommitRoot(c.K, c.DataLen, c.Hashes)
+	}
+
+	if l.Certified(b.ID) {
+		t.Fatal("certified with only the self-ack")
+	}
+	l.OnMessage(1, codedAckFrom(1, b.ID, root))
+	if l.Certified(b.ID) {
+		t.Fatal("certified below the n−f quorum")
+	}
+	l.OnMessage(2, codedAckFrom(2, b.ID, root))
+	if !l.Certified(b.ID) {
+		t.Fatal("not certified at n−f coded acks")
+	}
+	if got := l.NextCertified(); got == nil || got.ID != b.ID {
+		t.Fatalf("NextCertified = %v, want the certified batch", got)
+	}
+
+	st := l.Stats()
+	if st.ChunksSent != 3 || st.PushedBytes == 0 {
+		t.Fatalf("stats: ChunksSent=%d PushedBytes=%d, want 3 chunks and nonzero egress", st.ChunksSent, st.PushedBytes)
+	}
+	// The headline claim in miniature: coded egress must undercut what the
+	// full push would have billed for the same batch.
+	fullPush := uint64(3 * (&types.BatchDigest{Origin: 0, Batch: b}).WireSize())
+	if st.PushedBytes >= fullPush {
+		t.Fatalf("coded egress %d ≥ full-push egress %d", st.PushedBytes, fullPush)
+	}
+}
+
+// TestCodedReceiverAcksOnlyValidAssignedChunk: a replica signs custody only
+// after verifying its ASSIGNED chunk against the commitment — a corrupted
+// chunk is rejected without an ack, and another peer's chunk is stored but
+// never attested (the availability count needs distinct chunks per signer).
+func TestCodedReceiverAcksOnlyValidAssignedChunk(t *testing.T) {
+	l, ctx, _ := newCodedLayer(1)
+	b := testBatch(2)
+	payload := types.EncodeBatchPayload(b)
+	shards, hashes, _ := encodeChunks(t, 2, 3, payload)
+
+	// Another peer's chunk (index 1 belongs to replica 2): stored, no ack.
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 1, shards, hashes))
+	if countAcks(ctx) != 0 {
+		t.Fatal("receiver attested custody of a chunk that is not its assigned one")
+	}
+
+	// Our assigned chunk (index 0) with corrupted bytes: rejected, no ack.
+	bad := chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes)
+	bad.Data = append([]byte(nil), bad.Data...)
+	bad.Data[0] ^= 0xFF
+	l.OnMessage(0, bad)
+	if countAcks(ctx) != 0 {
+		t.Fatal("receiver acked a chunk whose hash does not match the commitment")
+	}
+	if l.Stats().ChunkRejects == 0 {
+		t.Fatal("corrupted chunk not counted as rejected")
+	}
+
+	// The genuine assigned chunk: exactly one ack, to the origin, over the
+	// coded preimage.
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes))
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes)) // duplicate
+	if countAcks(ctx) != 1 {
+		t.Fatalf("receiver sent %d acks, want exactly 1", countAcks(ctx))
+	}
+}
+
+// TestCodedReconstructionAtExactlyK: any k verified chunks suffice — the
+// receiver decodes the payload the moment the k-th distinct chunk lands,
+// and the decoded batch is the original bit-for-bit (content-addressed).
+func TestCodedReconstructionAtExactlyK(t *testing.T) {
+	l, _, _ := newCodedLayer(3)
+	b := testBatch(3)
+	payload := types.EncodeBatchPayload(b)
+	shards, hashes, _ := encodeChunks(t, 2, 3, payload)
+
+	// One parity + one data chunk: an arbitrary k-subset, not the data prefix.
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 2, shards, hashes))
+	if l.Payload(b.ID) != nil {
+		t.Fatal("payload materialized below k chunks")
+	}
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 1, shards, hashes))
+	got := l.Payload(b.ID)
+	if got == nil {
+		t.Fatal("payload not reconstructed at exactly k chunks")
+	}
+	if got.ID != b.ID || types.ComputeBatchID(got.Txns) != types.ComputeBatchID(b.Txns) {
+		t.Fatal("reconstructed batch differs from the original")
+	}
+	st := l.Stats()
+	if st.Reconstructions != 1 || st.ReconstructFails != 0 {
+		t.Fatalf("stats: Reconstructions=%d ReconstructFails=%d, want 1/0", st.Reconstructions, st.ReconstructFails)
+	}
+}
+
+// chunkPullTargets collects distinct recipients of chunk pulls after offset.
+func chunkPullTargets(ctx *fakeCtx, offset int) map[types.NodeID]bool {
+	got := make(map[types.NodeID]bool)
+	for _, s := range ctx.sends[offset:] {
+		if c, ok := s.msg.(*types.BatchChunk); ok && c.Pull {
+			got[s.to] = true
+		}
+	}
+	return got
+}
+
+// TestCodedBackfillRotatesAcrossPeers: with the layout unknown (digest
+// learned from consensus, push never seen) one backfill round asks k+1
+// distinct peers blind (ChunkAny — each responds with its own assigned
+// chunk), and retries widen and rotate the window until every peer has
+// been reached, mirroring the full-push 2f+1 rotation guarantee.
+func TestCodedBackfillRotatesAcrossPeers(t *testing.T) {
+	ctx := newFakeCtx(0)
+	l := New(Config{N: 7, F: 2, CodeK: 3})
+	l.Bind(ctx, nil)
+
+	id := types.Digest{1}
+	l.Backfill(id, -1)
+	first := chunkPullTargets(ctx, 0)
+	if len(first) != 4 { // k+1 = 4
+		t.Fatalf("first round asked %d peers, want k+1 = 4", len(first))
+	}
+	union := make(map[types.NodeID]bool)
+	for p := range first {
+		union[p] = true
+	}
+	for round := 1; round <= 5; round++ {
+		mark := len(ctx.sends)
+		ctx.now += time.Second
+		l.Backfill(id, -1)
+		for p := range chunkPullTargets(ctx, mark) {
+			if p == 0 {
+				t.Fatal("backfill asked self")
+			}
+			union[p] = true
+		}
+	}
+	if len(union) != 6 {
+		t.Fatalf("rotation reached %d distinct peers, want all 6", len(union))
+	}
+}
+
+// TestCodedBackfillAsksAssignedHolders: once the layout is known, backfill
+// asks the assigned holders of the chunks still missing — targeted pulls,
+// not the blind window — and escalates to the origin on retry.
+func TestCodedBackfillAsksAssignedHolders(t *testing.T) {
+	l, ctx, _ := newCodedLayer(1)
+	b := testBatch(4)
+	payload := types.EncodeBatchPayload(b)
+	shards, hashes, _ := encodeChunks(t, 2, 3, payload)
+
+	// Our assigned chunk only: layout adopted, chunks 1 and 2 missing.
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes))
+	mark := len(ctx.sends)
+	l.Backfill(b.ID, -1)
+	for _, s := range ctx.sends[mark:] {
+		c, ok := s.msg.(*types.BatchChunk)
+		if !ok || !c.Pull {
+			continue
+		}
+		if c.Index == types.ChunkAny {
+			t.Fatal("known layout asked blind; want a targeted chunk index")
+		}
+		if want := chunkHolder(0, int(c.Index)); s.to != want {
+			t.Fatalf("chunk %d pulled from %d, want its assigned holder %d", c.Index, s.to, want)
+		}
+	}
+
+	// Retry: wider round, origin now included.
+	mark = len(ctx.sends)
+	ctx.now += time.Second
+	l.Backfill(b.ID, -1)
+	if !chunkPullTargets(ctx, mark)[0] {
+		t.Fatal("retry did not escalate to the origin")
+	}
+}
+
+// TestCodedEquivocatingOriginSingleAttestation: a correct replica attests
+// custody for the FIRST commitment it sees per batch id and never again —
+// so an equivocating origin cannot gather certificates for two layouts —
+// yet it still adopts a conflicting layout when a verified certificate
+// arrives inline, because that one provably won.
+func TestCodedEquivocatingOriginSingleAttestation(t *testing.T) {
+	l, ctx, _ := newCodedLayer(1)
+	b := testBatch(5)
+	payload := types.EncodeBatchPayload(b)
+	goodShards, goodHashes, goodRoot := encodeChunks(t, 2, 3, payload)
+
+	// The equivocator's branch: a different payload presented under the same
+	// batch id, chunk hashes internally consistent.
+	other := types.EncodeBatchPayload(testBatch(99))
+	badShards, badHashes, _ := encodeChunks(t, 2, 3, other)
+
+	// Branch A lands first; we attest it (our one ack for this id).
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(other), 0, badShards, badHashes))
+	if countAcks(ctx) != 1 {
+		t.Fatalf("assigned chunk of the first-seen layout drew %d acks, want 1", countAcks(ctx))
+	}
+
+	// Branch B without a certificate: no better attested than ours — dropped.
+	rejectsBefore := l.Stats().ChunkRejects
+	l.OnMessage(2, chunkMsg(0, b.ID, 2, len(payload), 1, goodShards, goodHashes))
+	if l.Stats().ChunkRejects != rejectsBefore+1 {
+		t.Fatal("conflicting uncertified layout not rejected")
+	}
+
+	// Branch B with a verified inline certificate: adopt, but do NOT attest —
+	// the ack budget for this id is spent.
+	cert := chunkMsg(0, b.ID, 2, len(payload), 1, goodShards, goodHashes)
+	cert.Sigs = []types.Signature{
+		codedAckFrom(1, b.ID, goodRoot).Sig,
+		codedAckFrom(2, b.ID, goodRoot).Sig,
+		codedAckFrom(3, b.ID, goodRoot).Sig,
+	}
+	l.OnMessage(2, cert)
+	if !l.Certified(b.ID) {
+		t.Fatal("inline certificate not adopted")
+	}
+	if countAcks(ctx) != 1 {
+		t.Fatalf("replica attested a second layout for the same id (%d acks)", countAcks(ctx))
+	}
+
+	// Collect the certified layout to k and reconstruct the real payload.
+	l.OnMessage(3, chunkMsg(0, b.ID, 2, len(payload), 2, goodShards, goodHashes))
+	if got := l.Payload(b.ID); got == nil || got.ID != b.ID || len(got.Txns) != len(b.Txns) {
+		t.Fatal("certified layout did not reconstruct the committed payload")
+	}
+}
+
+// TestCodedCertifiedGarbagePoisonsDeterministically: a certified layout
+// whose decoded payload does not hash to the ordered digest fails the same
+// way on every correct replica — the entry delivers the canonical empty
+// batch instead of diverging or stalling.
+func TestCodedCertifiedGarbagePoisonsDeterministically(t *testing.T) {
+	l, _, _ := newCodedLayer(1)
+	id := types.Digest{0xde, 0xad, 0xbe, 0xef} // no payload hashes to this
+	other := types.EncodeBatchPayload(testBatch(50))
+	shards, hashes, root := encodeChunks(t, 2, 3, other)
+
+	mk := func(idx int) *types.BatchChunk {
+		c := chunkMsg(0, id, 2, len(other), idx, shards, hashes)
+		c.Sigs = []types.Signature{
+			codedAckFrom(1, id, root).Sig,
+			codedAckFrom(2, id, root).Sig,
+			codedAckFrom(3, id, root).Sig,
+		}
+		return c
+	}
+	l.OnMessage(0, mk(0))
+	l.OnMessage(2, mk(1))
+
+	got := l.Payload(id)
+	if got == nil || got.ID != id || len(got.Txns) != 0 {
+		t.Fatalf("poisoned entry delivered %v, want the canonical empty batch", got)
+	}
+	st := l.Stats()
+	if st.ReconstructFails != 1 {
+		t.Fatalf("ReconstructFails=%d, want 1", st.ReconstructFails)
+	}
+	if !l.Certified(id) {
+		t.Fatal("poisoned entry lost its certificate — delivery would stall instead of proceeding empty")
+	}
+}
+
+// TestCodedUncertifiedGarbageDiscarded: the same garbage WITHOUT a
+// certificate must not poison — the layout is dropped so backfill can
+// recover the certified one, which then reconstructs normally.
+func TestCodedUncertifiedGarbageDiscarded(t *testing.T) {
+	l, _, _ := newCodedLayer(1)
+	b := testBatch(6)
+	payload := types.EncodeBatchPayload(b)
+
+	garbage := types.EncodeBatchPayload(testBatch(77))
+	gShards, gHashes, _ := encodeChunks(t, 2, 3, garbage)
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(garbage), 0, gShards, gHashes))
+	l.OnMessage(2, chunkMsg(0, b.ID, 2, len(garbage), 1, gShards, gHashes))
+
+	if l.Payload(b.ID) != nil {
+		t.Fatal("uncertified garbage delivered a payload")
+	}
+	if st := l.Stats(); st.ReconstructFails != 0 {
+		t.Fatalf("uncertified failure counted as a poison (%d)", st.ReconstructFails)
+	}
+
+	// The real layout arrives (e.g. via backfill responses): adopted fresh
+	// and reconstructed, proving the entry was not wedged.
+	shards, hashes, _ := encodeChunks(t, 2, 3, payload)
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes))
+	l.OnMessage(2, chunkMsg(0, b.ID, 2, len(payload), 1, shards, hashes))
+	if got := l.Payload(b.ID); got == nil || got.ID != b.ID {
+		t.Fatal("entry wedged: certified-recoverable layout no longer reconstructs")
+	}
+}
+
+// TestCodedChunkPullServesDistinctIndices: a responder prefers the exact
+// requested index, then its OWN assigned chunk for blind pulls — so
+// concurrent blind pulls to different peers return different chunks.
+func TestCodedChunkPullServesDistinctIndices(t *testing.T) {
+	l, ctx, _ := newCodedLayer(1)
+	b := testBatch(7)
+	payload := types.EncodeBatchPayload(b)
+	shards, hashes, _ := encodeChunks(t, 2, 3, payload)
+	// Full codeword held (reconstruction stores it back).
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes))
+	l.OnMessage(2, chunkMsg(0, b.ID, 2, len(payload), 1, shards, hashes))
+
+	mark := len(ctx.sends)
+	l.OnMessage(3, &types.BatchChunk{BatchID: b.ID, Index: 2, Pull: true})
+	l.OnMessage(3, &types.BatchChunk{BatchID: b.ID, Index: types.ChunkAny, Pull: true})
+	var served []uint32
+	for _, s := range ctx.sends[mark:] {
+		if c, ok := s.msg.(*types.BatchChunk); ok && !c.Pull {
+			served = append(served, c.Index)
+		}
+	}
+	if len(served) != 2 || served[0] != 2 || served[1] != 0 {
+		t.Fatalf("served indices %v, want [2 0] (requested exactly, then own assigned)", served)
+	}
+}
+
+// TestCodedIngressScreening: coded acks and inline-certified chunk
+// responses declare their signature checks over the CODED preimage at
+// ingress; pulls and bare chunk pushes declare none (the handler verifies
+// by chunk hash).
+func TestCodedIngressScreening(t *testing.T) {
+	l, ctx, _ := newCodedLayer(0)
+	b := testBatch(8)
+	ctx.pending = append(ctx.pending, b)
+	l.Pump() // adopt our own layout so the ack preimage is resolvable
+
+	root, ok := l.commitRoot(b.ID)
+	if !ok {
+		t.Fatal("origin has no commitment for its own batch")
+	}
+	job, ok := l.IngressJob(1, codedAckFrom(1, b.ID, root))
+	if !ok || len(job.Checks) != 1 {
+		t.Fatal("coded ack not screened at ingress")
+	}
+	if string(job.Checks[0].Msg) != string(types.CodedAckBytes(b.ID, root)) {
+		t.Fatal("coded ack screened over the wrong preimage")
+	}
+
+	// An ack for a batch with no adopted layout: infeasible, dropped.
+	job, ok = l.IngressJob(1, codedAckFrom(1, types.Digest{0x77}, root))
+	if !ok || len(job.Checks) != 0 {
+		t.Fatal("ack without a resolvable commitment must be an infeasible job")
+	}
+
+	payload := types.EncodeBatchPayload(b)
+	shards, hashes, _ := encodeChunks(t, 2, 3, payload)
+	push := chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes)
+	if job, ok = l.IngressJob(1, push); ok || len(job.Checks) != 0 {
+		t.Fatal("bare chunk push must declare no signature checks")
+	}
+	if job, ok = l.IngressJob(1, &types.BatchChunk{BatchID: b.ID, Index: types.ChunkAny, Pull: true}); ok || len(job.Checks) != 0 {
+		t.Fatal("chunk pull must declare no signature checks")
+	}
+
+	certified := chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes)
+	certified.Sigs = []types.Signature{
+		codedAckFrom(1, b.ID, root).Sig,
+		codedAckFrom(2, b.ID, root).Sig,
+		codedAckFrom(3, b.ID, root).Sig,
+	}
+	job, ok = l.IngressJob(1, certified)
+	if !ok || len(job.Checks) != 3 || job.Quorum != 3 {
+		t.Fatalf("inline-certified chunk screening: ok=%v checks=%d quorum=%d, want 3 checks at quorum 3", ok, len(job.Checks), job.Quorum)
+	}
+	wantRoot := crypto.ChunkCommitRoot(certified.K, certified.DataLen, certified.Hashes)
+	if string(job.Checks[0].Msg) != string(types.CodedAckBytes(b.ID, wantRoot)) {
+		t.Fatal("inline certificate screened over a preimage not derived from the message's own commitment")
+	}
+}
+
+// TestFullPushIgnoresChunks: with CodeK=0 the layer is bit-for-bit the
+// full-push layer — chunk traffic is dropped on the floor, no coded state,
+// no acks.
+func TestFullPushIgnoresChunks(t *testing.T) {
+	l, ctx, _ := newTestLayer(1)
+	b := testBatch(9)
+	payload := types.EncodeBatchPayload(b)
+	shards, hashes, _ := encodeChunks(t, 2, 3, payload)
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes))
+	if len(ctx.sent) != 0 {
+		t.Fatal("full-push layer reacted to a chunk message")
+	}
+	if l.Payload(b.ID) != nil {
+		t.Fatal("full-push layer stored coded state")
+	}
+	if st := l.Stats(); st.ChunksReceived != 0 {
+		t.Fatal("full-push layer counted coded traffic")
+	}
+}

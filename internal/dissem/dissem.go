@@ -40,6 +40,14 @@ const TimerKind = 101
 type Config struct {
 	N, F int
 
+	// CodeK enables erasure-coded dissemination (see coded.go): own batches
+	// are split into CodeK data chunks plus n−1−CodeK parity chunks and each
+	// peer receives exactly one, cutting origin egress from (n−1)·|B| to
+	// roughly (n−1)/k·|B|. Bounded by n−2f so the availability certificate
+	// still guarantees reconstruction (clamped in New). 0 (the default)
+	// keeps the classic full-payload push.
+	CodeK int
+
 	// Window bounds this replica's own batches in flight: pulled from the
 	// batch source and disseminated but not yet delivered. The closed-loop
 	// client usually binds first; the window is the safety net that stops
@@ -88,6 +96,12 @@ type entry struct {
 
 	acks map[types.NodeID]types.Signature // origin only: collected acks
 
+	// Coded mode only (Config.CodeK > 0):
+	commit   *chunkCommit // adopted chunk-layout commitment
+	chunks   [][]byte     // chunk store, indexed by chunk index
+	have     int          // non-nil chunks stored
+	poisoned bool         // certified layout proven inconsistent: canonical empty delivery
+
 	mine       bool
 	acked      bool          // we already sent our ack for this payload
 	inReady    bool          // queued for proposing (own batches only)
@@ -104,8 +118,22 @@ type Stats struct {
 	CertsBuilt   uint64 // availability certificates assembled from acks
 	CertsSeen    uint64 // certificates received from peers
 	Backfills    uint64 // pull requests sent
-	Served       uint64 // pull requests answered with a payload
+	Served       uint64 // pull requests answered with a payload or chunk
 	Requeued     uint64 // own batches re-queued after a lost proposal
+
+	// Egress accounting (wire bytes of dissemination payload traffic, both
+	// modes — the substrate-independent basis for the coded-vs-full egress
+	// comparison).
+	PushedBytes uint64 // origin push egress (full payloads or chunks)
+	ServedBytes uint64 // backfill-serving egress
+
+	// Coded mode only:
+	ChunksSent       uint64 // chunks pushed by origin or served to pullers
+	ChunksReceived   uint64 // valid chunks stored
+	ChunkRejects     uint64 // chunks dropped: bad shape/hash, conflicting or inconsistent layout
+	ChunkPulls       uint64 // chunk backfill requests sent
+	Reconstructions  uint64 // payloads decoded from k chunks
+	ReconstructFails uint64 // certified layouts proven inconsistent (poisoned deliveries)
 }
 
 // Layer is one replica's dissemination state. Construct with New, then
@@ -154,6 +182,14 @@ func New(cfg Config) *Layer {
 	}
 	if cfg.RetainDelivered <= 0 {
 		cfg.RetainDelivered = 1 << 16
+	}
+	if cfg.CodeK > 0 {
+		// Clamp k so any availability certificate still guarantees
+		// reconstruction: n−f acks imply ≥ n−2f correct holders of distinct
+		// chunks (see coded.go).
+		if max := maxCodeK(cfg.N, cfg.F); cfg.CodeK > max {
+			cfg.CodeK = max
+		}
 	}
 	return &Layer{
 		cfg:     cfg,
@@ -237,6 +273,10 @@ func (l *Layer) Pump() {
 
 // disseminate broadcasts one own batch and records the self-ack.
 func (l *Layer) disseminate(b *types.Batch) {
+	if l.cfg.CodeK > 0 {
+		l.disseminateCoded(b)
+		return
+	}
 	sig := l.ctx.Crypto().Sign(types.AckBytes(b.ID))
 	l.mu.Lock()
 	e := l.entries[b.ID]
@@ -257,9 +297,11 @@ func (l *Layer) disseminate(b *types.Batch) {
 	}
 	e.acks[l.self] = sig
 	l.stats.Disseminated++
+	push := &types.BatchDigest{Origin: l.self, Batch: b}
+	l.stats.PushedBytes += uint64((l.cfg.N - 1) * push.WireSize())
 	fire := l.maybeCertifyLocked(b.ID, e)
 	l.mu.Unlock()
-	l.ctx.Broadcast(&types.BatchDigest{Origin: l.self, Batch: b})
+	l.ctx.Broadcast(push)
 	if fire != nil {
 		fire()
 	}
@@ -280,6 +322,10 @@ func (l *Layer) OnMessage(from types.NodeID, msg types.Message) {
 		l.onAck(from, m)
 	case *types.BatchCert:
 		l.onCert(m)
+	case *types.BatchChunk:
+		if l.cfg.CodeK > 0 {
+			l.onChunk(from, m)
+		}
 	}
 }
 
@@ -336,15 +382,18 @@ func (l *Layer) onPull(from types.NodeID, m *types.BatchDigest) {
 	var payload *types.Batch
 	var cert []types.Signature
 	var origin types.NodeID
+	var resp *types.BatchDigest
 	if e != nil && e.batch != nil {
 		payload, cert, origin = e.batch, e.cert, e.origin
+		resp = &types.BatchDigest{Origin: origin, Batch: payload}
 		l.stats.Served++
+		l.stats.ServedBytes += uint64(resp.WireSize())
 	}
 	l.mu.Unlock()
 	if payload == nil {
 		return
 	}
-	l.ctx.Send(from, &types.BatchDigest{Origin: origin, Batch: payload})
+	l.ctx.Send(from, resp)
 	if cert != nil {
 		l.ctx.Send(from, &types.BatchCert{BatchID: id, Sigs: cert})
 	}
@@ -408,12 +457,21 @@ func (l *Layer) onCert(m *types.BatchCert) {
 	}
 	e := l.getOrCreateLocked(m.BatchID)
 	var fire func()
+	var prefetch bool
 	if e.cert == nil {
 		e.cert = m.Sigs
 		l.stats.CertsSeen++
 		fire = l.notifyLocked(m.BatchID)
+		// Coded mode: a fresh certificate means this digest will likely be
+		// ordered soon, yet we hold only our own pushed chunk. Start pulling
+		// the other k−1 chunks NOW so reconstruction overlaps consensus
+		// instead of parking the delivery drain for a pull round-trip.
+		prefetch = l.cfg.CodeK > 0 && e.batch == nil
 	}
 	l.mu.Unlock()
+	if prefetch {
+		l.backfillChunks(m.BatchID, -1)
+	}
 	if fire != nil {
 		fire()
 	}
@@ -481,6 +539,10 @@ func (l *Layer) Payload(id types.Digest) *types.Batch {
 // peers instead of re-asking the same fixed set forever. Rate-limited per
 // digest.
 func (l *Layer) Backfill(id types.Digest, hint types.NodeID) {
+	if l.cfg.CodeK > 0 {
+		l.backfillChunks(id, hint)
+		return
+	}
 	now := l.ctx.Now()
 	l.mu.Lock()
 	if _, done := l.tombs[id]; done {
@@ -640,7 +702,20 @@ func (l *Layer) requeueLost() {
 //   - BatchCert: n−f distinct signers structurally, then the full batch
 //     verified at quorum n−f;
 //   - BatchDigest: carries no signatures — the handler validates the
-//     payload hash instead.
+//     payload hash instead;
+//   - BatchChunk (coded mode): pulls and bare chunks carry no signatures
+//     (the handler validates the chunk hash against the commitment); a
+//     chunk with an INLINE certificate is verified here against the
+//     commitment root derived from the message's own fields, so the handler
+//     may trust a non-empty Sigs field as a proven certificate.
+//
+// In coded mode the ack/cert preimage binds the chunk-layout commitment
+// (types.CodedAckBytes), so verifying a BatchAck or BatchCert requires the
+// locally adopted commitment root — looked up under the layer lock, which
+// is safe concurrently with the event loop (the layer is internally
+// mutex-guarded by design, see the package comment). A certificate arriving
+// before any chunk of its batch drops at ingress; the chunk backfill path
+// recovers it, since chunk responses carry the certificate inline.
 //
 // The bool result follows the substrate contract: false means "no checks
 // needed, deliver" (the handler re-screens structurally).
@@ -650,8 +725,16 @@ func (l *Layer) IngressJob(from types.NodeID, msg types.Message) (protocol.Verif
 		if m.Origin != l.self || m.Sig.Signer != from {
 			return protocol.VerifyJob{}, false // onAck drops these unread
 		}
+		ackMsg := types.AckBytes(m.BatchID)
+		if l.cfg.CodeK > 0 {
+			root, ok := l.commitRoot(m.BatchID)
+			if !ok {
+				return protocol.VerifyJob{Quorum: 1}, true // no layout of ours: infeasible, drop
+			}
+			ackMsg = types.CodedAckBytes(m.BatchID, root)
+		}
 		return protocol.VerifyJob{
-			Checks: []crypto.Check{{Sig: m.Sig, Msg: types.AckBytes(m.BatchID)}},
+			Checks: []crypto.Check{{Sig: m.Sig, Msg: ackMsg}},
 			Quorum: 1,
 		}, true
 	case *types.BatchCert:
@@ -659,13 +742,47 @@ func (l *Layer) IngressJob(from types.NodeID, msg types.Message) (protocol.Verif
 		if crypto.DistinctSigners(m.Sigs) < q {
 			return protocol.VerifyJob{Quorum: q}, true // infeasible: drop at ingress
 		}
+		ackMsg := types.AckBytes(m.BatchID)
+		if l.cfg.CodeK > 0 {
+			root, ok := l.commitRoot(m.BatchID)
+			if !ok {
+				return protocol.VerifyJob{Quorum: q}, true // layout unknown: drop, recover via chunk pull
+			}
+			ackMsg = types.CodedAckBytes(m.BatchID, root)
+		}
 		checks := make([]crypto.Check, len(m.Sigs))
 		for i, sig := range m.Sigs {
-			checks[i] = crypto.Check{Sig: sig, Msg: types.AckBytes(m.BatchID)}
+			checks[i] = crypto.Check{Sig: sig, Msg: ackMsg}
+		}
+		return protocol.VerifyJob{Checks: checks, Quorum: q}, true
+	case *types.BatchChunk:
+		if l.cfg.CodeK <= 0 || m.Pull || len(m.Sigs) == 0 {
+			return protocol.VerifyJob{}, false // no signatures to check
+		}
+		q := protocol.Quorum(l.cfg.N, l.cfg.F)
+		if crypto.DistinctSigners(m.Sigs) < q {
+			return protocol.VerifyJob{Quorum: q}, true // claimed cert is infeasible: drop
+		}
+		root := crypto.ChunkCommitRoot(m.K, m.DataLen, m.Hashes)
+		ackMsg := types.CodedAckBytes(m.BatchID, root)
+		checks := make([]crypto.Check, len(m.Sigs))
+		for i, sig := range m.Sigs {
+			checks[i] = crypto.Check{Sig: sig, Msg: ackMsg}
 		}
 		return protocol.VerifyJob{Checks: checks, Quorum: q}, true
 	}
 	return protocol.VerifyJob{}, false
+}
+
+// commitRoot returns the adopted chunk-layout commitment root for id.
+func (l *Layer) commitRoot(id types.Digest) (types.Digest, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entries[id]
+	if e == nil || e.commit == nil {
+		return types.Digest{}, false
+	}
+	return e.commit.root, true
 }
 
 // Stats returns a snapshot of the layer's counters.

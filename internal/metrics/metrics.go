@@ -18,6 +18,7 @@ import (
 
 	"spotless/internal/core"
 	"spotless/internal/dissem"
+	"spotless/internal/transport"
 	"spotless/internal/wal"
 )
 
@@ -36,6 +37,10 @@ type Source struct {
 	// WAL yields the durable ledger store, or nil when ledgers are
 	// memory-only — the wal_* durability rows are omitted then.
 	WAL func() *wal.Store
+	// Transport yields the TCP transport, or nil on the simulator — the
+	// net_* byte counters corroborate the coded-dissemination egress claim
+	// against what actually hit the wire.
+	Transport func() *transport.TCP
 }
 
 // Handler serves the text exposition for src.
@@ -67,6 +72,24 @@ func Handler(src Source) http.Handler {
 				fmt.Fprintf(w, "spotless_dissem_backfills_total %d\n", st.Backfills)
 				fmt.Fprintf(w, "spotless_dissem_served_total %d\n", st.Served)
 				fmt.Fprintf(w, "spotless_dissem_requeued_total %d\n", st.Requeued)
+				// Coding rows: zero in full-push mode, live under -dissem-code.
+				// pushed_bytes is origin egress (the paper's headline metric),
+				// served_bytes the backfill-serving side of the same wire cost.
+				fmt.Fprintf(w, "spotless_dissem_pushed_bytes_total %d\n", st.PushedBytes)
+				fmt.Fprintf(w, "spotless_dissem_served_bytes_total %d\n", st.ServedBytes)
+				fmt.Fprintf(w, "spotless_dissem_chunks_sent_total %d\n", st.ChunksSent)
+				fmt.Fprintf(w, "spotless_dissem_chunks_received_total %d\n", st.ChunksReceived)
+				fmt.Fprintf(w, "spotless_dissem_chunk_rejects_total %d\n", st.ChunkRejects)
+				fmt.Fprintf(w, "spotless_dissem_chunk_pulls_total %d\n", st.ChunkPulls)
+				fmt.Fprintf(w, "spotless_dissem_reconstructions_total %d\n", st.Reconstructions)
+				fmt.Fprintf(w, "spotless_dissem_reconstruct_failures_total %d\n", st.ReconstructFails)
+			}
+		}
+		if src.Transport != nil {
+			if tr := src.Transport(); tr != nil {
+				ts := tr.Stats()
+				fmt.Fprintf(w, "spotless_net_bytes_out_total %d\n", ts.BytesOut)
+				fmt.Fprintf(w, "spotless_net_bytes_in_total %d\n", ts.BytesIn)
 			}
 		}
 		if src.WAL != nil {

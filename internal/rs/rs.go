@@ -1,0 +1,355 @@
+// Package rs is a dependency-free systematic Reed-Solomon erasure codec
+// over GF(2^8), sized for the dissemination layer's chunked batch spreading
+// (internal/dissem): a batch payload splits into k data shards plus m−k
+// parity shards, any k of the m shards reconstruct the payload, and the
+// whole codeword is recomputable from any k shards — which is what lets a
+// receiver re-encode after decoding and check every shard hash against the
+// origin's commitment (the AVID-style consistency check).
+//
+// The field is GF(2^8) with the usual 0x11d reduction polynomial,
+// implemented with exp/log tables. The encoding matrix is the systematic
+// transform of a Vandermonde matrix (the top k×k block is inverted and
+// multiplied through, leaving an identity over the data shards), so data
+// shards are verbatim payload slices and decoding the failure-free case is
+// a copy.
+package rs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Codec errors.
+var (
+	ErrInvalidParams = errors.New("rs: invalid coding parameters")
+	ErrTooFewShards  = errors.New("rs: too few shards to reconstruct")
+	ErrShardSize     = errors.New("rs: inconsistent shard sizes")
+)
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic
+// ---------------------------------------------------------------------------
+
+// genPoly is the reduction polynomial x^8+x^4+x^3+x^2+1.
+const genPoly = 0x11d
+
+var (
+	// expTbl[i] = α^i for i in [0, 510): doubled so mul can skip the mod-255
+	// reduction of the exponent sum.
+	expTbl [510]byte
+	logTbl [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTbl[i] = byte(x)
+		logTbl[x] = byte(i)
+		x <<= 1
+		if x >= 256 {
+			x ^= genPoly
+		}
+	}
+	for i := 255; i < len(expTbl); i++ {
+		expTbl[i] = expTbl[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTbl[int(logTbl[a])+int(logTbl[b])]
+}
+
+// gfInv returns the multiplicative inverse of a ≠ 0.
+func gfInv(a byte) byte { return expTbl[255-int(logTbl[a])] }
+
+// gfPow returns a^e for e ≥ 0.
+func gfPow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTbl[(int(logTbl[a])*e)%255]
+}
+
+// mulAdd computes dst[i] ^= coef·src[i] — the inner loop of both encoding
+// and reconstruction.
+func mulAdd(dst, src []byte, coef byte) {
+	if coef == 0 {
+		return
+	}
+	lc := int(logTbl[coef])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTbl[lc+int(logTbl[s])]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Matrices over GF(2^8)
+// ---------------------------------------------------------------------------
+
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	backing := make([]byte, rows*cols)
+	for r := range m {
+		m[r] = backing[r*cols : (r+1)*cols : (r+1)*cols]
+	}
+	return m
+}
+
+// vandermonde builds the rows×cols matrix v[r][c] = r^c; any cols distinct
+// rows are linearly independent, which is what makes every k-subset of
+// shards decodable.
+func vandermonde(rows, cols int) matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m[r][c] = gfPow(byte(r), c)
+		}
+	}
+	return m
+}
+
+// times returns a·b.
+func (a matrix) times(b matrix) matrix {
+	rows, inner, cols := len(a), len(b), len(b[0])
+	out := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for i := 0; i < inner; i++ {
+			if coef := a[r][i]; coef != 0 {
+				mulAdd(out[r], b[i], coef)
+			}
+		}
+	}
+	return out
+}
+
+// inverted returns a⁻¹ by Gauss-Jordan elimination on [a | I].
+func (a matrix) inverted() (matrix, error) {
+	n := len(a)
+	work := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work[r], a[r])
+		work[r][n+r] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("rs: singular matrix at column %d", col)
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		if p := work[col][col]; p != 1 {
+			scale := gfInv(p)
+			for c := range work[col] {
+				work[col][c] = gfMul(work[col][c], scale)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r != col && work[r][col] != 0 {
+				mulAdd(work[r], work[col], work[r][col])
+			}
+		}
+	}
+	inv := newMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(inv[r], work[r][n:])
+	}
+	return inv, nil
+}
+
+// ---------------------------------------------------------------------------
+// Systematic encoding matrix cache
+// ---------------------------------------------------------------------------
+
+type codecKey struct{ k, m int }
+
+var (
+	codecMu  sync.Mutex
+	codecTbl = map[codecKey]matrix{}
+)
+
+// codingMatrix returns the m×k systematic encoding matrix for (k, m): the
+// top k rows are the identity (data shards are payload slices), the bottom
+// m−k rows generate parity. Cached — a deployment uses one (k, m) forever.
+func codingMatrix(k, m int) (matrix, error) {
+	if k < 1 || m < k || m > 256 {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrInvalidParams, k, m)
+	}
+	key := codecKey{k, m}
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if e, ok := codecTbl[key]; ok {
+		return e, nil
+	}
+	v := vandermonde(m, k)
+	topInv, err := v[:k].inverted()
+	if err != nil {
+		return nil, err
+	}
+	e := v.times(topInv)
+	codecTbl[key] = e
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+// ShardLen is the per-shard byte length for a payload of dataLen bytes split
+// k ways: ceil(dataLen/k), at least 1 so empty payloads still produce
+// hashable shards.
+func ShardLen(k, dataLen int) int {
+	if k < 1 {
+		return 0
+	}
+	n := (dataLen + k - 1) / k
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Encode splits data into k data shards (zero-padded to equal length) and
+// appends m−k parity shards, returning all m shards. data is copied; the
+// shards share one backing allocation.
+func Encode(k, m int, data []byte) ([][]byte, error) {
+	enc, err := codingMatrix(k, m)
+	if err != nil {
+		return nil, err
+	}
+	sl := ShardLen(k, len(data))
+	backing := make([]byte, m*sl)
+	shards := make([][]byte, m)
+	for i := range shards {
+		shards[i] = backing[i*sl : (i+1)*sl : (i+1)*sl]
+	}
+	for i := 0; i < k; i++ {
+		lo := i * sl
+		if lo < len(data) {
+			hi := lo + sl
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(shards[i], data[lo:hi])
+		}
+	}
+	for r := k; r < m; r++ {
+		for j := 0; j < k; j++ {
+			mulAdd(shards[r], shards[j], enc[r][j])
+		}
+	}
+	return shards, nil
+}
+
+// Reconstruct fills every nil shard of a partial codeword in place. shards
+// must have length m (the codeword width); at least k entries must be
+// non-nil and of equal length. After a successful return all m shards are
+// present — including parity — so the caller can re-hash the full codeword
+// against a commitment.
+func Reconstruct(k int, shards [][]byte) error {
+	m := len(shards)
+	enc, err := codingMatrix(k, m)
+	if err != nil {
+		return err
+	}
+	sl := -1
+	have := make([]int, 0, k)
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if sl < 0 {
+			sl = len(s)
+		} else if len(s) != sl {
+			return ErrShardSize
+		}
+		if len(have) < k {
+			have = append(have, i)
+		}
+	}
+	if len(have) < k {
+		return fmt.Errorf("%w: need %d, have %d", ErrTooFewShards, k, len(have))
+	}
+	// Decode the k data shards from the first k present rows (identity
+	// decode when they are already the data rows).
+	data := make([][]byte, k)
+	trivial := true
+	for j, idx := range have {
+		if idx != j {
+			trivial = false
+			break
+		}
+	}
+	if trivial {
+		for j := 0; j < k; j++ {
+			data[j] = shards[j]
+		}
+	} else {
+		sub := newMatrix(k, k)
+		for r, idx := range have {
+			copy(sub[r], enc[idx])
+		}
+		dec, err := sub.inverted()
+		if err != nil {
+			return err
+		}
+		backing := make([]byte, k*sl)
+		for j := 0; j < k; j++ {
+			data[j] = backing[j*sl : (j+1)*sl : (j+1)*sl]
+			for i, idx := range have {
+				mulAdd(data[j], shards[idx], dec[j][i])
+			}
+		}
+	}
+	// Re-encode every missing shard (data and parity alike) from the
+	// decoded data shards.
+	for i, s := range shards {
+		if s != nil {
+			continue
+		}
+		out := make([]byte, sl)
+		if i < k {
+			copy(out, data[i])
+		} else {
+			for j := 0; j < k; j++ {
+				mulAdd(out, data[j], enc[i][j])
+			}
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// Join concatenates the k data shards and trims to dataLen (the unpadded
+// payload length recorded in the commitment).
+func Join(k int, shards [][]byte, dataLen int) ([]byte, error) {
+	if k < 1 || len(shards) < k {
+		return nil, ErrInvalidParams
+	}
+	out := make([]byte, 0, dataLen)
+	for i := 0; i < k; i++ {
+		if shards[i] == nil {
+			return nil, ErrTooFewShards
+		}
+		out = append(out, shards[i]...)
+	}
+	if dataLen < 0 || dataLen > len(out) {
+		return nil, ErrShardSize
+	}
+	return out[:dataLen:dataLen], nil
+}

@@ -1,0 +1,164 @@
+package rs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+// subsets enumerates all size-r subsets of [0, m) and calls fn with each.
+func subsets(m, r int, fn func(drop []int)) {
+	idx := make([]int, r)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == r {
+			fn(idx)
+			return
+		}
+		for i := start; i < m; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// TestReconstructFromAnyKSubset is the codec's core property: for every
+// (k, m) in the deployment range and every way of dropping m−k shards, the
+// survivors reconstruct the identical payload AND the identical full
+// codeword (which is what the dissemination layer's commitment check relies
+// on).
+func TestReconstructFromAnyKSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []struct{ k, m int }{{1, 3}, {2, 3}, {2, 5}, {3, 5}, {4, 7}, {4, 15}} {
+		for _, dataLen := range []int{1, 5, 64, 257} {
+			data := make([]byte, dataLen)
+			rng.Read(data)
+			orig, err := Encode(p.k, p.m, data)
+			if err != nil {
+				t.Fatalf("Encode(k=%d,m=%d): %v", p.k, p.m, err)
+			}
+			subsets(p.m, p.m-p.k, func(drop []int) {
+				shards := make([][]byte, p.m)
+				for i := range shards {
+					shards[i] = append([]byte(nil), orig[i]...)
+				}
+				for _, d := range drop {
+					shards[d] = nil
+				}
+				if err := Reconstruct(p.k, shards); err != nil {
+					t.Fatalf("Reconstruct(k=%d,m=%d,drop=%v): %v", p.k, p.m, drop, err)
+				}
+				for i := range shards {
+					if !bytes.Equal(shards[i], orig[i]) {
+						t.Fatalf("k=%d m=%d drop=%v: shard %d diverged after reconstruction", p.k, p.m, drop, i)
+					}
+				}
+				got, err := Join(p.k, shards, dataLen)
+				if err != nil {
+					t.Fatalf("Join: %v", err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("k=%d m=%d drop=%v: payload diverged", p.k, p.m, drop)
+				}
+			})
+		}
+	}
+}
+
+// TestCorruptedShardDetectedByCommitment models the dissemination layer's
+// commitment rule: per-shard hashes are taken at encode time, a shard is
+// corrupted, and reconstruction from a set including the corrupt shard must
+// produce a codeword whose re-hash mismatches the commitment — corruption
+// is detected, never silently decoded.
+func TestCorruptedShardDetectedByCommitment(t *testing.T) {
+	const k, m = 3, 5
+	data := []byte("the availability certificate proves n-2f correct chunk holders")
+	orig, err := Encode(k, m, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := make([][32]byte, m)
+	for i := range orig {
+		commit[i] = sha256.Sum256(orig[i])
+	}
+	for corrupt := 0; corrupt < m; corrupt++ {
+		shards := make([][]byte, m)
+		// Keep exactly k shards, the corrupted one among them.
+		kept := 0
+		for i := 0; i < m && kept < k; i++ {
+			if i != corrupt {
+				shards[i] = append([]byte(nil), orig[i]...)
+				kept++
+			}
+		}
+		shards[corrupt] = append([]byte(nil), orig[corrupt]...)
+		shards[corrupt][0] ^= 0xff
+		// Drop one honest shard so the corrupt one participates in decoding.
+		for i := range shards {
+			if i != corrupt && shards[i] != nil {
+				shards[i] = nil
+				break
+			}
+		}
+		if err := Reconstruct(k, shards); err != nil {
+			t.Fatalf("corrupt=%d: %v", corrupt, err)
+		}
+		mismatch := false
+		for i := range shards {
+			if sha256.Sum256(shards[i]) != commit[i] {
+				mismatch = true
+				break
+			}
+		}
+		if !mismatch {
+			t.Fatalf("corrupt=%d: corrupted shard decoded to a codeword matching the commitment", corrupt)
+		}
+	}
+}
+
+// TestEncodeParamValidation: out-of-range parameters error cleanly.
+func TestEncodeParamValidation(t *testing.T) {
+	if _, err := Encode(0, 3, []byte("x")); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Encode(4, 3, []byte("x")); err == nil {
+		t.Fatal("k>m accepted")
+	}
+	if _, err := Encode(2, 300, []byte("x")); err == nil {
+		t.Fatal("m>256 accepted")
+	}
+	if err := Reconstruct(2, make([][]byte, 5)); err == nil {
+		t.Fatal("reconstruct with zero shards accepted")
+	}
+	mixed := [][]byte{{1, 2}, {3}, nil, nil, nil}
+	if err := Reconstruct(2, mixed); err == nil {
+		t.Fatal("mismatched shard lengths accepted")
+	}
+}
+
+// TestEmptyPayload: zero-length payloads still produce hashable shards and
+// round-trip.
+func TestEmptyPayload(t *testing.T) {
+	shards, err := Encode(2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shards {
+		if len(s) != 1 {
+			t.Fatalf("shard %d has length %d, want 1", i, len(s))
+		}
+	}
+	shards[0], shards[1] = nil, nil
+	if err := Reconstruct(2, shards); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Join(2, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty payload decoded to %d bytes", len(got))
+	}
+}

@@ -568,6 +568,10 @@ type ClusterConfig struct {
 	// so Source must carry one stream per REPLICA, not per instance), and
 	// consensus carries digest references instead of payloads.
 	Dissem bool
+	// DissemCode selects erasure-coded dissemination (dissem.Config.CodeK):
+	// origins push one coded chunk per peer instead of the full payload.
+	// 0 keeps the full push; requires Dissem.
+	DissemCode int
 	// DataDir enables durable WAL-backed ledgers: replica i keeps its
 	// segments and checkpoint manifest under DataDir/r<i>. Kill abandons the
 	// store without a final sync (the kill-9 model) and Restart replays it
@@ -804,7 +808,7 @@ func (c *Cluster) buildReplica(i int) error {
 		ccfg.Host = exec
 	}
 	if c.cfg.Dissem {
-		ccfg.Dissem = dissem.New(dissem.Config{N: c.N, F: c.F})
+		ccfg.Dissem = dissem.New(dissem.Config{N: c.N, F: c.F, CodeK: c.cfg.DissemCode})
 	}
 	if c.cfg.Tune != nil {
 		c.cfg.Tune(i, &ccfg)

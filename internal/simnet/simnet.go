@@ -104,6 +104,11 @@ type Stats struct {
 	EventsRun      uint64
 	TimersFired    uint64
 	MessagesByKind map[string]uint64
+	// NodeBytesSent is per-sender egress volume (modelled wire bytes,
+	// self-sends excluded), indexed by node — replica ids first, then the
+	// client node. Per-node attribution is what the dissemination-egress
+	// experiments compare (origin push vs peer serving load).
+	NodeBytesSent []uint64
 }
 
 // event kinds
@@ -255,6 +260,7 @@ func New(cfg Config) *Simulation {
 		blocked: make(map[[2]int32]bool),
 	}
 	s.stats.MessagesByKind = make(map[string]uint64)
+	s.stats.NodeBytesSent = make([]uint64, cfg.N+1)
 	total := cfg.N + 1 // replicas + client node
 	s.nodes = make([]*simNode, total)
 	for i := 0; i < total; i++ {
@@ -373,8 +379,13 @@ func (s *Simulation) node(id types.NodeID) *simNode {
 // Now returns the virtual clock.
 func (s *Simulation) Now() time.Duration { return s.now }
 
-// Stats returns a copy of the run counters.
-func (s *Simulation) Stats() Stats { return s.stats }
+// Stats returns a copy of the run counters (the per-node slice included, so
+// snapshots taken at different virtual times diff correctly).
+func (s *Simulation) Stats() Stats {
+	st := s.stats
+	st.NodeBytesSent = append([]uint64(nil), s.stats.NodeBytesSent...)
+	return st
+}
 
 // SetDown marks a replica non-responsive (attack A1) from the current
 // virtual time onward: it drops all input and produces no output.
@@ -660,6 +671,9 @@ func (s *Simulation) enqueueSendSized(n *simNode, to types.NodeID, msg types.Mes
 	if dest.idx == n.idx { // self-send: direct delivery, no network
 		s.push(event{at: at, kind: evDeliver, node: n.idx, from: n.id, msgs: []types.Message{msg}})
 		return
+	}
+	if int(n.idx) < len(s.stats.NodeBytesSent) {
+		s.stats.NodeBytesSent[n.idx] += uint64(size)
 	}
 	// Adversary layer: targeted drop or delay of replica-to-replica
 	// messages (drills). Delayed messages bypass the egress buffer — the

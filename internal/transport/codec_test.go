@@ -15,7 +15,7 @@ import (
 )
 
 // codecMessages returns one fully populated value of every registered wire
-// message type (all 23). Shared by the round-trip table test, the truncation
+// message type (all 24). Shared by the round-trip table test, the truncation
 // test, the fuzz seed corpus, and the benchmarks.
 func codecMessages() []types.Message {
 	d := func(b byte) types.Digest { return types.Digest{b, b + 1, b + 2} }
@@ -72,6 +72,9 @@ func codecMessages() []types.Message {
 		&types.BatchDigest{Origin: 2, Batch: batch, Pull: true},
 		&types.BatchAck{Origin: 2, BatchID: d(9), Sig: sig(1, 10)},
 		&types.BatchCert{BatchID: d(9), Sigs: []types.Signature{sig(0, 11), sig(1, 12), sig(2, 13)}},
+		&types.BatchChunk{Origin: 2, BatchID: d(9), K: 2, DataLen: 7,
+			Hashes: []types.Digest{d(1), d(2), d(3)}, Index: 1, Data: []byte{1, 2, 3, 4},
+			Sigs: []types.Signature{sig(0, 14), sig(1, 15), sig(2, 16)}},
 		// Client traffic
 		&types.Request{Batch: batch},
 		&types.Inform{Replica: 1, BatchID: d(9), Results: d(15)},
@@ -87,8 +90,8 @@ func codecMessages() []types.Message {
 // one type as another.
 func TestCodecRoundTripAllMessages(t *testing.T) {
 	msgs := codecMessages()
-	if len(msgs) != 23 {
-		t.Fatalf("codec table covers %d message types, want all 23", len(msgs))
+	if len(msgs) != 24 {
+		t.Fatalf("codec table covers %d message types, want all 24", len(msgs))
 	}
 	kinds := make(map[types.WireKind]string)
 	for _, m := range msgs {
@@ -181,6 +184,64 @@ func FuzzDecode(f *testing.F) {
 		}
 		if !bytes.Equal(re, data) {
 			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzChunkDecode drills the coded-dissemination message specifically: a
+// BatchChunk is the one frame whose fields feed straight into erasure-decode
+// geometry (K, DataLen, Index, Hashes length), so the corpus seeds every
+// shape a peer can legally send — push, blind pull (ChunkAny), certified
+// backfill response, degenerate empties — plus mutations. The oracle is the
+// codec contract (never panic, accepted bytes re-encode canonically, the
+// kind tag survives) and, one layer up, that the strict payload decoder
+// never panics on whatever Data the frame smuggled in.
+func FuzzChunkDecode(f *testing.F) {
+	d := func(b byte) types.Digest { return types.Digest{b, b * 3, b ^ 0x55} }
+	chunks := []*types.BatchChunk{
+		{Origin: 2, BatchID: d(9), K: 2, DataLen: 100,
+			Hashes: []types.Digest{d(1), d(2), d(3)}, Index: 0, Data: make([]byte, 50)},
+		{BatchID: d(9), Index: types.ChunkAny, Pull: true},
+		{BatchID: d(9), Index: 2, Pull: true},
+		{Origin: 1, BatchID: d(8), K: 1, DataLen: 4,
+			Hashes: []types.Digest{d(4)}, Index: 0, Data: []byte{1, 2, 3, 4},
+			Sigs: []types.Signature{
+				{Signer: 0, Bytes: []byte{7}}, {Signer: 1, Bytes: []byte{8}}, {Signer: 2, Bytes: []byte{9}}}},
+		{Origin: 3, BatchID: d(7), K: 6, DataLen: 0, Hashes: nil, Index: 0, Data: nil},
+	}
+	for _, m := range chunks {
+		payload, err := transport.Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+		if len(payload) > 3 {
+			f.Add(payload[:len(payload)/2])
+			mut := bytes.Clone(payload)
+			mut[len(mut)/2] ^= 0xFF
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := transport.Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := transport.Encode(msg)
+		if err != nil {
+			t.Fatalf("accepted chunk failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("chunk decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+		if c, ok := msg.(*types.BatchChunk); ok {
+			if c.WireSize() < types.ControlMsgSize {
+				t.Fatalf("WireSize %d below the control-message floor", c.WireSize())
+			}
+			// The handler hands Data to the strict batch decoder after the
+			// chunk-hash check; the decoder itself must be panic-free on
+			// arbitrary bytes regardless.
+			_, _ = types.DecodeBatchPayload(c.Data)
 		}
 	})
 }

@@ -118,6 +118,12 @@ type Stats struct {
 	// IngressDrops counts decoded messages dropped by the declared ingress
 	// signature checks.
 	IngressDrops uint64
+	// BytesOut counts frame bytes (header, MAC, payload) buffered toward
+	// peers; BytesIn counts frame bytes read off connections. Together they
+	// are the endpoint's egress/ingress volume, the ground truth behind the
+	// coded-dissemination bandwidth claims.
+	BytesOut uint64
+	BytesIn  uint64
 }
 
 // Config parameterizes a TCP transport endpoint.
@@ -168,6 +174,8 @@ type TCP struct {
 	macRejects  atomic.Uint64
 	decodeFails atomic.Uint64
 	ingressDrop atomic.Uint64
+	bytesOut    atomic.Uint64
+	bytesIn     atomic.Uint64
 }
 
 type peer struct {
@@ -231,6 +239,8 @@ func (t *TCP) Stats() Stats {
 		MACRejections:  t.macRejects.Load(),
 		DecodeFailures: t.decodeFails.Load(),
 		IngressDrops:   t.ingressDrop.Load(),
+		BytesOut:       t.bytesOut.Load(),
+		BytesIn:        t.bytesIn.Load(),
 	}
 }
 
@@ -480,6 +490,7 @@ func (t *TCP) writeFrames(w *bufio.Writer, p *peer) {
 			if err != nil {
 				return
 			}
+			t.bytesOut.Add(uint64(4 + n)) // length prefix + frame
 			// Coalesce writes while the queue has backlog (§6.1 buffering).
 			if len(p.queue) == 0 || w.Buffered() > 96<<10 {
 				if err := w.Flush(); err != nil {
@@ -576,6 +587,7 @@ func (t *TCP) readLoop(r *bufio.Reader, owner types.NodeID) {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return
 		}
+		t.bytesIn.Add(uint64(4 + n)) // length prefix + frame
 		from := types.NodeID(binary.LittleEndian.Uint32(buf[0:]))
 		macLen := int(buf[4])
 		if 4+1+macLen >= n {

@@ -323,6 +323,51 @@ func AckBytes(id Digest) []byte {
 	return append(buf, id[:]...)
 }
 
+// ChunkAny is the Index value of a BatchChunk pull that asks the receiver
+// for whichever chunk it holds — used when the puller learned the digest
+// from consensus without ever seeing the origin's push, so it cannot map
+// chunk indices to their assigned holders.
+const ChunkAny = ^uint32(0)
+
+// BatchChunk is the coded-dissemination unit (dissem.Config.CodeK > 0): the
+// origin splits a batch payload into k data + (n−1−k) parity chunks under
+// the internal/rs codec, binds them with the chunk-hash commitment
+// (K, DataLen, Hashes — see crypto.ChunkCommitRoot), and sends each peer
+// exactly one chunk instead of the full payload. With Pull set the message
+// is a chunk backfill request instead: Data is empty, Index names the wanted
+// chunk (or ChunkAny), and the receiver answers with a chunk it holds.
+// Backfill responses carry the availability certificate inline (Sigs over
+// CodedAckBytes) so a replica that missed both push and certificate recovers
+// the commitment and the certificate from any single response.
+type BatchChunk struct {
+	Origin  NodeID
+	BatchID Digest
+	K       uint32      // data-chunk count of the commitment
+	DataLen uint32      // unpadded payload byte length
+	Hashes  []Digest    // ordered per-chunk hashes (the commitment preimage)
+	Index   uint32      // which chunk Data carries (or the requested chunk on Pull)
+	Data    []byte      // chunk bytes; empty on Pull
+	Pull    bool        // backfill request
+	Sigs    []Signature // optional inline availability certificate
+}
+
+// WireSize implements Message.
+func (m *BatchChunk) WireSize() int {
+	return ControlMsgSize + len(m.Data) + len(m.Hashes)*32 + len(m.Sigs)*SignatureSize
+}
+
+// CodedAckBytes is the byte string a replica signs when acknowledging
+// custody of a coded chunk: unlike the full-payload AckBytes it binds the
+// commitment root, so at most one commitment per batch id can ever gather
+// an n−f certificate (correct replicas ack only the first commitment they
+// see, and two certificates would need f+1 common correct signers).
+func CodedAckBytes(id, root Digest) []byte {
+	buf := make([]byte, 0, 69)
+	buf = append(buf, "cack:"...)
+	buf = append(buf, id[:]...)
+	return append(buf, root[:]...)
+}
+
 // ---------------------------------------------------------------------------
 // Client traffic
 // ---------------------------------------------------------------------------

@@ -59,6 +59,7 @@ const (
 	KindBatchDigest
 	KindBatchAck
 	KindBatchCert
+	KindBatchChunk
 
 	kindEnd // one past the last valid tag
 )
@@ -117,6 +118,8 @@ func MessageKind(m Message) WireKind {
 		return KindBatchAck
 	case *BatchCert:
 		return KindBatchCert
+	case *BatchChunk:
+		return KindBatchChunk
 	}
 	return KindInvalid
 }
@@ -172,6 +175,8 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 		return v.AppendBinary(append(buf, byte(KindBatchAck))), nil
 	case *BatchCert:
 		return v.AppendBinary(append(buf, byte(KindBatchCert))), nil
+	case *BatchChunk:
+		return v.AppendBinary(append(buf, byte(KindBatchChunk))), nil
 	}
 	return buf, fmt.Errorf("types: message %T not registered with the wire codec", m)
 }
@@ -231,6 +236,8 @@ func DecodeMessage(buf []byte) (Message, error) {
 		m = decodeBatchAck(&r)
 	case KindBatchCert:
 		m = decodeBatchCert(&r)
+	case KindBatchChunk:
+		m = decodeBatchChunk(&r)
 	default:
 		return nil, ErrMalformed
 	}
@@ -751,6 +758,62 @@ func (m *BatchCert) AppendBinary(b []byte) []byte {
 
 func decodeBatchCert(r *wireReader) Message {
 	return &BatchCert{BatchID: r.digest(), Sigs: r.sigs()}
+}
+
+// AppendBinary appends the fixed-layout wire body to b.
+func (m *BatchChunk) AppendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(m.Origin))
+	b = append(b, m.BatchID[:]...)
+	b = appendU32(b, m.K)
+	b = appendU32(b, m.DataLen)
+	b = appendU32(b, uint32(len(m.Hashes)))
+	for i := range m.Hashes {
+		b = append(b, m.Hashes[i][:]...)
+	}
+	b = appendU32(b, m.Index)
+	b = appendBytes(b, m.Data)
+	b = appendBool(b, m.Pull)
+	return appendSigs(b, m.Sigs)
+}
+
+func decodeBatchChunk(r *wireReader) Message {
+	m := &BatchChunk{
+		Origin:  NodeID(r.u32()),
+		BatchID: r.digest(),
+		K:       r.u32(),
+		DataLen: r.u32(),
+	}
+	if n := r.count(32); n > 0 {
+		m.Hashes = make([]Digest, n)
+		for i := range m.Hashes {
+			m.Hashes[i] = r.digest()
+		}
+	}
+	m.Index = r.u32()
+	m.Data = r.bytes()
+	m.Pull = r.boolean()
+	m.Sigs = r.sigs()
+	return m
+}
+
+// EncodeBatchPayload serializes a batch with the wire codec's batch layout —
+// the byte string the erasure codec splits into chunks. Deterministic and
+// canonical: DecodeBatchPayload(EncodeBatchPayload(b)) round-trips exactly.
+func EncodeBatchPayload(b *Batch) []byte {
+	return appendBatch(nil, b)
+}
+
+// DecodeBatchPayload parses a payload produced by EncodeBatchPayload,
+// applying the same strict canonical-decoding rules as DecodeMessage (a
+// reconstructed payload that is not a canonical batch encoding returns
+// ErrMalformed, never panics).
+func DecodeBatchPayload(data []byte) (*Batch, error) {
+	r := wireReader{buf: data}
+	b := r.batch()
+	if r.bad || len(r.buf) != 0 || b == nil {
+		return nil, ErrMalformed
+	}
+	return b, nil
 }
 
 // ---------------------------------------------------------------------------
