@@ -18,10 +18,24 @@ import (
 // types.CodedAckBytes(id, root) only after verifying its assigned chunk's
 // hash, and only for the FIRST commitment it sees per batch id — so two
 // different commitments for one id can never both gather n−f acks (the
-// certificates would share f+1 correct signers). The availability
-// certificate is unchanged on the wire (BatchCert{BatchID, Sigs}) but now
-// proves ≥ n−2f correct chunk holders with DISTINCT chunks, so any replica
-// reconstructs from any k ≤ n−2f chunks.
+// certificates would share f+1 correct signers). Because that ack budget
+// is one-time, a commitment is ADOPTED only from the origin itself or
+// with a verified inline certificate — a third party cannot race a
+// spoofed layout that would burn the ack and censor the genuine batch.
+// The availability certificate is unchanged on the wire
+// (BatchCert{BatchID, Sigs}) but now proves ≥ n−2f correct chunk holders
+// with DISTINCT chunks, so any replica reconstructs from any k ≤ n−2f
+// chunks.
+//
+// Coded mode carries payloads ONLY as chunks: full-payload BatchDigest
+// pushes and pulls are refused outright (dissem.OnMessage), and delivery
+// resolution is certification-gated (Layer.Payload returns a foreign
+// batch only once the entry holds the certificate over its adopted
+// layout). Together these close the split where a Byzantine origin
+// certifies a garbage layout, lets every correct replica poison to the
+// canonical empty batch, yet feeds ONE victim the genuine payload through
+// an ungated side channel — the victim would deliver real transactions
+// the rest of the cluster never sees.
 //
 // Reconstruction is AVID-style deterministic: decode from any k verified
 // chunks, re-encode the whole codeword, and check every chunk hash against
@@ -190,6 +204,17 @@ func (l *Layer) onChunk(from types.NodeID, m *types.BatchChunk) {
 	}
 	switch {
 	case e.commit == nil:
+		if !hasCert && from != m.Origin {
+			// An unattested commitment relayed by a third party. Adopting it
+			// — and spending the one-time ack on it — would let a faulty
+			// peer race a spoofed layout for a correct origin's batch id:
+			// the genuine chunks would then fail the root check and the
+			// batch could never gather n−f acks. Only the origin itself, or
+			// a verified inline certificate, introduces a layout.
+			l.stats.ChunkRejects++
+			l.mu.Unlock()
+			return
+		}
 		e.commit = &chunkCommit{k: int(m.K), dataLen: int(m.DataLen), hashes: m.Hashes, root: root}
 		e.origin = m.Origin
 		e.chunks = make([][]byte, len(m.Hashes))

@@ -176,13 +176,16 @@ func TestCodedReceiverAcksOnlyValidAssignedChunk(t *testing.T) {
 }
 
 // TestCodedReconstructionAtExactlyK: any k verified chunks suffice — the
-// receiver decodes the payload the moment the k-th distinct chunk lands,
-// and the decoded batch is the original bit-for-bit (content-addressed).
+// receiver decodes the payload the moment the k-th distinct chunk lands —
+// but delivery resolution stays gated until the layout's certificate
+// arrives (an uncertified reconstruction must never deliver, or a
+// Byzantine origin could split delivery between a fed victim and the
+// poisoned rest of the cluster).
 func TestCodedReconstructionAtExactlyK(t *testing.T) {
 	l, _, _ := newCodedLayer(3)
 	b := testBatch(3)
 	payload := types.EncodeBatchPayload(b)
-	shards, hashes, _ := encodeChunks(t, 2, 3, payload)
+	shards, hashes, root := encodeChunks(t, 2, 3, payload)
 
 	// One parity + one data chunk: an arbitrary k-subset, not the data prefix.
 	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 2, shards, hashes))
@@ -190,16 +193,27 @@ func TestCodedReconstructionAtExactlyK(t *testing.T) {
 		t.Fatal("payload materialized below k chunks")
 	}
 	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 1, shards, hashes))
-	got := l.Payload(b.ID)
-	if got == nil {
-		t.Fatal("payload not reconstructed at exactly k chunks")
-	}
-	if got.ID != b.ID || types.ComputeBatchID(got.Txns) != types.ComputeBatchID(b.Txns) {
-		t.Fatal("reconstructed batch differs from the original")
-	}
 	st := l.Stats()
 	if st.Reconstructions != 1 || st.ReconstructFails != 0 {
 		t.Fatalf("stats: Reconstructions=%d ReconstructFails=%d, want 1/0", st.Reconstructions, st.ReconstructFails)
+	}
+	if l.Payload(b.ID) != nil {
+		t.Fatal("uncertified reconstruction resolved for delivery")
+	}
+
+	// The certificate lands (ingress verified it against our adopted root):
+	// the already-reconstructed batch resolves, bit-for-bit the original.
+	l.OnMessage(0, &types.BatchCert{BatchID: b.ID, Sigs: []types.Signature{
+		codedAckFrom(0, b.ID, root).Sig,
+		codedAckFrom(1, b.ID, root).Sig,
+		codedAckFrom(2, b.ID, root).Sig,
+	}})
+	got := l.Payload(b.ID)
+	if got == nil {
+		t.Fatal("certified reconstruction did not resolve")
+	}
+	if got.ID != b.ID || types.ComputeBatchID(got.Txns) != types.ComputeBatchID(b.Txns) {
+		t.Fatal("reconstructed batch differs from the original")
 	}
 }
 
@@ -392,11 +406,21 @@ func TestCodedUncertifiedGarbageDiscarded(t *testing.T) {
 		t.Fatalf("uncertified failure counted as a poison (%d)", st.ReconstructFails)
 	}
 
-	// The real layout arrives (e.g. via backfill responses): adopted fresh
-	// and reconstructed, proving the entry was not wedged.
-	shards, hashes, _ := encodeChunks(t, 2, 3, payload)
-	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes))
-	l.OnMessage(2, chunkMsg(0, b.ID, 2, len(payload), 1, shards, hashes))
+	// The real layout arrives via backfill responses, certificate inline:
+	// adopted fresh, reconstructed, and resolvable — the entry was not
+	// wedged.
+	shards, hashes, root := encodeChunks(t, 2, 3, payload)
+	sigs := []types.Signature{
+		codedAckFrom(1, b.ID, root).Sig,
+		codedAckFrom(2, b.ID, root).Sig,
+		codedAckFrom(3, b.ID, root).Sig,
+	}
+	c0 := chunkMsg(0, b.ID, 2, len(payload), 0, shards, hashes)
+	c0.Sigs = sigs
+	c1 := chunkMsg(0, b.ID, 2, len(payload), 1, shards, hashes)
+	c1.Sigs = sigs
+	l.OnMessage(0, c0)
+	l.OnMessage(2, c1)
 	if got := l.Payload(b.ID); got == nil || got.ID != b.ID {
 		t.Fatal("entry wedged: certified-recoverable layout no longer reconstructs")
 	}
@@ -479,6 +503,73 @@ func TestCodedIngressScreening(t *testing.T) {
 	wantRoot := crypto.ChunkCommitRoot(certified.K, certified.DataLen, certified.Hashes)
 	if string(job.Checks[0].Msg) != string(types.CodedAckBytes(b.ID, wantRoot)) {
 		t.Fatal("inline certificate screened over a preimage not derived from the message's own commitment")
+	}
+}
+
+// TestCodedFullPayloadPushRejected: in coded mode the full-payload
+// BatchDigest path is dead — a push stores nothing, draws no ack (plain or
+// coded), and resolves nothing, and a full-payload pull is never served.
+// The gate is the safety half of the certified-layout rule: a Byzantine
+// origin must not be able to hand one victim the genuine batch through an
+// ungated side channel while the certified chunk layout poisons everyone
+// else.
+func TestCodedFullPayloadPushRejected(t *testing.T) {
+	l, ctx, notified := newCodedLayer(1)
+	b := testBatch(10)
+	l.OnMessage(0, &types.BatchDigest{Origin: 0, Batch: b})
+	if len(ctx.sent) != 0 {
+		t.Fatalf("coded layer reacted to a full-payload push (%d messages)", len(ctx.sent))
+	}
+	if l.Payload(b.ID) != nil {
+		t.Fatal("full-payload push resolved a batch in coded mode")
+	}
+	if len(*notified) != 0 {
+		t.Fatal("full-payload push fired notify in coded mode")
+	}
+
+	// Serving side: even a replica that holds the payload (its own batch)
+	// never answers a full-payload pull in coded mode.
+	srv, sctx, _ := newCodedLayer(0)
+	own := testBatch(11)
+	sctx.pending = append(sctx.pending, own)
+	srv.Pump()
+	mark := len(sctx.sent)
+	srv.OnMessage(2, &types.BatchDigest{Origin: 2, Batch: &types.Batch{ID: own.ID}, Pull: true})
+	if len(sctx.sent) != mark {
+		t.Fatal("coded layer served a full-payload pull")
+	}
+}
+
+// TestCodedSpoofedCommitmentRejected: a chunk-layout commitment is adopted
+// only from its claimed origin or with a verified inline certificate. A
+// faulty THIRD PARTY racing a spoofed (internally consistent) layout for a
+// correct origin's batch id must not burn the one-time ack budget —
+// otherwise the genuine chunks would fail the root check and the batch
+// could never certify (censorship of a correct origin).
+func TestCodedSpoofedCommitmentRejected(t *testing.T) {
+	l, ctx, _ := newCodedLayer(1)
+	b := testBatch(12)
+	payload := types.EncodeBatchPayload(b)
+	goodShards, goodHashes, _ := encodeChunks(t, 2, 3, payload)
+
+	// Peer 2 races a spoofed layout claiming origin 0, no certificate:
+	// valid per-chunk hashes, but nothing attests the layout. Dropped —
+	// no adoption, no ack spent.
+	spoof := types.EncodeBatchPayload(testBatch(66))
+	sShards, sHashes, _ := encodeChunks(t, 2, 3, spoof)
+	l.OnMessage(2, chunkMsg(0, b.ID, 2, len(spoof), 0, sShards, sHashes))
+	if countAcks(ctx) != 0 {
+		t.Fatal("spoofed commitment from a non-origin spent the ack budget")
+	}
+	if l.Stats().ChunkRejects != 1 {
+		t.Fatalf("ChunkRejects=%d, want 1 (spoofed layout dropped)", l.Stats().ChunkRejects)
+	}
+
+	// The genuine push from the origin still adopts and attests: the
+	// censorship attempt bought the spoofer nothing.
+	l.OnMessage(0, chunkMsg(0, b.ID, 2, len(payload), 0, goodShards, goodHashes))
+	if countAcks(ctx) != 1 {
+		t.Fatalf("genuine origin push drew %d acks, want 1", countAcks(ctx))
 	}
 }
 

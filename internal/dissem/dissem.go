@@ -313,6 +313,16 @@ func (l *Layer) disseminate(b *types.Batch) {
 func (l *Layer) OnMessage(from types.NodeID, msg types.Message) {
 	switch m := msg.(type) {
 	case *types.BatchDigest:
+		if l.cfg.CodeK > 0 {
+			// Coded mode: payloads travel ONLY as chunks bound to a layout
+			// commitment. Accepting a full-payload push here would let a
+			// Byzantine origin certify a garbage layout yet feed one victim
+			// the genuine batch — the victim delivers real transactions while
+			// every other correct replica poisons to the canonical empty
+			// batch, splitting honest ledgers. Full pulls are refused for the
+			// same reason: no correct peer sends them in coded mode.
+			return
+		}
 		if m.Pull {
 			l.onPull(from, m)
 		} else {
@@ -518,11 +528,26 @@ func (l *Layer) Certified(id types.Digest) bool {
 }
 
 // Payload resolves a digest to its stored payload, or nil.
+//
+// Coded mode adds a certification gate: a batch resolves only under the
+// CERTIFIED chunk layout (or for our own batches, whose layout we built).
+// Reconstruction under an uncertified layout may already have produced the
+// content-addressed batch, but delivering it early would let a Byzantine
+// origin hand one victim the genuine payload while the certified layout
+// poisons everyone else to the canonical empty batch. Holding the batch
+// until the certificate lands keeps every correct replica on the same
+// resolution rule: e.cert is always the certificate over e.commit.root
+// (onChunk resets the batch whenever a certified layout displaces an
+// uncertified one, and a certified layout is never displaced), so a
+// cert-gated batch is exactly one resolved under the certified layout.
 func (l *Layer) Payload(id types.Digest) *types.Batch {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e := l.entries[id]
 	if e == nil {
+		return nil
+	}
+	if l.cfg.CodeK > 0 && !e.mine && e.cert == nil {
 		return nil
 	}
 	return e.batch
